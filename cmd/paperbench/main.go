@@ -1,0 +1,198 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section in one run (or selectively), printing paper-style rows
+// next to the values this reproduction measures.
+//
+// Usage:
+//
+//	paperbench                   # everything at quick Monte-Carlo settings
+//	paperbench -only table2      # one artifact
+//	paperbench -shots 20000      # heavier sampling
+//	paperbench -thresholds       # add threshold columns to Table 2 (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"surfstitch/internal/device"
+	"surfstitch/internal/paper"
+	"surfstitch/internal/synth"
+)
+
+func main() {
+	var (
+		only       = flag.String("only", "", "artifact: table2, table3, table4, fig9a, fig9b, fig10, fig11a, fig11b, ablations, budget, alloc")
+		shots      = flag.Int("shots", 4000, "Monte-Carlo shots per point (paper: 100000)")
+		seed       = flag.Int64("seed", 1, "sampling seed")
+		trials     = flag.Int("trials", 1000, "allocation study trials (paper: 100000)")
+		thresholds = flag.Bool("thresholds", false, "estimate Table 2 threshold column (slow)")
+	)
+	flag.Parse()
+	cfg := paper.Config{Shots: *shots, Seed: *seed}
+
+	run := func(name string, f func() error) {
+		if *only != "" && *only != name {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	run("table2", func() error {
+		rows, err := paper.Table2(cfg, *thresholds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-30s %-9s %-8s %-7s %-7s %-10s\n",
+			"Code", "bridge#", "CNOT#", "steps", "total", "threshold")
+		for _, r := range rows {
+			th := "-"
+			if r.Threshold > 0 {
+				th = fmt.Sprintf("%.2f%%", 100*r.Threshold)
+			}
+			fmt.Printf("%-30s %-9.1f %-8.1f %-7.1f %-7d %-10s\n",
+				r.Code, r.AvgBridge, r.AvgCNOT, r.AvgTimeSteps, r.TotalTimeSteps, th)
+		}
+		return nil
+	})
+
+	run("table3", func() error {
+		rows, err := paper.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-30s %-8s %-9s %-9s %-6s\n", "Code", "data%", "bridge%", "unused%", "total")
+		for _, r := range rows {
+			fmt.Printf("%-30s %-8.1f %-9.1f %-9.1f %-6d\n",
+				r.Code, r.DataPct, r.BridgePct, r.UnusedPct, r.TotalQubits)
+		}
+		return nil
+	})
+
+	run("table4", func() error {
+		rows, err := paper.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-30s %-4s %-9s %-13s %-9s %-9s\n",
+			"Code", "d", "bridge#", "bridge/data", "2q gates", "1q gates")
+		for _, r := range rows {
+			fmt.Printf("%-30s %-4d %-9d %-13.2f %-9d %-9d\n",
+				r.Code, r.Distance, r.BridgeCount, r.BridgeRatio, r.TwoQubit, r.OneQubit)
+		}
+		return nil
+	})
+
+	run("fig9a", func() error { return printPairs(paper.Figure9a(cfg)) })
+	run("fig9b", func() error { return printPairs(paper.Figure9b(cfg)) })
+
+	run("fig10", func() error {
+		text, err := paper.Figure10()
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	})
+
+	run("fig11a", func() error {
+		res, err := paper.Figure11a(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("CNOTs per cycle: Surf-Stitch bridge trees %d, revised-SABRE routing %d (%.1fx)\n",
+			res.SurfCNOTs, res.RoutedCNOTs, float64(res.RoutedCNOTs)/float64(res.SurfCNOTs))
+		fmt.Printf("%-10s %-16s %-16s\n", "p", "surf logical", "routed logical")
+		for i := range res.SurfLogical {
+			fmt.Printf("%-10.4g %-16.5f %-16.5f\n",
+				res.SurfLogical[i].P, res.SurfLogical[i].Logical, res.RouteLogical[i].Logical)
+		}
+		return nil
+	})
+
+	run("fig11b", func() error {
+		res, err := paper.Figure11b(cfg, 0.002, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-18s %-18s\n", "idle error", "refined logical", "two-stage logical")
+		for _, r := range res {
+			fmt.Printf("%-12.4g %-18.5f %-18.5f\n", r.IdleError, r.RefinedLogical, r.TwoStageLogical)
+		}
+		return nil
+	})
+
+	run("ablations", func() error {
+		res, err := paper.Ablations(cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			fmt.Println(r)
+		}
+		fmt.Println("(tree-method equality means the all-roots star search already")
+		fmt.Println(" subsumes path merging; hook orientation and decoder peeling are")
+		fmt.Println(" the load-bearing design choices — see EXPERIMENTS.md)")
+		return nil
+	})
+
+	run("budget", func() error {
+		s, err := synthHeavySquare()
+		if err != nil {
+			return err
+		}
+		entries, err := paper.NoiseBudget(s, 0.001, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(paper.FormatBudget(entries))
+		return nil
+	})
+
+	run("alloc", func() error {
+		res, err := paper.AllocationStudy(*trials, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %-8s %-8s\n", "allocator", "trials", "valid")
+		for _, r := range res {
+			fmt.Printf("%-18s %-8d %-8d\n", r.Name, r.Trials, r.Valid)
+		}
+		return nil
+	})
+}
+
+func synthHeavySquare() (*synth.Synthesis, error) {
+	_, layout, err := synth.FitDevice(device.KindHeavySquare, 3, synth.ModeDefault)
+	if err != nil {
+		return nil, err
+	}
+	return synth.SynthesizeOnLayout(layout, synth.Options{})
+}
+
+func printPairs(pairs []paper.CurvePair, err error) error {
+	if err != nil {
+		return err
+	}
+	for _, pair := range pairs {
+		fmt.Printf("%s\n", pair.Name)
+		fmt.Printf("  %-10s %-14s %-14s\n", "p", "d=3 logical", "d=5 logical")
+		for i := range pair.D3.Points {
+			fmt.Printf("  %-10.4g %-14.5f %-14.5f\n",
+				pair.D3.Points[i].P, pair.D3.Points[i].Logical, pair.D5.Points[i].Logical)
+		}
+		if pair.Threshold > 0 {
+			fmt.Printf("  threshold: %.4f (%.2f%%)\n", pair.Threshold, 100*pair.Threshold)
+		} else {
+			fmt.Printf("  threshold: no crossing in sweep range\n")
+		}
+	}
+	return nil
+}

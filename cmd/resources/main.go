@@ -1,0 +1,55 @@
+// Command resources reproduces the resource tables of the paper: Table 3
+// (distance-5 qubit utilization on the smallest supporting tilings) and
+// Table 4 (resource scaling with code distance).
+//
+// Usage:
+//
+//	resources -table 3
+//	resources -table 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"surfstitch/internal/paper"
+)
+
+func main() {
+	table := flag.Int("table", 3, "table to regenerate: 3 or 4")
+	flag.Parse()
+
+	switch *table {
+	case 3:
+		rows, err := paper.Table3()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Table 3: qubit utilization of the distance-5 syntheses")
+		fmt.Printf("%-30s %-8s %-9s %-9s %-6s\n", "Code", "data%", "bridge%", "unused%", "total")
+		for _, r := range rows {
+			fmt.Printf("%-30s %-8.1f %-9.1f %-9.1f %-6d\n",
+				r.Code, r.DataPct, r.BridgePct, r.UnusedPct, r.TotalQubits)
+		}
+	case 4:
+		rows, err := paper.Table4()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Table 4: resource scaling with code distance")
+		fmt.Printf("%-30s %-4s %-9s %-13s %-9s %-9s\n",
+			"Code", "d", "bridge#", "bridge/data", "2q gates", "1q gates")
+		for _, r := range rows {
+			fmt.Printf("%-30s %-4d %-9d %-13.2f %-9d %-9d\n",
+				r.Code, r.Distance, r.BridgeCount, r.BridgeRatio, r.TwoQubit, r.OneQubit)
+		}
+	default:
+		fatal(fmt.Errorf("unknown table %d; use 3 or 4", *table))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "resources:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+// Command surfstitch synthesizes a rotated surface code onto a
+// superconducting architecture and prints the result: the data qubit
+// layout, the first stabilizers with their bridge trees (Figure 10 style),
+// the measurement schedule, and the Table 2 metrics.
+//
+// Usage:
+//
+//	surfstitch -arch heavy-hexagon -w 4 -h 5 -d 3
+//	surfstitch -arch square -d 3 -mode four -ascii
+//	surfstitch -arch heavy-square -d 5 -fit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"surfstitch/internal/circuit"
+	"surfstitch/internal/device"
+	"surfstitch/internal/experiment"
+	"surfstitch/internal/render"
+	"surfstitch/internal/synth"
+	"surfstitch/internal/verify"
+)
+
+func main() {
+	var (
+		arch     = flag.String("arch", "heavy-hexagon", "architecture: square, hexagon, octagon, heavy-square, heavy-hexagon")
+		w        = flag.Int("w", 4, "tiles horizontally")
+		h        = flag.Int("h", 4, "tiles vertically")
+		d        = flag.Int("d", 3, "code distance (odd, >= 3)")
+		mode     = flag.String("mode", "default", "syndrome rectangle mode: default or four")
+		fit      = flag.Bool("fit", false, "ignore -w/-h and find the smallest supporting tiling")
+		ascii    = flag.Bool("ascii", false, "print the device as ASCII art")
+		stabs    = flag.Int("stabs", 8, "number of stabilizers to describe")
+		noRef    = flag.Bool("norefine", false, "skip schedule refinement (two-stage X/Z schedule)")
+		asJSON   = flag.Bool("json", false, "emit the synthesis report as JSON instead of text")
+		svgOut   = flag.String("svg", "", "write an SVG rendering of the synthesis to this file")
+		preset   = flag.String("preset", "", "use a chip preset instead of -arch/-w/-h: falcon-like-27q, hummingbird-like-65q, aspen-like-32q, sycamore-like-54q")
+		doVerify = flag.Bool("verify", false, "run end-to-end verification (determinism, single-fault property, hook audit)")
+		circOut  = flag.String("circuit", "", "write the memory-experiment circuit (stim-flavoured text) to this file")
+		rounds   = flag.Int("rounds", 0, "error-detection rounds for -circuit (default 3*d)")
+	)
+	flag.Parse()
+
+	m := synth.ModeDefault
+	if *mode == "four" {
+		m = synth.ModeFour
+	} else if *mode != "default" {
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	var dev *device.Device
+	if *preset != "" {
+		p, err := device.Preset(*preset)
+		if err != nil {
+			fatal(err)
+		}
+		dev = p
+	} else if *fit {
+		kind, err := parseArch(*arch)
+		if err != nil {
+			fatal(err)
+		}
+		fd, _, err := synth.FitDevice(kind, *d, m)
+		if err != nil {
+			fatal(err)
+		}
+		dev = fd
+		fmt.Printf("smallest supporting device: %v\n", dev)
+	} else {
+		kind, err := parseArch(*arch)
+		if err != nil {
+			fatal(err)
+		}
+		dev = device.ByKind(kind, *w, *h)
+	}
+	if *ascii {
+		fmt.Println(dev.ASCII())
+	}
+
+	s, err := synth.Synthesize(dev, *d, synth.Options{Mode: m, NoRefine: *noRef})
+	if err != nil {
+		fatal(err)
+	}
+	if *svgOut != "" {
+		if err := os.WriteFile(*svgOut, []byte(render.Synthesis(s)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+	if *asJSON {
+		blob, err := s.MarshalJSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(blob))
+		return
+	}
+	fmt.Print(s.Describe(*stabs))
+	if *doVerify {
+		fmt.Println()
+		fmt.Print(verify.Synthesis(s, verify.Options{}))
+	}
+	if *circOut != "" {
+		r := *rounds
+		if r == 0 {
+			r = 3 * *d
+		}
+		mem, err := experiment.NewMemory(s, r, experiment.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*circOut, []byte(circuit.Format(mem.Circuit)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d qubits, %d moments, %d detectors)\n",
+			*circOut, mem.Circuit.NumQubits, len(mem.Circuit.Moments), len(mem.Circuit.Detectors))
+	}
+	met := s.Metrics()
+	fmt.Printf("\nTable-2 metrics (bulk X stabilizers):\n")
+	fmt.Printf("  avg bridge qubits: %.1f\n", met.AvgBridgeQubits)
+	fmt.Printf("  avg CNOTs:         %.1f\n", met.AvgCNOTs)
+	fmt.Printf("  avg time steps:    %.1f\n", met.AvgTimeSteps)
+	fmt.Printf("  total time steps:  %d\n", met.TotalTimeSteps)
+	u := s.Utilization()
+	fmt.Printf("qubit utilization: %d data (%.1f%%), %d bridge (%.1f%%), %d unused (%.1f%%) of %d\n",
+		u.DataQubits, u.DataPercent(), u.BridgeQubits, u.BridgePercent(),
+		u.UnusedQubits, u.UnusedPercent(), u.TotalQubits)
+}
+
+func parseArch(s string) (device.Kind, error) {
+	switch s {
+	case "square":
+		return device.KindSquare, nil
+	case "hexagon":
+		return device.KindHexagon, nil
+	case "octagon":
+		return device.KindOctagon, nil
+	case "heavy-square":
+		return device.KindHeavySquare, nil
+	case "heavy-hexagon":
+		return device.KindHeavyHexagon, nil
+	default:
+		return 0, fmt.Errorf("unknown architecture %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "surfstitch:", err)
+	os.Exit(1)
+}

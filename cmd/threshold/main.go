@@ -1,0 +1,226 @@
+// Command threshold reproduces the error-threshold experiments of the
+// paper's Figure 9: it sweeps the physical error rate for distance-3 and
+// distance-5 codes, prints the logical error curves, and reports the
+// crossing-point threshold.
+//
+// Usage:
+//
+//	threshold -fig 9a -shots 20000
+//	threshold -fig 9b
+//	threshold -arch square -mode four -shots 10000
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"surfstitch/internal/stats"
+
+	"surfstitch/internal/device"
+	"surfstitch/internal/experiment"
+	"surfstitch/internal/paper"
+	"surfstitch/internal/synth"
+	"surfstitch/internal/threshold"
+)
+
+func main() {
+	var (
+		csvOut = flag.String("csv", "", "also write the curves as CSV to this file")
+		fig    = flag.String("fig", "", "paper figure to reproduce: 9a or 9b (overrides -arch)")
+		arch   = flag.String("arch", "", "architecture to sweep: square, hexagon, octagon, heavy-square, heavy-hexagon")
+		mode   = flag.String("mode", "default", "synthesis mode: default or four")
+		shots  = flag.Int("shots", 5000, "Monte-Carlo shots per sweep point (paper: 100000)")
+		seed   = flag.Int64("seed", 1, "sampling seed")
+		ps     = flag.String("p", "0.0005,0.001,0.002,0.004", "comma-separated physical error rates")
+		basis  = flag.String("basis", "Z", "memory basis for -arch sweeps: Z (X-error threshold, the paper's setting) or X")
+	)
+	flag.Parse()
+
+	sweep, err := parsePs(*ps)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := paper.Config{Shots: *shots, Seed: *seed, Ps: sweep}
+	start := time.Now()
+
+	var pairs []paper.CurvePair
+	var title string
+	switch {
+	case *fig == "9a":
+		pairs, err = paper.Figure9a(cfg)
+		title = "Figure 9(a): heavy-hexagon architecture"
+	case *fig == "9b":
+		pairs, err = paper.Figure9b(cfg)
+		title = "Figure 9(b): heavy-square architecture"
+	case *arch != "":
+		var kind device.Kind
+		kind, err = parseArch(*arch)
+		if err != nil {
+			fatal(err)
+		}
+		m := synth.ModeDefault
+		if *mode == "four" {
+			m = synth.ModeFour
+		}
+		b := experiment.BasisZ
+		if *basis == "X" {
+			b = experiment.BasisX
+		} else if *basis != "Z" {
+			fatal(fmt.Errorf("unknown basis %q", *basis))
+		}
+		var pair paper.CurvePair
+		pair, err = sweepArch(kind, m, b, cfg)
+		pairs = []paper.CurvePair{pair}
+		title = fmt.Sprintf("threshold sweep: %s (mode %v)", *arch, m)
+	default:
+		fatal(fmt.Errorf("specify -fig 9a|9b or -arch <name>"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	printPairs(title, pairs)
+	if *csvOut != "" {
+		if err := writeCSV(*csvOut, pairs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvOut)
+	}
+	fmt.Printf("\nelapsed: %.1fs\n", time.Since(start).Seconds())
+}
+
+func sweepArch(kind device.Kind, m synth.Mode, basis experiment.Basis, cfg paper.Config) (paper.CurvePair, error) {
+	var pair paper.CurvePair
+	pair.Name = kind.String()
+	tc := threshold.Config{Shots: cfg.Shots, Seed: cfg.Seed}
+	for _, d := range []int{3, 5} {
+		_, layout, err := synth.FitDevice(kind, d, m)
+		if err != nil {
+			return pair, err
+		}
+		s, err := synth.SynthesizeOnLayout(layout, synth.Options{Mode: m})
+		if err != nil {
+			return pair, err
+		}
+		mem, err := experiment.NewMemory(s, 3*d, experiment.Options{Basis: basis})
+		if err != nil {
+			return pair, err
+		}
+		curve, err := threshold.EstimateCurve(fmt.Sprintf("%v d=%d", kind, d), d,
+			threshold.Provider(mem.Circuit, s.AllQubits()), cfg.Ps, tc)
+		if err != nil {
+			return pair, err
+		}
+		if d == 3 {
+			pair.D3 = curve
+		} else {
+			pair.D5 = curve
+		}
+	}
+	if th, ok := threshold.Crossing(pair.D3, pair.D5); ok {
+		pair.Threshold = th
+	}
+	return pair, nil
+}
+
+func printPairs(title string, pairs []paper.CurvePair) {
+	fmt.Println(title)
+	for _, pair := range pairs {
+		fmt.Printf("\n%s\n", pair.Name)
+		fmt.Printf("  %-10s %-20s %-20s %-8s\n", "p", "d=3 logical [95%CI]", "d=5 logical [95%CI]", "lambda")
+		for i := range pair.D3.Points {
+			p3, p5 := pair.D3.Points[i], pair.D5.Points[i]
+			lo3, hi3 := stats.WilsonInterval(p3.Errors, p3.Shots, 1.96)
+			lo5, hi5 := stats.WilsonInterval(p5.Errors, p5.Shots, 1.96)
+			lambda := "-"
+			if l, err := stats.Lambda(p3.Logical, p5.Logical); err == nil {
+				lambda = fmt.Sprintf("%.2f", l)
+			}
+			fmt.Printf("  %-10.4g %.4f[%.4f,%.4f] %.4f[%.4f,%.4f] %-8s\n",
+				p3.P, p3.Logical, lo3, hi3, p5.Logical, lo5, hi5, lambda)
+		}
+		var xs3, ys3 []float64
+		for _, pt := range pair.D3.Points {
+			xs3 = append(xs3, pt.P)
+			ys3 = append(ys3, pt.Logical)
+		}
+		if slope, err := stats.LogLogSlope(xs3, ys3); err == nil {
+			fmt.Printf("  d=3 log-log slope: %.2f (fault-tolerance order ~(d+1)/2 = 2)\n", slope)
+		}
+		if pair.Threshold > 0 {
+			fmt.Printf("  threshold (d3/d5 crossing): %.4f (%.2f%%)\n", pair.Threshold, 100*pair.Threshold)
+		} else {
+			fmt.Printf("  threshold: no crossing within the sweep range\n")
+		}
+	}
+}
+
+// writeCSV dumps every curve point as rows of code,distance,p,shots,errors.
+func writeCSV(path string, pairs []paper.CurvePair) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"code", "distance", "p", "shots", "errors", "logical"}); err != nil {
+		return err
+	}
+	for _, pair := range pairs {
+		for _, curve := range []threshold.Curve{pair.D3, pair.D5} {
+			for _, pt := range curve.Points {
+				rec := []string{
+					pair.Name,
+					strconv.Itoa(curve.Distance),
+					strconv.FormatFloat(pt.P, 'g', -1, 64),
+					strconv.Itoa(pt.Shots),
+					strconv.Itoa(pt.Errors),
+					strconv.FormatFloat(pt.Logical, 'g', -1, 64),
+				}
+				if err := w.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func parsePs(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad error rate %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseArch(s string) (device.Kind, error) {
+	switch s {
+	case "square":
+		return device.KindSquare, nil
+	case "hexagon":
+		return device.KindHexagon, nil
+	case "octagon":
+		return device.KindOctagon, nil
+	case "heavy-square":
+		return device.KindHeavySquare, nil
+	case "heavy-hexagon":
+		return device.KindHeavyHexagon, nil
+	default:
+		return 0, fmt.Errorf("unknown architecture %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "threshold:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package surfstitch_test
+
+import (
+	"fmt"
+
+	"surfstitch"
+)
+
+// The basic workflow: build a device, synthesize, inspect the metrics.
+func ExampleSynthesize() {
+	dev := surfstitch.NewDevice(surfstitch.HeavySquare, 5, 4)
+	syn, err := surfstitch.Synthesize(dev, 3, surfstitch.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m := syn.Metrics()
+	fmt.Printf("bulk stabilizers: %.0f bridge qubits, %.0f CNOTs, %.0f time steps\n",
+		m.AvgBridgeQubits, m.AvgCNOTs, m.AvgTimeSteps)
+	fmt.Printf("error-detection cycle: %d time steps\n", m.TotalTimeSteps)
+	// Output:
+	// bulk stabilizers: 3 bridge qubits, 8 CNOTs, 12 time steps
+	// error-detection cycle: 24 time steps
+}
+
+// Verification gates a synthesis on determinism, the single-fault property
+// and hook orientation before it is trusted.
+func ExampleVerify() {
+	dev := surfstitch.NewDevice(surfstitch.Square, 6, 6)
+	syn, err := surfstitch.Synthesize(dev, 3, surfstitch.Options{Mode: surfstitch.ModeFour})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rep := surfstitch.Verify(syn)
+	fmt.Println("pass:", rep.Pass())
+	fmt.Println("vertical X hooks:", rep.VerticalXHooks)
+	// Output:
+	// pass: true
+	// vertical X hooks: 0
+}
+
+// Device models of published processors come as presets.
+func ExamplePresetDevice() {
+	dev, err := surfstitch.PresetDevice("hummingbird-like-65q")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d qubits, max degree %d\n", dev.Len(), dev.MaxDegree())
+	// Output:
+	// 65 qubits, max degree 3
+}
+
+// Logical error estimation runs the full noisy sample-and-decode pipeline.
+func ExampleEstimateLogicalErrorRate() {
+	dev := surfstitch.NewDevice(surfstitch.Square, 6, 6)
+	syn, err := surfstitch.Synthesize(dev, 3, surfstitch.Options{Mode: surfstitch.ModeFour})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := surfstitch.EstimateLogicalErrorRate(syn, 0.001, surfstitch.SimConfig{Shots: 2000, Seed: 42})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("sampled %d shots at p=%.3f\n", res.Shots, res.PhysicalErrorRate)
+	fmt.Println("plausible:", res.LogicalErrorRate < 0.05)
+	// Output:
+	// sampled 2000 shots at p=0.001
+	// plausible: true
+}

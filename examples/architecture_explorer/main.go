@@ -1,0 +1,54 @@
+// architecture_explorer synthesizes the same surface code onto every
+// architecture family of the paper's Table 1 and compares the results:
+// which architecture needs the fewest bridge qubits, the fewest CNOTs, and
+// the shortest error-detection cycle — the hardware-design feedback loop the
+// paper proposes Surf-Stitch for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"surfstitch"
+)
+
+func main() {
+	distance := 3
+	configs := []struct {
+		name string
+		arch surfstitch.Architecture
+		w, h int
+		mode surfstitch.Mode
+	}{
+		{"square", surfstitch.Square, 8, 4, surfstitch.ModeDefault},
+		{"square-4", surfstitch.Square, 6, 6, surfstitch.ModeFour},
+		{"hexagon", surfstitch.Hexagon, 4, 6, surfstitch.ModeDefault},
+		{"octagon", surfstitch.Octagon, 4, 4, surfstitch.ModeDefault},
+		{"heavy-square", surfstitch.HeavySquare, 4, 3, surfstitch.ModeDefault},
+		{"heavy-square-4", surfstitch.HeavySquare, 5, 5, surfstitch.ModeFour},
+		{"heavy-hexagon", surfstitch.HeavyHexagon, 4, 5, surfstitch.ModeDefault},
+	}
+
+	fmt.Printf("distance-%d surface code across architectures\n\n", distance)
+	fmt.Printf("%-16s %-9s %-7s %-7s %-7s %-22s %-10s\n",
+		"architecture", "bridge#", "CNOT#", "steps", "total", "utilization (d/b/u %)", "p_L@0.1%")
+	for _, c := range configs {
+		dev := surfstitch.NewDevice(c.arch, c.w, c.h)
+		syn, err := surfstitch.Synthesize(dev, distance, surfstitch.Options{Mode: c.mode})
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		m := syn.Metrics()
+		u := syn.Utilization()
+		res, err := surfstitch.EstimateLogicalErrorRate(syn, 0.001, surfstitch.SimConfig{Shots: 3000})
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		fmt.Printf("%-16s %-9.1f %-7.1f %-7.1f %-7d %5.1f/%5.1f/%5.1f %14.4f\n",
+			c.name, m.AvgBridgeQubits, m.AvgCNOTs, m.AvgTimeSteps, m.TotalTimeSteps,
+			u.DataPercent(), u.BridgePercent(), u.UnusedPercent(), res.LogicalErrorRate)
+	}
+	fmt.Println("\nDenser connectivity buys smaller measurement circuits and better")
+	fmt.Println("logical error rates — the square lattice wins, the octagon pays the")
+	fmt.Println("most — matching the paper's §5.3 architecture study.")
+}

@@ -1,0 +1,53 @@
+// custom_device shows Surf-Stitch on a hand-built device: a square lattice
+// with a column of dead couplings, the kind of fabrication-defect topology a
+// hardware team would actually hand to a synthesis tool. The framework
+// stitches the code around the defect without any architecture-specific
+// code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"surfstitch"
+)
+
+func main() {
+	// Build a 10x5 grid of qubits, but sever the vertical couplings in
+	// column 7 (a "scar" from fabrication).
+	const w, h = 10, 5
+	var qubits []surfstitch.Coord
+	var couplings [][2]surfstitch.Coord
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			qubits = append(qubits, surfstitch.Coord{X: x, Y: y})
+			if x > 0 {
+				couplings = append(couplings, [2]surfstitch.Coord{{X: x - 1, Y: y}, {X: x, Y: y}})
+			}
+			if y > 0 && x != 7 { // dead column of vertical couplings
+				couplings = append(couplings, [2]surfstitch.Coord{{X: x, Y: y - 1}, {X: x, Y: y}})
+			}
+		}
+	}
+	dev, err := surfstitch.NewCustomDevice("scarred-grid", qubits, couplings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom device: %v\n", dev)
+	fmt.Println(dev.ASCII())
+
+	syn, err := surfstitch.Synthesize(dev, 3, surfstitch.Options{})
+	if err != nil {
+		log.Fatalf("synthesis failed: %v", err)
+	}
+	fmt.Print(syn.Describe(4))
+
+	res, err := surfstitch.EstimateLogicalErrorRate(syn, 0.002, surfstitch.SimConfig{Shots: 4000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlogical error rate at p=0.2%%: %.4f (%d/%d shots)\n",
+		res.LogicalErrorRate, res.Errors, res.Shots)
+	fmt.Println("\nThe allocator routed the code around the dead column — no manual")
+	fmt.Println("re-design needed, which is the paper's central pitch.")
+}

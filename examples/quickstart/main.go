@@ -1,0 +1,39 @@
+// Quickstart: synthesize a distance-3 rotated surface code onto IBM's
+// heavy-hexagon architecture, inspect the result, and measure its logical
+// error rate under the paper's circuit-level noise model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"surfstitch"
+)
+
+func main() {
+	// A heavy-hexagon device: the honeycomb brick wall with one extra qubit
+	// on every coupling (IBM's architecture).
+	dev := surfstitch.NewDevice(surfstitch.HeavyHexagon, 4, 5)
+	fmt.Printf("device: %v\n\n", dev)
+
+	// Stage 1-3 of the paper: allocate data qubits, build bridge trees,
+	// schedule the stabilizer measurements.
+	syn, err := surfstitch.Synthesize(dev, 3, surfstitch.Options{})
+	if err != nil {
+		log.Fatalf("synthesis failed: %v", err)
+	}
+	fmt.Print(syn.Describe(4))
+
+	m := syn.Metrics()
+	fmt.Printf("\nbulk stabilizer metrics: %.0f bridge qubits, %.0f CNOTs, %.0f time steps\n",
+		m.AvgBridgeQubits, m.AvgCNOTs, m.AvgTimeSteps)
+
+	// Monte-Carlo estimate of the logical error rate at a physical error
+	// rate of 0.1% (9 rounds of error detection, MWPM decoding).
+	res, err := surfstitch.EstimateLogicalErrorRate(syn, 0.001, surfstitch.SimConfig{Shots: 5000})
+	if err != nil {
+		log.Fatalf("simulation failed: %v", err)
+	}
+	fmt.Printf("\nlogical error rate at p=%.3g: %.4f (%d/%d shots)\n",
+		res.PhysicalErrorRate, res.LogicalErrorRate, res.Errors, res.Shots)
+}

@@ -1,0 +1,73 @@
+// steane_demo exercises the framework's §6 extension: stitching a
+// non-surface code — the [[7,1,3]] Steane code — onto superconducting
+// devices with the same flag-bridge machinery, and decoding it with the
+// DEM-driven lookup decoder (its syndromes are not matchable: one data error
+// can flip three detectors).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"surfstitch/internal/decoder"
+	"surfstitch/internal/dem"
+	"surfstitch/internal/device"
+	"surfstitch/internal/frame"
+	"surfstitch/internal/noise"
+	"surfstitch/internal/steane"
+)
+
+func main() {
+	if err := steane.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("[[7,1,3]] Steane code: algebra verified")
+
+	for _, dev := range []*device.Device{
+		device.Square(6, 6),
+		device.HummingbirdLike65(),
+	} {
+		syn, err := steane.Synthesize(dev, 300, 11)
+		if err != nil {
+			fmt.Printf("%-22s no placement found (%v)\n", dev.Name(), err)
+			continue
+		}
+		fmt.Printf("\n%s: placed 7 data qubits at", dev.Name())
+		for _, q := range syn.Data {
+			fmt.Printf(" %v", dev.Coord(q))
+		}
+		fmt.Printf("\n  bridge-tree edges total: %d; X sets %d, Z sets %d\n",
+			syn.TreeCost, len(syn.XSets), len(syn.ZSets))
+
+		c, err := syn.MemoryCircuit(3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model := noise.Model{GateError: 0.001, IdleError: noise.DefaultIdleError, IdleOnly: syn.IdleQubits()}
+		noisy, err := model.Apply(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dm, err := dem.FromCircuit(noisy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dec, err := decoder.NewLookup(dm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sampler, err := frame.NewSampler(noisy, rand.New(rand.NewSource(1)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := dec.DecodeBatch(sampler.Sample(20000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  logical error rate at p=0.1%%: %.4f (%d/%d shots)\n",
+			stats.LogicalErrorRate(), stats.LogicalErrors, stats.Shots)
+	}
+	fmt.Println("\nThe same allocator/tree/schedule machinery, a different QEC code —")
+	fmt.Println("the extensibility the paper's §6 calls for.")
+}

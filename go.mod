@@ -1,0 +1,3 @@
+module surfstitch
+
+go 1.22

@@ -1,0 +1,198 @@
+package baseline
+
+import (
+	"testing"
+
+	"surfstitch/internal/device"
+	"surfstitch/internal/synth"
+)
+
+func TestIBMHeavySquare(t *testing.T) {
+	s, err := IBMHeavySquare(device.HeavySquare(4, 3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	// Table 2 IBM Heavy Square row: 3 bridge qubits, 8 CNOTs, 12 steps.
+	if m.AvgBridgeQubits != 3 || m.AvgCNOTs != 8 || m.AvgTimeSteps != 12 {
+		t.Errorf("metrics = %+v, want 3/8/12", m)
+	}
+	if _, err := IBMHeavySquare(device.Square(4, 4), 3); err == nil {
+		t.Error("wrong architecture accepted")
+	}
+}
+
+func TestHeavyHexCodeBuilds(t *testing.T) {
+	hh, err := NewHeavyHexCode(device.HeavyHexagon(4, 5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bacon-Shor gauge structure: (d-1) x d vertical Z gauges and d x (d-1)
+	// horizontal X gauges.
+	d := hh.Synth.Layout.Code.Distance()
+	if len(hh.zGauges) != d-1 {
+		t.Errorf("%d Z-gauge row pairs, want %d", len(hh.zGauges), d-1)
+	}
+	for r, row := range hh.zGauges {
+		if len(row) != d {
+			t.Errorf("row pair %d has %d gauges, want %d", r, len(row), d)
+		}
+	}
+	if len(hh.xGauges) != d {
+		t.Errorf("%d X-gauge rows, want %d", len(hh.xGauges), d)
+	}
+	for r, row := range hh.xGauges {
+		if len(row) != d-1 {
+			t.Errorf("X row %d has %d gauges, want %d", r, len(row), d-1)
+		}
+	}
+	if _, err := NewHeavyHexCode(device.Square(4, 4), 3); err == nil {
+		t.Error("wrong architecture accepted")
+	}
+}
+
+func TestHeavyHexMemoryDeterministic(t *testing.T) {
+	hh, err := NewHeavyHexCode(device.HeavyHexagon(4, 5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := hh.MemoryCircuit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Detectors) == 0 || len(c.Observables) != 1 {
+		t.Fatalf("detectors=%d observables=%d", len(c.Detectors), len(c.Observables))
+	}
+	if len(hh.IdleQubits()) == 0 {
+		t.Error("no idle qubits reported")
+	}
+	// Deterministic construction.
+	c2, err := hh.MemoryCircuit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Moments) != len(c.Moments) {
+		t.Error("memory circuit not deterministic")
+	}
+}
+
+func TestHeavyHexWorseThanSurfStitch(t *testing.T) {
+	// The defining property of the baseline: at a fixed physical error rate
+	// the IBM-style heavy-hex code has a higher logical error rate than the
+	// Surf-Stitch synthesis on the same device (Figure 9a's qualitative
+	// content). Uses a rate high enough for clear separation.
+	if testing.Short() {
+		t.Skip("Monte Carlo in short mode")
+	}
+	// The comparison that defines Figure 9(a): at a physical rate between
+	// the two thresholds, the distance-5 Surf-Stitch code beats the
+	// distance-5 IBM-style code (whose Bacon-Shor X-error protection is
+	// already above ITS threshold there).
+	dev := device.HeavyHexagon(7, 9)
+	p := 0.002
+	shots := 4000
+	rounds := 15
+
+	s, err := synth.Synthesize(dev, 5, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssRate := logicalRate(t, memCircuit(t, s, rounds), s.AllQubits(), p, shots)
+
+	hh, err := NewHeavyHexCode(dev, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := hh.MemoryCircuit(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hhRate := logicalRate(t, hc, hh.IdleQubits(), p, shots)
+
+	t.Logf("d=5: surf-stitch %.4f vs ibm-heavy-hex %.4f at p=%g", ssRate, hhRate, p)
+	if hhRate <= ssRate {
+		t.Errorf("IBM heavy-hex baseline (%.4f) should be worse than Surf-Stitch (%.4f) at d=5, p=%g",
+			hhRate, ssRate, p)
+	}
+}
+
+func TestSabreRoutedCNOTOverhead(t *testing.T) {
+	dev := device.HeavySquare(4, 3)
+	sr, err := NewSabreRouted(dev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surfCNOTs := 0
+	for _, p := range sr.Synth.Plans {
+		surfCNOTs += p.NumCNOTs()
+	}
+	if sr.CNOTCount <= surfCNOTs {
+		t.Errorf("routed CNOTs (%d) should exceed Surf-Stitch bridge trees (%d)",
+			sr.CNOTCount, surfCNOTs)
+	}
+}
+
+func TestSabreRoutedMemoryDecodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo in short mode")
+	}
+	dev := device.HeavySquare(4, 3)
+	sr, err := NewSabreRouted(dev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sr.MemoryCircuit(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 0.003
+	shots := 3000
+	routedRate := logicalRate(t, c, sr.IdleQubits(), p, shots)
+
+	s, err := synth.Synthesize(dev, 3, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssRate := logicalRate(t, memCircuit(t, s, 3), s.AllQubits(), p, shots)
+	t.Logf("surf-stitch %.4f vs sabre-routed %.4f at p=%g", ssRate, routedRate, p)
+	if routedRate <= ssRate {
+		t.Errorf("SWAP-routed baseline (%.4f) should be worse than bridge trees (%.4f)",
+			routedRate, ssRate)
+	}
+}
+
+func TestAllocationStudy(t *testing.T) {
+	dev := device.HeavyHexagon(4, 5)
+	trials := 200
+	rnd, err := RandomAllocator(dev, 3, trials, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sab, err := SabreLayoutAllocator(dev, 3, trials, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, err := NoiseAdaptiveAllocator(dev, 3, trials, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := SurfStitchAllocator(dev, 3, trials)
+	if rnd.Valid != 0 {
+		t.Errorf("random sampling produced %d valid layouts (paper: none)", rnd.Valid)
+	}
+	if sab.Valid != 0 {
+		t.Errorf("sabre-style layout produced %d valid layouts (paper: none)", sab.Valid)
+	}
+	if na.Valid != 0 {
+		t.Errorf("noise-adaptive layout produced %d valid layouts (paper: none)", na.Valid)
+	}
+	if ss.Valid != trials {
+		t.Errorf("surf-stitch allocator valid in %d/%d trials, want all", ss.Valid, trials)
+	}
+}
+
+func TestAllocationRejectsBadDistance(t *testing.T) {
+	if _, err := RandomAllocator(device.Square(4, 4), 2, 1, 1); err == nil {
+		t.Error("even distance accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"surfstitch/internal/circuit"
+	"surfstitch/internal/decoder"
+	"surfstitch/internal/dem"
+	"surfstitch/internal/experiment"
+	"surfstitch/internal/frame"
+	"surfstitch/internal/noise"
+	"surfstitch/internal/synth"
+)
+
+// memCircuit assembles the Surf-Stitch memory experiment circuit.
+func memCircuit(t *testing.T, s *synth.Synthesis, rounds int) *circuit.Circuit {
+	t.Helper()
+	m, err := experiment.NewMemory(s, rounds, experiment.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Circuit
+}
+
+// logicalRate runs the full noisy sample-and-decode pipeline.
+func logicalRate(t *testing.T, c *circuit.Circuit, idle []int, p float64, shots int) float64 {
+	t.Helper()
+	model := noise.Model{GateError: p, IdleError: noise.DefaultIdleError, IdleOnly: idle}
+	noisy, err := model.Apply(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := dem.FromCircuit(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decoder.New(dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler, err := frame.NewSampler(noisy, rand.New(rand.NewSource(404)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := dec.DecodeBatch(sampler.Sample(shots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.LogicalErrorRate()
+}

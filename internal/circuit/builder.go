@@ -1,0 +1,123 @@
+package circuit
+
+import "fmt"
+
+// Builder constructs circuits moment by moment. Gates appended between
+// Begin calls land in the same moment; the builder tracks measurement record
+// indices so detectors can be declared while building.
+type Builder struct {
+	c      *Circuit
+	open   bool
+	record int
+}
+
+// NewBuilder returns a builder for a circuit over n qubits.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("circuit: negative qubit count")
+	}
+	return &Builder{c: &Circuit{NumQubits: n}}
+}
+
+// Begin starts a new (initially empty) moment.
+func (b *Builder) Begin() *Builder {
+	b.c.Moments = append(b.c.Moments, Moment{})
+	b.open = true
+	return b
+}
+
+func (b *Builder) cur() *Moment {
+	if !b.open {
+		b.Begin()
+	}
+	return &b.c.Moments[len(b.c.Moments)-1]
+}
+
+// Gate appends a gate instruction to the current moment.
+func (b *Builder) Gate(op Op, qubits ...int) *Builder {
+	if op.IsNoise() {
+		panic(fmt.Sprintf("circuit: %v is a noise channel, use Noise", op))
+	}
+	if len(qubits) == 0 {
+		return b
+	}
+	m := b.cur()
+	m.Gates = append(m.Gates, Instruction{Op: op, Qubits: qubits})
+	if op == OpM {
+		b.record += len(qubits)
+	}
+	return b
+}
+
+// Noise appends a noise channel to the current moment.
+func (b *Builder) Noise(op Op, p float64, qubits ...int) *Builder {
+	if !op.IsNoise() {
+		panic(fmt.Sprintf("circuit: %v is not a noise channel", op))
+	}
+	if len(qubits) == 0 || p == 0 {
+		return b
+	}
+	m := b.cur()
+	m.Noise = append(m.Noise, Instruction{Op: op, Qubits: qubits, Arg: p})
+	return b
+}
+
+// R resets qubits to |0> in the current moment.
+func (b *Builder) R(qubits ...int) *Builder { return b.Gate(OpR, qubits...) }
+
+// H applies Hadamards in the current moment.
+func (b *Builder) H(qubits ...int) *Builder { return b.Gate(OpH, qubits...) }
+
+// X applies Pauli X gates in the current moment.
+func (b *Builder) X(qubits ...int) *Builder { return b.Gate(OpX, qubits...) }
+
+// Z applies Pauli Z gates in the current moment.
+func (b *Builder) Z(qubits ...int) *Builder { return b.Gate(OpZ, qubits...) }
+
+// CX applies CNOTs given as (control, target) pairs in the current moment.
+func (b *Builder) CX(pairs ...int) *Builder { return b.Gate(OpCX, pairs...) }
+
+// M measures qubits in the Z basis and returns their record indices.
+func (b *Builder) M(qubits ...int) []int {
+	start := b.record
+	b.Gate(OpM, qubits...)
+	out := make([]int, len(qubits))
+	for i := range qubits {
+		out[i] = start + i
+	}
+	return out
+}
+
+// Record returns the number of measurement bits recorded so far.
+func (b *Builder) Record() int { return b.record }
+
+// Detector declares a detector over the given record indices.
+func (b *Builder) Detector(records ...int) *Builder {
+	b.c.Detectors = append(b.c.Detectors, append([]int(nil), records...))
+	return b
+}
+
+// Observable declares a logical observable over the given record indices.
+func (b *Builder) Observable(records ...int) *Builder {
+	b.c.Observables = append(b.c.Observables, append([]int(nil), records...))
+	return b
+}
+
+// Build finalizes and validates the circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	if err := b.c.Validate(); err != nil {
+		return nil, err
+	}
+	return b.c, nil
+}
+
+// MustBuild finalizes the circuit, panicking on validation failure. Intended
+// for programmatically generated circuits whose invariants are guaranteed by
+// construction.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,179 @@
+package circuit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders the circuit in a stim-flavoured text format, one
+// instruction per line. Moments are separated by TICK lines; detectors and
+// observables append at the end referencing absolute measurement-record
+// indices:
+//
+//	R 0 1 2
+//	TICK
+//	CX 0 3 1 4
+//	DEPOLARIZE2(0.001) 0 3 1 4
+//	TICK
+//	M 3 4
+//	DETECTOR rec[0] rec[1]
+//	OBSERVABLE_INCLUDE(0) rec[0]
+//
+// The format round-trips through Parse.
+func Format(c *Circuit) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# circuit over %d qubits\n", c.NumQubits)
+	for mi, m := range c.Moments {
+		if mi > 0 {
+			b.WriteString("TICK\n")
+		}
+		for _, g := range m.Gates {
+			b.WriteString(g.Op.String())
+			writeTargets(&b, g.Qubits)
+		}
+		for _, nz := range m.Noise {
+			fmt.Fprintf(&b, "%s(%g)", nz.Op, nz.Arg)
+			writeTargets(&b, nz.Qubits)
+		}
+	}
+	for _, det := range c.Detectors {
+		b.WriteString("DETECTOR")
+		writeRecs(&b, det)
+	}
+	for oi, obs := range c.Observables {
+		fmt.Fprintf(&b, "OBSERVABLE_INCLUDE(%d)", oi)
+		writeRecs(&b, obs)
+	}
+	return b.String()
+}
+
+func writeTargets(b *strings.Builder, qs []int) {
+	for _, q := range qs {
+		fmt.Fprintf(b, " %d", q)
+	}
+	b.WriteByte('\n')
+}
+
+func writeRecs(b *strings.Builder, recs []int) {
+	for _, r := range recs {
+		fmt.Fprintf(b, " rec[%d]", r)
+	}
+	b.WriteByte('\n')
+}
+
+// Parse reads the text format produced by Format. The number of qubits is
+// inferred from the largest target index unless a header comment of the form
+// "# circuit over N qubits" is present.
+func Parse(text string) (*Circuit, error) {
+	c := &Circuit{}
+	cur := Moment{}
+	flush := func() {
+		c.Moments = append(c.Moments, cur)
+		cur = Moment{}
+	}
+	maxQubit := -1
+	sawAny := false
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			var n int
+			if _, err := fmt.Sscanf(line, "# circuit over %d qubits", &n); err == nil {
+				c.NumQubits = n
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		head := fields[0]
+		switch {
+		case head == "TICK":
+			flush()
+			continue
+		case head == "DETECTOR":
+			recs, err := parseRecs(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("circuit: line %d: %w", ln+1, err)
+			}
+			c.Detectors = append(c.Detectors, recs)
+			continue
+		case strings.HasPrefix(head, "OBSERVABLE_INCLUDE"):
+			recs, err := parseRecs(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("circuit: line %d: %w", ln+1, err)
+			}
+			c.Observables = append(c.Observables, recs)
+			continue
+		}
+		op, arg, err := parseOpHead(head)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: line %d: %w", ln+1, err)
+		}
+		var qs []int
+		for _, f := range fields[1:] {
+			q, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("circuit: line %d: bad target %q", ln+1, f)
+			}
+			if q > maxQubit {
+				maxQubit = q
+			}
+			qs = append(qs, q)
+		}
+		in := Instruction{Op: op, Qubits: qs, Arg: arg}
+		if op.IsNoise() {
+			cur.Noise = append(cur.Noise, in)
+		} else {
+			cur.Gates = append(cur.Gates, in)
+		}
+		sawAny = true
+	}
+	if sawAny || len(cur.Gates)+len(cur.Noise) > 0 {
+		flush()
+	}
+	if c.NumQubits == 0 {
+		c.NumQubits = maxQubit + 1
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseOpHead(head string) (Op, float64, error) {
+	name, arg := head, 0.0
+	if i := strings.IndexByte(head, '('); i >= 0 {
+		if !strings.HasSuffix(head, ")") {
+			return 0, 0, fmt.Errorf("unterminated argument in %q", head)
+		}
+		name = head[:i]
+		v, err := strconv.ParseFloat(head[i+1:len(head)-1], 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad argument in %q", head)
+		}
+		arg = v
+	}
+	for op := OpR; op <= OpZError; op++ {
+		if op.String() == name {
+			return op, arg, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("unknown instruction %q", name)
+}
+
+func parseRecs(fields []string) ([]int, error) {
+	var out []int
+	for _, f := range fields {
+		if !strings.HasPrefix(f, "rec[") || !strings.HasSuffix(f, "]") {
+			return nil, fmt.Errorf("bad record reference %q", f)
+		}
+		v, err := strconv.Atoi(f[4 : len(f)-1])
+		if err != nil {
+			return nil, fmt.Errorf("bad record index %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func roundTripCircuit(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder(5)
+	b.Begin().R(0, 1, 2, 3, 4)
+	b.Begin().H(0).Noise(OpDepolarize1, 0.001, 0)
+	b.Begin().CX(0, 3, 1, 4).Noise(OpDepolarize2, 0.002, 0, 3, 1, 4)
+	b.Begin().Noise(OpXError, 0.003, 3, 4)
+	b.Begin()
+	recs := b.M(3, 4)
+	b.Detector(recs[0])
+	b.Detector(recs[0], recs[1])
+	b.Observable(recs[1])
+	return b.MustBuild()
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	c := roundTripCircuit(t)
+	text := Format(c)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text)
+	}
+	if back.NumQubits != c.NumQubits {
+		t.Errorf("qubits %d != %d", back.NumQubits, c.NumQubits)
+	}
+	if len(back.Moments) != len(c.Moments) {
+		t.Fatalf("moments %d != %d", len(back.Moments), len(c.Moments))
+	}
+	if Format(back) != text {
+		t.Error("round trip not stable")
+	}
+	if back.NumMeasurements() != 2 || len(back.Detectors) != 2 || len(back.Observables) != 1 {
+		t.Errorf("annotations lost: M=%d det=%d obs=%d",
+			back.NumMeasurements(), len(back.Detectors), len(back.Observables))
+	}
+	if back.CountOp(OpDepolarize2) != 2 {
+		t.Errorf("Depolarize2 targets = %d, want 2", back.CountOp(OpDepolarize2))
+	}
+}
+
+func TestFormatContainsExpectedLines(t *testing.T) {
+	text := Format(roundTripCircuit(t))
+	for _, want := range []string{
+		"R 0 1 2 3 4",
+		"DEPOLARIZE2(0.002) 0 3 1 4",
+		"X_ERROR(0.003) 3 4",
+		"DETECTOR rec[0] rec[1]",
+		"OBSERVABLE_INCLUDE(0) rec[1]",
+		"TICK",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestParseInfersQubitCount(t *testing.T) {
+	c, err := Parse("H 0 7\nTICK\nM 7\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 8 {
+		t.Errorf("NumQubits = %d, want 8", c.NumQubits)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"FROB 0",               // unknown op
+		"H x",                  // bad target
+		"DETECTOR rec[zz]",     // bad record
+		"DETECTOR 3",           // record without rec[]
+		"X_ERROR(nope) 0",      // bad probability
+		"X_ERROR(0.5 0",        // unterminated arg
+		"M 0\nDETECTOR rec[5]", // out-of-range record
+		"CX 0",                 // odd pair list
+	}
+	for _, text := range cases {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) accepted", text)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	c, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Moments) != 0 {
+		t.Error("empty text produced moments")
+	}
+}

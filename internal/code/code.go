@@ -1,0 +1,234 @@
+// Package code models the rotated surface code (Figure 2(b) of the paper)
+// abstractly, independent of any device: the d x d array of data qubits, the
+// d^2-1 X/Z stabilizers (weight 4 in the bulk, weight 2 on the boundary),
+// and the logical operators. The synthesis framework later decides where
+// each of these abstract qubits lives on a physical device.
+package code
+
+import (
+	"fmt"
+
+	"surfstitch/internal/pauli"
+)
+
+// StabType distinguishes the two stabilizer families.
+type StabType int
+
+// Stabilizer families: Z-type stabilizers detect Pauli-X errors and X-type
+// stabilizers detect Pauli-Z errors.
+const (
+	StabZ StabType = iota
+	StabX
+)
+
+// String returns "X" or "Z".
+func (t StabType) String() string {
+	if t == StabX {
+		return "X"
+	}
+	return "Z"
+}
+
+// Opposite returns the other stabilizer type.
+func (t StabType) Opposite() StabType {
+	if t == StabX {
+		return StabZ
+	}
+	return StabX
+}
+
+// Stabilizer is one stabilizer generator of the rotated surface code. Data
+// holds the abstract data-qubit indices it acts on (2 on the boundary, 4 in
+// the bulk), sorted ascending. Corner records the plaquette-corner position
+// (row, col) on the abstract lattice, with corners ranging over 0..d in both
+// axes; the corner at (r, c) touches the data qubits at (r-1..r, c-1..c).
+type Stabilizer struct {
+	Type   StabType
+	Data   []int
+	Corner [2]int
+}
+
+// Weight returns the number of data qubits the stabilizer acts on.
+func (s Stabilizer) Weight() int { return len(s.Data) }
+
+// Pauli returns the stabilizer as a Pauli string over data-qubit indices.
+func (s Stabilizer) Pauli() pauli.String {
+	if s.Type == StabX {
+		return pauli.XOn(s.Data...)
+	}
+	return pauli.ZOn(s.Data...)
+}
+
+// String renders the stabilizer in the paper's notation, e.g. "Z{0 1 3 4}".
+func (s Stabilizer) String() string {
+	return fmt.Sprintf("%v%v", s.Type, s.Data)
+}
+
+// Code is a distance-d rotated surface code over d^2 abstract data qubits.
+// Data qubit (r, c) has index r*d + c.
+type Code struct {
+	distance int
+	stabs    []Stabilizer
+}
+
+// NewRotated constructs the distance-d rotated surface code. The distance
+// must be odd and at least 3. The construction follows the checkerboard
+// convention with X-type boundary half-plaquettes on the top and bottom
+// edges and Z-type on the left and right edges, so the logical Z runs along
+// the top row and the logical X down the left column.
+func NewRotated(d int) (*Code, error) {
+	if d < 3 || d%2 == 0 {
+		return nil, fmt.Errorf("code: distance must be odd and >= 3, got %d", d)
+	}
+	c := &Code{distance: d}
+	for r := 0; r <= d; r++ {
+		for cl := 0; cl <= d; cl++ {
+			t := StabZ
+			if (r+cl)%2 == 1 {
+				t = StabX
+			}
+			data := c.cornerData(r, cl)
+			switch len(data) {
+			case 4: // bulk plaquette, always present
+			case 2: // boundary half-plaquette: keep X on top/bottom, Z on left/right
+				horizontal := r == 0 || r == d
+				if horizontal && t != StabX {
+					continue
+				}
+				if !horizontal && t != StabZ {
+					continue
+				}
+			default: // corner of the lattice: no stabilizer
+				continue
+			}
+			c.stabs = append(c.stabs, Stabilizer{Type: t, Data: data, Corner: [2]int{r, cl}})
+		}
+	}
+	return c, nil
+}
+
+// MustRotated is NewRotated that panics on invalid distance; intended for
+// tests and examples with constant distances.
+func MustRotated(d int) *Code {
+	c, err := NewRotated(d)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// cornerData returns the in-range data qubits of the plaquette at corner
+// (r, cl), sorted ascending.
+func (c *Code) cornerData(r, cl int) []int {
+	var data []int
+	for _, dr := range [2]int{-1, 0} {
+		for _, dc := range [2]int{-1, 0} {
+			rr, cc := r+dr, cl+dc
+			if rr >= 0 && rr < c.distance && cc >= 0 && cc < c.distance {
+				data = append(data, c.DataIndex(rr, cc))
+			}
+		}
+	}
+	return data
+}
+
+// Distance returns the code distance d.
+func (c *Code) Distance() int { return c.distance }
+
+// NumData returns the number of data qubits, d^2.
+func (c *Code) NumData() int { return c.distance * c.distance }
+
+// DataIndex maps lattice position (r, cl) to the data qubit index.
+func (c *Code) DataIndex(r, cl int) int { return r*c.distance + cl }
+
+// DataPos inverts DataIndex.
+func (c *Code) DataPos(idx int) (r, cl int) { return idx / c.distance, idx % c.distance }
+
+// Stabilizers returns all stabilizer generators in deterministic
+// (corner-scan) order. The returned slice is owned by the code.
+func (c *Code) Stabilizers() []Stabilizer { return c.stabs }
+
+// StabilizersOf returns the stabilizers of one type, preserving order.
+func (c *Code) StabilizersOf(t StabType) []Stabilizer {
+	var out []Stabilizer
+	for _, s := range c.stabs {
+		if s.Type == t {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LogicalZ returns the logical Z operator: Z on the top row of data qubits.
+func (c *Code) LogicalZ() pauli.String {
+	qs := make([]int, c.distance)
+	for cl := 0; cl < c.distance; cl++ {
+		qs[cl] = c.DataIndex(0, cl)
+	}
+	return pauli.ZOn(qs...)
+}
+
+// LogicalX returns the logical X operator: X down the left column.
+func (c *Code) LogicalX() pauli.String {
+	qs := make([]int, c.distance)
+	for r := 0; r < c.distance; r++ {
+		qs[r] = c.DataIndex(r, 0)
+	}
+	return pauli.XOn(qs...)
+}
+
+// Validate performs the structural self-checks used by the test-suite and
+// by synthesis sanity checks:
+//   - exactly d^2-1 stabilizers, split evenly between X and Z;
+//   - all stabilizer pairs commute;
+//   - logical operators commute with every stabilizer;
+//   - logical X and Z anticommute;
+//   - every data qubit is covered by at least one stabilizer of each type.
+func (c *Code) Validate() error {
+	d := c.distance
+	if len(c.stabs) != d*d-1 {
+		return fmt.Errorf("code: %d stabilizers, want %d", len(c.stabs), d*d-1)
+	}
+	nx := len(c.StabilizersOf(StabX))
+	if nz := len(c.StabilizersOf(StabZ)); nx != nz {
+		return fmt.Errorf("code: %d X vs %d Z stabilizers, want equal", nx, nz)
+	}
+	ps := make([]pauli.String, len(c.stabs))
+	for i, s := range c.stabs {
+		ps[i] = s.Pauli()
+	}
+	for i := range ps {
+		for j := i + 1; j < len(ps); j++ {
+			if !ps[i].Commutes(ps[j]) {
+				return fmt.Errorf("code: stabilizers %v and %v anticommute", c.stabs[i], c.stabs[j])
+			}
+		}
+	}
+	lx, lz := c.LogicalX(), c.LogicalZ()
+	for i, p := range ps {
+		if !p.Commutes(lx) {
+			return fmt.Errorf("code: stabilizer %v anticommutes with logical X", c.stabs[i])
+		}
+		if !p.Commutes(lz) {
+			return fmt.Errorf("code: stabilizer %v anticommutes with logical Z", c.stabs[i])
+		}
+	}
+	if lx.Commutes(lz) {
+		return fmt.Errorf("code: logical X and Z must anticommute")
+	}
+	coverage := make([]map[StabType]int, c.NumData())
+	for i := range coverage {
+		coverage[i] = map[StabType]int{}
+	}
+	for _, s := range c.stabs {
+		for _, q := range s.Data {
+			coverage[q][s.Type]++
+		}
+	}
+	for q, cov := range coverage {
+		if cov[StabX] == 0 || cov[StabZ] == 0 {
+			return fmt.Errorf("code: data qubit %d missing %d X / %d Z coverage", q, cov[StabX], cov[StabZ])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package code
+
+import (
+	"testing"
+)
+
+func TestNewRotatedRejectsBadDistance(t *testing.T) {
+	for _, d := range []int{-1, 0, 1, 2, 4, 6} {
+		if _, err := NewRotated(d); err == nil {
+			t.Errorf("distance %d accepted", d)
+		}
+	}
+}
+
+func TestValidateDistances(t *testing.T) {
+	for _, d := range []int{3, 5, 7, 9} {
+		c := MustRotated(d)
+		if err := c.Validate(); err != nil {
+			t.Errorf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestStabilizerCounts(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		c := MustRotated(d)
+		want := d*d - 1
+		if got := len(c.Stabilizers()); got != want {
+			t.Errorf("d=%d: %d stabilizers, want %d", d, got, want)
+		}
+		if nx := len(c.StabilizersOf(StabX)); nx != want/2 {
+			t.Errorf("d=%d: %d X stabilizers, want %d", d, nx, want/2)
+		}
+		// bulk weight-4 count is (d-1)^2, boundary weight-2 count is 2(d-1)
+		var w4, w2 int
+		for _, s := range c.Stabilizers() {
+			switch s.Weight() {
+			case 4:
+				w4++
+			case 2:
+				w2++
+			default:
+				t.Fatalf("d=%d: stabilizer weight %d", d, s.Weight())
+			}
+		}
+		if w4 != (d-1)*(d-1) {
+			t.Errorf("d=%d: %d weight-4 stabilizers, want %d", d, w4, (d-1)*(d-1))
+		}
+		if w2 != 2*(d-1) {
+			t.Errorf("d=%d: %d weight-2 stabilizers, want %d", d, w2, 2*(d-1))
+		}
+	}
+}
+
+func TestBoundaryTypes(t *testing.T) {
+	c := MustRotated(5)
+	for _, s := range c.Stabilizers() {
+		if s.Weight() != 2 {
+			continue
+		}
+		r := s.Corner[0]
+		if r == 0 || r == 5 { // top/bottom edge
+			if s.Type != StabX {
+				t.Errorf("horizontal boundary stabilizer %v should be X-type", s)
+			}
+		} else {
+			if s.Type != StabZ {
+				t.Errorf("vertical boundary stabilizer %v should be Z-type", s)
+			}
+		}
+	}
+}
+
+func TestDataIndexRoundTrip(t *testing.T) {
+	c := MustRotated(5)
+	for idx := 0; idx < c.NumData(); idx++ {
+		r, cl := c.DataPos(idx)
+		if c.DataIndex(r, cl) != idx {
+			t.Fatalf("DataIndex(DataPos(%d)) = %d", idx, c.DataIndex(r, cl))
+		}
+	}
+}
+
+func TestLogicalWeightsEqualDistance(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		c := MustRotated(d)
+		if w := c.LogicalX().Weight(); w != d {
+			t.Errorf("d=%d: |X_L| = %d", d, w)
+		}
+		if w := c.LogicalZ().Weight(); w != d {
+			t.Errorf("d=%d: |Z_L| = %d", d, w)
+		}
+	}
+}
+
+func TestLogicalsAnticommute(t *testing.T) {
+	c := MustRotated(3)
+	if c.LogicalX().Commutes(c.LogicalZ()) {
+		t.Fatal("X_L and Z_L must anticommute")
+	}
+}
+
+func TestBulkDataCoverage(t *testing.T) {
+	// Every bulk data qubit is covered by exactly 2 X and 2 Z stabilizers.
+	c := MustRotated(5)
+	covX := make([]int, c.NumData())
+	covZ := make([]int, c.NumData())
+	for _, s := range c.Stabilizers() {
+		for _, q := range s.Data {
+			if s.Type == StabX {
+				covX[q]++
+			} else {
+				covZ[q]++
+			}
+		}
+	}
+	for idx := 0; idx < c.NumData(); idx++ {
+		r, cl := c.DataPos(idx)
+		interior := r > 0 && r < 4 && cl > 0 && cl < 4
+		if interior && (covX[idx] != 2 || covZ[idx] != 2) {
+			t.Errorf("bulk qubit (%d,%d) coverage X=%d Z=%d, want 2/2", r, cl, covX[idx], covZ[idx])
+		}
+		if covX[idx] == 0 || covZ[idx] == 0 {
+			t.Errorf("qubit (%d,%d) lacks coverage X=%d Z=%d", r, cl, covX[idx], covZ[idx])
+		}
+		if covX[idx]+covZ[idx] > 4 {
+			t.Errorf("qubit (%d,%d) covered %d times, want <= 4", r, cl, covX[idx]+covZ[idx])
+		}
+	}
+}
+
+func TestDistance3MatchesPaperStructure(t *testing.T) {
+	// The d=3 rotated code of Figure 2(b): 9 data qubits, 8 stabilizers,
+	// 4 weight-4 and 4 weight-2.
+	c := MustRotated(3)
+	if c.NumData() != 9 {
+		t.Fatalf("NumData = %d, want 9", c.NumData())
+	}
+	bulk := 0
+	for _, s := range c.Stabilizers() {
+		if s.Weight() == 4 {
+			bulk++
+			// each weight-4 plaquette covers a contiguous 2x2 block
+			r0, c0 := c.DataPos(s.Data[0])
+			r3, c3 := c.DataPos(s.Data[3])
+			if r3 != r0+1 || c3 != c0+1 {
+				t.Errorf("plaquette %v is not a 2x2 block", s)
+			}
+		}
+	}
+	if bulk != 4 {
+		t.Errorf("bulk plaquettes = %d, want 4", bulk)
+	}
+}
+
+func TestStabilizerPauliMatchesType(t *testing.T) {
+	c := MustRotated(3)
+	for _, s := range c.Stabilizers() {
+		p := s.Pauli()
+		if p.Weight() != s.Weight() {
+			t.Errorf("%v: Pauli weight %d != %d", s, p.Weight(), s.Weight())
+		}
+		for _, q := range s.Data {
+			op := p.Get(q)
+			if (s.Type == StabX) != (op.String() == "X") {
+				t.Errorf("%v: operator on qubit %d is %v", s, q, op)
+			}
+		}
+	}
+}
+
+func TestStabTypeHelpers(t *testing.T) {
+	if StabX.Opposite() != StabZ || StabZ.Opposite() != StabX {
+		t.Error("Opposite broken")
+	}
+	if StabX.String() != "X" || StabZ.String() != "Z" {
+		t.Error("String broken")
+	}
+}
+
+func TestCornersDistinct(t *testing.T) {
+	c := MustRotated(5)
+	seen := map[[2]int]bool{}
+	for _, s := range c.Stabilizers() {
+		if seen[s.Corner] {
+			t.Fatalf("corner %v reused", s.Corner)
+		}
+		seen[s.Corner] = true
+	}
+}

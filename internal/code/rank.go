@@ -1,0 +1,132 @@
+package code
+
+import (
+	"fmt"
+)
+
+// symplecticRow is the GF(2) symplectic representation of a Pauli string
+// over n qubits: X bits followed by Z bits.
+type symplecticRow []uint64
+
+func newRow(n int) symplecticRow {
+	return make(symplecticRow, (2*n+63)/64)
+}
+
+func (r symplecticRow) set(bit int)      { r[bit/64] |= 1 << (bit % 64) }
+func (r symplecticRow) get(bit int) bool { return r[bit/64]&(1<<(bit%64)) != 0 }
+
+func (r symplecticRow) xor(s symplecticRow) {
+	for i := range r {
+		r[i] ^= s[i]
+	}
+}
+
+func (r symplecticRow) isZero() bool {
+	for _, w := range r {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// stabilizerMatrix builds the symplectic rows of the code's stabilizers.
+func (c *Code) stabilizerMatrix() []symplecticRow {
+	n := c.NumData()
+	rows := make([]symplecticRow, 0, len(c.stabs))
+	for _, s := range c.stabs {
+		row := newRow(n)
+		for _, q := range s.Data {
+			if s.Type == StabX {
+				row.set(q) // X bit
+			} else {
+				row.set(n + q) // Z bit
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// rankGF2 computes the GF(2) rank of the rows, destroying them.
+func rankGF2(rows []symplecticRow, bits int) int {
+	rank := 0
+	for bit := 0; bit < bits && rank < len(rows); bit++ {
+		pivot := -1
+		for i := rank; i < len(rows); i++ {
+			if rows[i].get(bit) {
+				pivot = i
+				break
+			}
+		}
+		if pivot == -1 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for i := 0; i < len(rows); i++ {
+			if i != rank && rows[i].get(bit) {
+				rows[i].xor(rows[rank])
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// CheckLogicalCount verifies via GF(2) linear algebra that the stabilizer
+// generators are independent and encode exactly one logical qubit:
+// k = n - rank(S) must equal 1.
+func (c *Code) CheckLogicalCount() error {
+	n := c.NumData()
+	rows := c.stabilizerMatrix()
+	rank := rankGF2(rows, 2*n)
+	if rank != len(c.stabs) {
+		return fmt.Errorf("code: stabilizer generators dependent: rank %d of %d", rank, len(c.stabs))
+	}
+	k := n - rank
+	if k != 1 {
+		return fmt.Errorf("code: encodes %d logical qubits, want 1", k)
+	}
+	return nil
+}
+
+// InStabilizerGroup reports whether the Pauli string defined by xSupport and
+// zSupport (X components and Z components over data indices) lies in the
+// stabilizer group — used to verify that candidate logical operators are
+// NOT stabilizers.
+func (c *Code) InStabilizerGroup(xSupport, zSupport []int) bool {
+	n := c.NumData()
+	rows := c.stabilizerMatrix()
+	target := newRow(n)
+	for _, q := range xSupport {
+		target.set(q)
+	}
+	for _, q := range zSupport {
+		target.set(n + q)
+	}
+	// Reduce rows to echelon form while reducing the target alongside.
+	rank := 0
+	for bit := 0; bit < 2*n && rank < len(rows); bit++ {
+		pivot := -1
+		for i := rank; i < len(rows); i++ {
+			if rows[i].get(bit) {
+				pivot = i
+				break
+			}
+		}
+		if pivot == -1 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for i := 0; i < len(rows); i++ {
+			if i != rank && rows[i].get(bit) {
+				rows[i].xor(rows[rank])
+			}
+		}
+		if target.get(bit) {
+			target.xor(rows[rank])
+		}
+		rank++
+	}
+	return target.isZero()
+}

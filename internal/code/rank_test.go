@@ -1,0 +1,71 @@
+package code
+
+import "testing"
+
+func TestCheckLogicalCount(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		c := MustRotated(d)
+		if err := c.CheckLogicalCount(); err != nil {
+			t.Errorf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestLogicalsNotInStabilizerGroup(t *testing.T) {
+	c := MustRotated(5)
+	if c.InStabilizerGroup(c.LogicalX().Support(), nil) {
+		t.Error("logical X is a stabilizer")
+	}
+	if c.InStabilizerGroup(nil, c.LogicalZ().Support()) {
+		t.Error("logical Z is a stabilizer")
+	}
+}
+
+func TestStabilizerProductsInGroup(t *testing.T) {
+	c := MustRotated(3)
+	// Any single stabilizer is in the group.
+	for _, s := range c.Stabilizers() {
+		var xs, zs []int
+		if s.Type == StabX {
+			xs = s.Data
+		} else {
+			zs = s.Data
+		}
+		if !c.InStabilizerGroup(xs, zs) {
+			t.Errorf("stabilizer %v not in its own group", s)
+		}
+	}
+	// The product of two X stabilizers is in the group.
+	xstabs := c.StabilizersOf(StabX)
+	prod := xstabs[0].Pauli().Mul(xstabs[1].Pauli())
+	if !c.InStabilizerGroup(prod.XSupport(), prod.ZSupport()) {
+		t.Error("product of X stabilizers not in group")
+	}
+}
+
+func TestNonMemberDetected(t *testing.T) {
+	c := MustRotated(3)
+	// A single-qubit X is never a stabilizer of the surface code.
+	if c.InStabilizerGroup([]int{4}, nil) {
+		t.Error("single X reported as stabilizer")
+	}
+	// Logical X times a stabilizer is still not in the group.
+	x := c.LogicalX()
+	prod := x.Mul(c.StabilizersOf(StabX)[0].Pauli())
+	if c.InStabilizerGroup(prod.XSupport(), prod.ZSupport()) {
+		t.Error("logical-equivalent operator reported as stabilizer")
+	}
+}
+
+func TestLogicalTimesStabilizerStillAnticommutes(t *testing.T) {
+	// Multiplying a logical by stabilizers preserves its logical action:
+	// it must still anticommute with the conjugate logical.
+	c := MustRotated(3)
+	x := c.LogicalX()
+	for _, s := range c.StabilizersOf(StabX) {
+		x = x.Mul(s.Pauli())
+	}
+	if x.Commutes(c.LogicalZ()) {
+		t.Error("deformed logical X lost anticommutation with Z_L")
+	}
+}

@@ -1,0 +1,430 @@
+// Package decoder implements minimum-weight perfect matching decoding over a
+// detector error model: the PyMatching role in the paper's evaluation
+// pipeline.
+//
+// The detector error model's mechanisms become the weighted edges of a
+// matching graph over detectors plus a single boundary node; mechanisms
+// flipping more than two detectors are decomposed into chains of pairwise
+// edges. Decoding a shot matches its flipped detectors (defects) pairwise —
+// or to the boundary — along minimum-weight paths, and predicts the logical
+// observable flips as the XOR of the observable masks along the matched
+// paths.
+package decoder
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"runtime"
+	"sync"
+
+	"surfstitch/internal/dem"
+	"surfstitch/internal/frame"
+	"surfstitch/internal/matching"
+)
+
+// weightScale converts log-likelihood edge weights to the integer domain of
+// the blossom matcher.
+const weightScale = 1024.0
+
+// Decoder is a compiled MWPM decoder for a fixed detector error model.
+type Decoder struct {
+	numDet int
+	numObs int
+
+	// boundary is the virtual node index (== numDet).
+	boundary int
+
+	// adjacency of the matching graph: adj[u] lists (v, weight, obs).
+	adj [][]halfEdge
+
+	// all-pairs shortest paths over the matching graph.
+	dist [][]float64
+	mask [][]uint64
+
+	// UndetectableObs is the bitmask of observables flipped by at least one
+	// mechanism that trips no detector: an irreducible logical error floor.
+	UndetectableObs uint64
+}
+
+type halfEdge struct {
+	to     int
+	weight float64
+	obs    uint64
+}
+
+// Options tunes decoder compilation.
+type Options struct {
+	// NaiveDecomposition disables the elementary-edge peeling of
+	// hyperedges, falling back to consecutive-pair chaining everywhere
+	// (the decoder ablation in the benchmark harness).
+	NaiveDecomposition bool
+}
+
+// New compiles the detector error model into a decoder.
+func New(model *dem.Model) (*Decoder, error) {
+	return NewWithOptions(model, Options{})
+}
+
+// NewWithOptions compiles the detector error model with explicit options.
+func NewWithOptions(model *dem.Model, opts Options) (*Decoder, error) {
+	d := &Decoder{
+		numDet:   model.NumDetectors,
+		numObs:   model.NumObservables,
+		boundary: model.NumDetectors,
+	}
+	n := d.numDet + 1
+	type key struct{ u, v int }
+	probs := map[key]float64{}
+	masks := map[key]uint64{}
+	addEdge := func(u, v int, p float64, obs uint64) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := key{u, v}
+		old := probs[k]
+		if p > old {
+			masks[k] = obs
+		}
+		probs[k] = old + p - 2*old*p
+	}
+	// First pass: elementary mechanisms (at most two detectors) become graph
+	// edges directly.
+	for _, mech := range model.Mechanisms {
+		switch len(mech.Detectors) {
+		case 0:
+			if mech.Obs != 0 {
+				d.UndetectableObs |= mech.Obs
+			}
+		case 1:
+			addEdge(mech.Detectors[0], d.boundary, mech.Prob, mech.Obs)
+		case 2:
+			addEdge(mech.Detectors[0], mech.Detectors[1], mech.Prob, mech.Obs)
+		}
+	}
+	// Second pass: hyperedges decompose into elementary edges when possible
+	// (stim's strategy): a composite mechanism is a simultaneous firing of
+	// simpler mechanisms already present, so peel detector pairs that exist
+	// as elementary edges. The peeled decomposition is accepted only when
+	// the component observable masks XOR to the mechanism's mask; otherwise
+	// fall back to a consecutive chain with explicit mask attribution.
+	edgeExists := func(u, v int) bool {
+		if u > v {
+			u, v = v, u
+		}
+		_, ok := probs[key{u, v}]
+		return ok
+	}
+	edgeMask := func(u, v int) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		return masks[key{u, v}]
+	}
+	for _, mech := range model.Mechanisms {
+		if len(mech.Detectors) <= 2 {
+			continue
+		}
+		if opts.NaiveDecomposition {
+			chainDecompose(mech, d.boundary, addEdge)
+			continue
+		}
+		comps, leftover := peelDecompose(mech.Detectors, d.boundary, edgeExists)
+		if len(leftover) <= 2 {
+			// The peeled pairs are existing elementary edges; the leftover
+			// (if any) becomes a new edge carrying the residual observable
+			// mask so that the decomposition's total effect matches the
+			// mechanism exactly. This is how hook-error edges (flag +
+			// correlated data pair) enter the graph.
+			var xor uint64
+			for _, cp := range comps {
+				xor ^= edgeMask(cp[0], cp[1])
+			}
+			residual := mech.Obs ^ xor
+			switch len(leftover) {
+			case 0:
+				if residual != 0 {
+					// Decomposition would corrupt the observable; fall back.
+					break
+				}
+				for _, cp := range comps {
+					addEdge(cp[0], cp[1], mech.Prob, edgeMask(cp[0], cp[1]))
+				}
+				continue
+			case 1:
+				for _, cp := range comps {
+					addEdge(cp[0], cp[1], mech.Prob, edgeMask(cp[0], cp[1]))
+				}
+				addEdge(leftover[0], d.boundary, mech.Prob, residual)
+				continue
+			case 2:
+				for _, cp := range comps {
+					addEdge(cp[0], cp[1], mech.Prob, edgeMask(cp[0], cp[1]))
+				}
+				addEdge(leftover[0], leftover[1], mech.Prob, residual)
+				continue
+			}
+		}
+		// Fallback: chain consecutive detectors (ids are round/stabilizer
+		// ordered, so consecutive ids are usually close), observable mask on
+		// the first component.
+		chainDecompose(mech, d.boundary, addEdge)
+	}
+	d.adj = make([][]halfEdge, n)
+	for k, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		if p > 0.5 {
+			p = 0.5 // a more-likely-than-not error saturates at weight 0
+		}
+		w := math.Log((1 - p) / p)
+		d.adj[k.u] = append(d.adj[k.u], halfEdge{to: k.v, weight: w, obs: masks[k]})
+		d.adj[k.v] = append(d.adj[k.v], halfEdge{to: k.u, weight: w, obs: masks[k]})
+	}
+	d.computeAllPairs()
+	return d, nil
+}
+
+// chainDecompose pairs consecutive detectors of a hyperedge, attributing
+// the observable mask to the first component.
+func chainDecompose(mech dem.Mechanism, boundary int, addEdge func(u, v int, p float64, obs uint64)) {
+	ds := mech.Detectors
+	for i := 0; i+1 < len(ds); i += 2 {
+		obs := uint64(0)
+		if i == 0 {
+			obs = mech.Obs
+		}
+		addEdge(ds[i], ds[i+1], mech.Prob, obs)
+	}
+	if len(ds)%2 == 1 {
+		addEdge(ds[len(ds)-1], boundary, mech.Prob, 0)
+	}
+}
+
+// peelDecompose greedily splits a detector set into pairs that exist as
+// elementary edges (boundary-matching unpeelable detectors when possible)
+// and returns the leftover detectors that could not be peeled.
+func peelDecompose(dets []int, boundary int, edgeExists func(u, v int) bool) (comps [][2]int, leftover []int) {
+	remaining := append([]int(nil), dets...)
+	for len(remaining) > 0 {
+		a := remaining[0]
+		matched := -1
+		for i := 1; i < len(remaining); i++ {
+			if edgeExists(a, remaining[i]) {
+				matched = i
+				break
+			}
+		}
+		if matched >= 0 {
+			comps = append(comps, [2]int{a, remaining[matched]})
+			rest := append([]int(nil), remaining[1:matched]...)
+			rest = append(rest, remaining[matched+1:]...)
+			remaining = rest
+			continue
+		}
+		leftover = append(leftover, a)
+		remaining = remaining[1:]
+	}
+	// Boundary-connected singletons peel off when more than two are left.
+	if len(leftover) > 2 {
+		var still []int
+		for _, a := range leftover {
+			if edgeExists(a, boundary) {
+				comps = append(comps, [2]int{a, boundary})
+			} else {
+				still = append(still, a)
+			}
+		}
+		leftover = still
+	}
+	return comps, leftover
+}
+
+// computeAllPairs runs Dijkstra from every node, tracking the XOR of
+// observable masks along each shortest path.
+func (d *Decoder) computeAllPairs() {
+	n := d.numDet + 1
+	d.dist = make([][]float64, n)
+	d.mask = make([][]uint64, n)
+	for src := 0; src < n; src++ {
+		d.dist[src], d.mask[src] = d.dijkstra(src)
+	}
+}
+
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	it := old[len(old)-1]
+	*p = old[:len(old)-1]
+	return it
+}
+
+func (d *Decoder) dijkstra(src int) ([]float64, []uint64) {
+	n := d.numDet + 1
+	dist := make([]float64, n)
+	mask := make([]uint64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := &pq{{node: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, e := range d.adj[u] {
+			nd := dist[u] + e.weight
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				mask[e.to] = mask[u] ^ e.obs
+				heap.Push(q, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return dist, mask
+}
+
+// NumDetectors returns the number of detectors the decoder expects.
+func (d *Decoder) NumDetectors() int { return d.numDet }
+
+// Decode predicts the observable flips for one shot's defect set (the list
+// of flipped detector indices). It returns an error when a defect cannot be
+// matched (disconnected matching graph).
+func (d *Decoder) Decode(defects []int) (uint64, error) {
+	if len(defects) == 0 {
+		return 0, nil
+	}
+	// Nodes 0..k-1 are defects; k..2k-1 are their boundary images. The
+	// boundary images are interconnected with zero-weight edges so that any
+	// subset of them can pair off among themselves.
+	k := len(defects)
+	var edges []matching.Edge
+	quant := func(w float64) int64 {
+		if math.IsInf(w, 1) {
+			return -1
+		}
+		return int64(math.Round(w * weightScale))
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if w := quant(d.dist[defects[i]][defects[j]]); w >= 0 {
+				edges = append(edges, matching.Edge{U: i, V: j, W: w})
+			}
+			edges = append(edges, matching.Edge{U: k + i, V: k + j, W: 0})
+		}
+		if w := quant(d.dist[defects[i]][d.boundary]); w >= 0 {
+			edges = append(edges, matching.Edge{U: i, V: k + i, W: w})
+		}
+	}
+	mate, err := matching.MinWeightPerfectMatching(2*k, edges)
+	if err != nil {
+		return 0, fmt.Errorf("decoder: defects unmatchable: %w", err)
+	}
+	var obs uint64
+	for i := 0; i < k; i++ {
+		m := mate[i]
+		switch {
+		case m == k+i: // matched to the boundary
+			obs ^= d.mask[defects[i]][d.boundary]
+		case m < k && m > i: // defect-defect pair, counted once
+			obs ^= d.mask[defects[i]][defects[m]]
+		}
+	}
+	return obs, nil
+}
+
+// Stats summarizes a decoded batch.
+type Stats struct {
+	Shots         int
+	LogicalErrors int // shots where prediction != actual observable flips
+}
+
+// LogicalErrorRate returns the per-shot logical error probability.
+func (s Stats) LogicalErrorRate() float64 {
+	if s.Shots == 0 {
+		return 0
+	}
+	return float64(s.LogicalErrors) / float64(s.Shots)
+}
+
+// DecodeBatch decodes every shot of a sampled batch in parallel and compares
+// the predictions against the actual observable flips. The decoder's tables
+// are immutable after construction, so shots decode concurrently.
+func (d *Decoder) DecodeBatch(batch *frame.Batch) (Stats, error) {
+	stats := Stats{Shots: batch.Shots}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > batch.Shots {
+		workers = batch.Shots
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		errors   int
+	)
+	chunk := (batch.Shots + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > batch.Shots {
+			hi = batch.Shots
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			local := 0
+			for shot := lo; shot < hi; shot++ {
+				defects := batch.ShotDetectors(shot)
+				pred, err := d.Decode(defects)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				var actual uint64
+				for _, o := range batch.ShotObservables(shot) {
+					actual |= 1 << uint(o)
+				}
+				if pred != actual {
+					local++
+				}
+			}
+			mu.Lock()
+			errors += local
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	stats.LogicalErrors = errors
+	return stats, nil
+}

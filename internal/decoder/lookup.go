@@ -1,0 +1,131 @@
+package decoder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"surfstitch/internal/dem"
+	"surfstitch/internal/frame"
+)
+
+// Lookup is a detector-error-model-driven lookup decoder for small codes
+// whose syndromes are not matchable (e.g. the Steane code, where a single
+// data error flips up to three detectors). A shot's defect set is explained
+// greedily by the most probable mechanisms whose signatures fit inside it;
+// any defect set equal to a single mechanism's signature — in particular
+// every single fault, including flag-heralded hooks — decodes exactly.
+type Lookup struct {
+	numDet int
+	// exact maps a full signature to the observable mask of its most
+	// probable mechanism.
+	exact map[string]uint64
+	// mechs holds signatures sorted by descending probability for the
+	// greedy cover fallback.
+	mechs []dem.Mechanism
+}
+
+// NewLookup compiles the model into a lookup decoder.
+func NewLookup(model *dem.Model) (*Lookup, error) {
+	l := &Lookup{numDet: model.NumDetectors, exact: map[string]uint64{}}
+	best := map[string]float64{}
+	for _, mech := range model.Mechanisms {
+		if len(mech.Detectors) == 0 {
+			continue
+		}
+		key := sigKey(mech.Detectors)
+		if mech.Prob > best[key] {
+			best[key] = mech.Prob
+			l.exact[key] = mech.Obs
+		}
+		l.mechs = append(l.mechs, mech)
+	}
+	sort.SliceStable(l.mechs, func(i, j int) bool { return l.mechs[i].Prob > l.mechs[j].Prob })
+	return l, nil
+}
+
+// Decode predicts the observable flips for a defect set.
+func (l *Lookup) Decode(defects []int) (uint64, error) {
+	if len(defects) == 0 {
+		return 0, nil
+	}
+	if obs, ok := l.exact[sigKey(defects)]; ok {
+		return obs, nil
+	}
+	// Greedy cover: repeatedly subtract the most probable mechanism whose
+	// signature is contained in the remaining defects.
+	remaining := map[int]bool{}
+	for _, d := range defects {
+		remaining[d] = true
+	}
+	var obs uint64
+	for guard := 0; len(remaining) > 0 && guard < len(defects)+4; guard++ {
+		// Exact match of the remainder short-circuits.
+		if o, ok := l.exact[sigKey(setKeys(remaining))]; ok {
+			return obs ^ o, nil
+		}
+		progressed := false
+		for _, mech := range l.mechs {
+			if len(mech.Detectors) > len(remaining) {
+				continue
+			}
+			fits := true
+			for _, d := range mech.Detectors {
+				if !remaining[d] {
+					fits = false
+					break
+				}
+			}
+			if !fits {
+				continue
+			}
+			for _, d := range mech.Detectors {
+				delete(remaining, d)
+			}
+			obs ^= mech.Obs
+			progressed = true
+			break
+		}
+		if !progressed {
+			return obs, fmt.Errorf("decoder: lookup cannot explain defects %v", setKeys(remaining))
+		}
+	}
+	return obs, nil
+}
+
+// DecodeBatch decodes every shot, treating unexplainable shots as logical
+// errors (they indicate error patterns outside the model's reach).
+func (l *Lookup) DecodeBatch(batch *frame.Batch) (Stats, error) {
+	stats := Stats{Shots: batch.Shots}
+	for shot := 0; shot < batch.Shots; shot++ {
+		pred, err := l.Decode(batch.ShotDetectors(shot))
+		var actual uint64
+		for _, o := range batch.ShotObservables(shot) {
+			actual |= 1 << uint(o)
+		}
+		if err != nil || pred != actual {
+			stats.LogicalErrors++
+		}
+	}
+	return stats, nil
+}
+
+func sigKey(dets []int) string {
+	var b strings.Builder
+	for i, d := range dets {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", d)
+	}
+	return b.String()
+}
+
+func setKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}

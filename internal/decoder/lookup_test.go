@@ -1,0 +1,171 @@
+package decoder
+
+import (
+	"math/rand"
+	"testing"
+
+	"surfstitch/internal/circuit"
+	"surfstitch/internal/dem"
+	"surfstitch/internal/frame"
+)
+
+func lookupModel() *dem.Model {
+	return &dem.Model{
+		NumDetectors:   4,
+		NumObservables: 1,
+		Mechanisms: []dem.Mechanism{
+			{Detectors: []int{0}, Obs: 1, Prob: 0.01},
+			{Detectors: []int{1}, Prob: 0.01},
+			{Detectors: []int{0, 1, 2}, Obs: 1, Prob: 0.005}, // triple signature
+			{Detectors: []int{2, 3}, Prob: 0.02},
+			{Detectors: []int{3}, Obs: 1, Prob: 0.001},
+		},
+	}
+}
+
+func TestLookupExactMatch(t *testing.T) {
+	l, err := NewLookup(lookupModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every mechanism decodes to itself.
+	for _, mech := range lookupModel().Mechanisms {
+		pred, err := l.Decode(mech.Detectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred != mech.Obs {
+			t.Errorf("mechanism %v: pred %b want %b", mech.Detectors, pred, mech.Obs)
+		}
+	}
+	if pred, err := l.Decode(nil); err != nil || pred != 0 {
+		t.Error("empty defects should decode to 0")
+	}
+}
+
+func TestLookupGreedyCover(t *testing.T) {
+	l, err := NewLookup(lookupModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {0, 1, 2, 3}: best explanation = {2,3} (p=0.02, obs 0) + {0} (obs 1)
+	// + {1} (obs 0) -> total obs 1.
+	pred, err := l.Decode([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 1 {
+		t.Errorf("cover decode = %b, want 1", pred)
+	}
+}
+
+func TestLookupExactBeatsGreedy(t *testing.T) {
+	// The triple {0,1,2} must use its exact signature (obs 1), not the
+	// greedy split {0}+{1}+unexplainable{2}.
+	l, _ := NewLookup(lookupModel())
+	pred, err := l.Decode([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 1 {
+		t.Errorf("triple = %b, want 1", pred)
+	}
+}
+
+func TestLookupUnexplainable(t *testing.T) {
+	l, _ := NewLookup(&dem.Model{
+		NumDetectors: 3,
+		Mechanisms:   []dem.Mechanism{{Detectors: []int{0}, Prob: 0.1}},
+	})
+	if _, err := l.Decode([]int{2}); err == nil {
+		t.Error("unexplainable defect accepted")
+	}
+}
+
+func TestLookupKeepsMostProbableSignature(t *testing.T) {
+	model := &dem.Model{
+		NumDetectors:   1,
+		NumObservables: 1,
+		Mechanisms: []dem.Mechanism{
+			{Detectors: []int{0}, Obs: 1, Prob: 0.001},
+			{Detectors: []int{0}, Obs: 0, Prob: 0.1}, // dominates
+		},
+	}
+	l, _ := NewLookup(model)
+	pred, err := l.Decode([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 0 {
+		t.Errorf("pred = %b, want the dominant mechanism's 0", pred)
+	}
+}
+
+func TestLookupDecodeBatch(t *testing.T) {
+	// End-to-end: a tiny repetition check decoded by lookup.
+	b := circuitBuilderForLookup()
+	c := b.MustBuild()
+	model, err := dem.FromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLookup(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := frame.NewSampler(c, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := l.DecodeBatch(s.Sample(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shots != 5000 {
+		t.Fatal("shot count lost")
+	}
+	// Single-fault-correctable circuit at low p: logical errors well below
+	// the raw physical rate.
+	if stats.LogicalErrorRate() > 0.01 {
+		t.Errorf("lookup batch rate %.4f too high", stats.LogicalErrorRate())
+	}
+}
+
+// circuitBuilderForLookup builds a 3-qubit repetition memory with X noise.
+func circuitBuilderForLookup() *circuit.Builder {
+	b := circuit.NewBuilder(5)
+	var prev []int
+	for r := 0; r < 2; r++ {
+		b.Begin().R(3, 4)
+		b.Begin().Noise(circuit.OpXError, 0.005, 0, 1, 2)
+		b.Begin().CX(0, 3, 1, 4)
+		b.Begin().CX(1, 3, 2, 4)
+		b.Begin()
+		recs := b.M(3, 4)
+		if r == 0 {
+			b.Detector(recs[0])
+			b.Detector(recs[1])
+		} else {
+			b.Detector(prev[0], recs[0])
+			b.Detector(prev[1], recs[1])
+		}
+		prev = recs
+	}
+	b.Begin()
+	final := b.M(0, 1, 2)
+	b.Detector(prev[0], final[0], final[1])
+	b.Detector(prev[1], final[1], final[2])
+	b.Observable(final[0])
+	return b
+}
+
+func TestDecoderNumDetectors(t *testing.T) {
+	model := lookupModel()
+	d, err := New(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumDetectors() != model.NumDetectors {
+		t.Errorf("NumDetectors = %d, want %d", d.NumDetectors(), model.NumDetectors)
+	}
+}

@@ -1,0 +1,215 @@
+// Package dem extracts a detector error model from a noisy Clifford circuit,
+// playing the role of stim's analyze_errors pass in the paper's toolchain.
+//
+// Every noise channel in the circuit is decomposed into its elementary Pauli
+// mechanisms (e.g. a two-qubit depolarizing channel contributes 15 equally
+// likely mechanisms). Each mechanism is injected into its own lane of a
+// deterministic Pauli frame propagation; the flipped detectors and logical
+// observables of each lane form the mechanism's signature. Mechanisms with
+// identical signatures are merged by XOR-combining their probabilities,
+// yielding the weighted error model the MWPM decoder is built from.
+package dem
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"surfstitch/internal/circuit"
+	"surfstitch/internal/frame"
+)
+
+// Mechanism is a group of physical errors with identical consequences: the
+// set of detectors it flips, the logical observables it flips, and the
+// probability that an odd number of its members occur.
+type Mechanism struct {
+	Detectors []int  // sorted detector indices
+	Obs       uint64 // observable bitmask
+	Prob      float64
+}
+
+// Model is the extracted detector error model.
+type Model struct {
+	NumDetectors   int
+	NumObservables int
+	Mechanisms     []Mechanism
+}
+
+// FromCircuit enumerates the circuit's noise mechanisms and groups them by
+// signature. Mechanisms that flip nothing are dropped.
+func FromCircuit(c *circuit.Circuit) (*Model, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("dem: %w", err)
+	}
+	if len(c.Observables) > 64 {
+		return nil, fmt.Errorf("dem: at most 64 observables supported, got %d", len(c.Observables))
+	}
+
+	type injection struct {
+		lane int
+		xOn  []int // qubits receiving an X component
+		zOn  []int
+	}
+	// First pass: assign lanes to mechanisms in circuit order.
+	lanes := 0
+	probs := []float64{}
+	// injections[momentIdx] lists this moment's mechanism injections.
+	injections := make([][]injection, len(c.Moments))
+	addLane := func(mi int, p float64, xOn, zOn []int) {
+		injections[mi] = append(injections[mi], injection{lane: lanes, xOn: xOn, zOn: zOn})
+		probs = append(probs, p)
+		lanes++
+	}
+	for mi, m := range c.Moments {
+		for _, nz := range m.Noise {
+			switch nz.Op {
+			case circuit.OpXError:
+				for _, q := range nz.Qubits {
+					addLane(mi, nz.Arg, []int{q}, nil)
+				}
+			case circuit.OpZError:
+				for _, q := range nz.Qubits {
+					addLane(mi, nz.Arg, nil, []int{q})
+				}
+			case circuit.OpDepolarize1:
+				for _, q := range nz.Qubits {
+					p := nz.Arg / 3
+					addLane(mi, p, []int{q}, nil)      // X
+					addLane(mi, p, nil, []int{q})      // Z
+					addLane(mi, p, []int{q}, []int{q}) // Y
+				}
+			case circuit.OpDepolarize2:
+				for i := 0; i < len(nz.Qubits); i += 2 {
+					a, b := nz.Qubits[i], nz.Qubits[i+1]
+					p := nz.Arg / 15
+					for mask := 1; mask < 16; mask++ {
+						var xOn, zOn []int
+						if mask&1 != 0 {
+							xOn = append(xOn, a)
+						}
+						if mask&2 != 0 {
+							zOn = append(zOn, a)
+						}
+						if mask&4 != 0 {
+							xOn = append(xOn, b)
+						}
+						if mask&8 != 0 {
+							zOn = append(zOn, b)
+						}
+						addLane(mi, p, xOn, zOn)
+					}
+				}
+			default:
+				return nil, fmt.Errorf("dem: unsupported noise op %v", nz.Op)
+			}
+		}
+	}
+
+	model := &Model{NumDetectors: len(c.Detectors), NumObservables: len(c.Observables)}
+	if lanes == 0 {
+		return model, nil
+	}
+
+	// Second pass: propagate all mechanisms in parallel.
+	words := (lanes + 63) / 64
+	prop := frame.NewPropagator(c.NumQubits, words)
+	for mi, m := range c.Moments {
+		for _, g := range m.Gates {
+			prop.ApplyGate(g)
+		}
+		for _, inj := range injections[mi] {
+			for _, q := range inj.xOn {
+				prop.InjectX(q, inj.lane)
+			}
+			for _, q := range inj.zOn {
+				prop.InjectZ(q, inj.lane)
+			}
+		}
+	}
+	records := prop.Records()
+	detPlanes := frame.Combine(c.Detectors, records, words)
+	obsPlanes := frame.Combine(c.Observables, records, words)
+
+	// Collect per-lane signatures.
+	dets := make([][]int, lanes)
+	for d, plane := range detPlanes {
+		for w, word := range plane {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				lane := w*64 + b
+				if lane < lanes {
+					dets[lane] = append(dets[lane], d)
+				}
+			}
+		}
+	}
+	obs := make([]uint64, lanes)
+	for o, plane := range obsPlanes {
+		for w, word := range plane {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				lane := w*64 + b
+				if lane < lanes {
+					obs[lane] |= 1 << uint(o)
+				}
+			}
+		}
+	}
+
+	// Group by signature, XOR-combining probabilities: the merged mechanism
+	// fires when an odd number of its members fire.
+	index := map[string]int{}
+	for lane := 0; lane < lanes; lane++ {
+		if len(dets[lane]) == 0 && obs[lane] == 0 {
+			continue // harmless error
+		}
+		if probs[lane] == 0 {
+			continue
+		}
+		key := signatureKey(dets[lane], obs[lane])
+		if i, ok := index[key]; ok {
+			p, q := model.Mechanisms[i].Prob, probs[lane]
+			model.Mechanisms[i].Prob = p + q - 2*p*q
+			continue
+		}
+		index[key] = len(model.Mechanisms)
+		model.Mechanisms = append(model.Mechanisms, Mechanism{
+			Detectors: append([]int(nil), dets[lane]...),
+			Obs:       obs[lane],
+			Prob:      probs[lane],
+		})
+	}
+	sort.Slice(model.Mechanisms, func(i, j int) bool {
+		return signatureKey(model.Mechanisms[i].Detectors, model.Mechanisms[i].Obs) <
+			signatureKey(model.Mechanisms[j].Detectors, model.Mechanisms[j].Obs)
+	})
+	return model, nil
+}
+
+func signatureKey(dets []int, obs uint64) string {
+	return fmt.Sprint(dets, obs)
+}
+
+// MaxDegree returns the largest number of detectors any mechanism flips —
+// a diagnostic for how much hyperedge decomposition the decoder must do.
+func (m *Model) MaxDegree() int {
+	maxDeg := 0
+	for _, mech := range m.Mechanisms {
+		if len(mech.Detectors) > maxDeg {
+			maxDeg = len(mech.Detectors)
+		}
+	}
+	return maxDeg
+}
+
+// TotalErrorProbability returns the probability that at least one mechanism
+// fires (assuming independence) — an upper-bound sanity statistic.
+func (m *Model) TotalErrorProbability() float64 {
+	pNone := 1.0
+	for _, mech := range m.Mechanisms {
+		pNone *= 1 - mech.Prob
+	}
+	return 1 - pNone
+}

@@ -1,0 +1,255 @@
+// Package device models superconducting quantum architectures as coupling
+// graphs embedded into a 2-D grid. It provides the five architecture
+// families of the paper's Table 1 — square, hexagon, octagon, heavy-square
+// and heavy-hexagon tilings — plus custom devices built from explicit
+// coordinates and edges.
+//
+// Every device is grid-embedded: each qubit has integer coordinates, and all
+// couplings connect qubits at small coordinate offsets. The synthesis
+// framework relies on this embedding to reason geometrically (bridge
+// rectangles, syndrome rectangles, potential data areas).
+package device
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"surfstitch/internal/graph"
+	"surfstitch/internal/grid"
+)
+
+// Kind identifies an architecture family.
+type Kind int
+
+// Architecture families from Table 1 of the paper.
+const (
+	KindCustom Kind = iota
+	KindSquare
+	KindHexagon
+	KindOctagon
+	KindHeavySquare
+	KindHeavyHexagon
+)
+
+// String returns the architecture family name.
+func (k Kind) String() string {
+	switch k {
+	case KindSquare:
+		return "square"
+	case KindHexagon:
+		return "hexagon"
+	case KindOctagon:
+		return "octagon"
+	case KindHeavySquare:
+		return "heavy-square"
+	case KindHeavyHexagon:
+		return "heavy-hexagon"
+	default:
+		return "custom"
+	}
+}
+
+// Device is a quantum processor: a coupling graph whose qubits carry 2-D
+// grid coordinates. Devices are immutable once built.
+type Device struct {
+	name    string
+	kind    Kind
+	g       *graph.Graph
+	coords  []grid.Coord
+	byCoord map[grid.Coord]int
+}
+
+// builder accumulates qubits and couplings before freezing into a Device.
+type builder struct {
+	coords  []grid.Coord
+	byCoord map[grid.Coord]int
+	edges   [][2]grid.Coord
+}
+
+func newBuilder() *builder {
+	return &builder{byCoord: map[grid.Coord]int{}}
+}
+
+// qubit returns the id of the qubit at c, creating it when absent.
+func (b *builder) qubit(c grid.Coord) int {
+	if id, ok := b.byCoord[c]; ok {
+		return id
+	}
+	id := len(b.coords)
+	b.coords = append(b.coords, c)
+	b.byCoord[c] = id
+	return id
+}
+
+// couple records a coupling between the qubits at c and d, creating both.
+func (b *builder) couple(c, d grid.Coord) {
+	b.qubit(c)
+	b.qubit(d)
+	b.edges = append(b.edges, [2]grid.Coord{c, d})
+}
+
+// freeze renumbers qubits in row-major coordinate order and builds the
+// Device. Renumbering makes qubit ids independent of construction order,
+// which keeps every downstream pass deterministic.
+func (b *builder) freeze(name string, kind Kind) *Device {
+	ordered := append([]grid.Coord(nil), b.coords...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Less(ordered[j]) })
+	byCoord := make(map[grid.Coord]int, len(ordered))
+	for i, c := range ordered {
+		byCoord[c] = i
+	}
+	g := graph.New(len(ordered))
+	for _, e := range b.edges {
+		g.AddEdge(byCoord[e[0]], byCoord[e[1]])
+	}
+	return &Device{name: name, kind: kind, g: g, coords: ordered, byCoord: byCoord}
+}
+
+// FromGraph builds a custom device from explicit qubit coordinates and
+// couplings (given as coordinate pairs). It returns an error on duplicate
+// coordinates or couplings referencing unknown coordinates.
+func FromGraph(name string, coords []grid.Coord, couplings [][2]grid.Coord) (*Device, error) {
+	b := newBuilder()
+	for _, c := range coords {
+		if _, dup := b.byCoord[c]; dup {
+			return nil, fmt.Errorf("device: duplicate qubit coordinate %v", c)
+		}
+		b.qubit(c)
+	}
+	for _, e := range couplings {
+		if _, ok := b.byCoord[e[0]]; !ok {
+			return nil, fmt.Errorf("device: coupling references unknown qubit %v", e[0])
+		}
+		if _, ok := b.byCoord[e[1]]; !ok {
+			return nil, fmt.Errorf("device: coupling references unknown qubit %v", e[1])
+		}
+		b.edges = append(b.edges, e)
+	}
+	return b.freeze(name, KindCustom), nil
+}
+
+// Name returns the device's display name.
+func (d *Device) Name() string { return d.name }
+
+// Kind returns the architecture family.
+func (d *Device) Kind() Kind { return d.kind }
+
+// Len returns the number of qubits.
+func (d *Device) Len() int { return len(d.coords) }
+
+// Graph returns the coupling graph. The graph is shared, not copied; callers
+// must not mutate it.
+func (d *Device) Graph() *graph.Graph { return d.g }
+
+// Coord returns the grid coordinate of qubit q.
+func (d *Device) Coord(q int) grid.Coord { return d.coords[q] }
+
+// QubitAt returns the qubit at coordinate c, if any.
+func (d *Device) QubitAt(c grid.Coord) (int, bool) {
+	q, ok := d.byCoord[c]
+	return q, ok
+}
+
+// Degree returns the coupling degree of qubit q.
+func (d *Device) Degree(q int) int { return d.g.Degree(q) }
+
+// Bounds returns the minimal rectangle containing all qubits.
+func (d *Device) Bounds() grid.Rect {
+	return grid.RectAround(d.coords...)
+}
+
+// HighDegreeQubits returns all qubits with degree >= minDeg, sorted by
+// coordinate (top-left first). Algorithm 1 seeds its bridge rectangles from
+// this list with minDeg = 3.
+func (d *Device) HighDegreeQubits(minDeg int) []int {
+	var out []int
+	for q := range d.coords {
+		if d.g.Degree(q) >= minDeg {
+			out = append(out, q)
+		}
+	}
+	// coords are already sorted by construction (freeze renumbers).
+	return out
+}
+
+// QubitsIn returns the qubits whose coordinates lie inside r, in coordinate
+// order.
+func (d *Device) QubitsIn(r grid.Rect) []int {
+	var out []int
+	for q, c := range d.coords {
+		if r.Contains(c) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// AvgDegree returns the mean coupling degree, the paper's headline sparsity
+// statistic (SC devices keep it below 3).
+func (d *Device) AvgDegree() float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	return 2 * float64(d.g.EdgeCount()) / float64(d.Len())
+}
+
+// MaxDegree returns the maximum coupling degree over all qubits.
+func (d *Device) MaxDegree() int {
+	m := 0
+	for q := range d.coords {
+		if deg := d.g.Degree(q); deg > m {
+			m = deg
+		}
+	}
+	return m
+}
+
+// ASCII renders the device as a coarse text diagram: qubit degree digits at
+// qubit positions, '-' and '|' for horizontal and vertical couplings that
+// span exactly two grid units or one. Diagonal couplings are not rendered.
+func (d *Device) ASCII() string {
+	if d.Len() == 0 {
+		return "(empty device)\n"
+	}
+	b := d.Bounds()
+	w, h := 2*b.Width()-1, 2*b.Height()-1
+	rows := make([][]byte, h)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", w))
+	}
+	pos := func(c grid.Coord) (int, int) { return 2 * (c.X - b.MinX), 2 * (c.Y - b.MinY) }
+	for _, e := range d.g.Edges() {
+		ca, cb := d.coords[e[0]], d.coords[e[1]]
+		xa, ya := pos(ca)
+		xb, yb := pos(cb)
+		if ya == yb && abs(xa-xb) == 2 {
+			rows[ya][(xa+xb)/2] = '-'
+		} else if xa == xb && abs(ya-yb) == 2 {
+			rows[(ya+yb)/2][xa] = '|'
+		}
+	}
+	for q, c := range d.coords {
+		x, y := pos(c)
+		deg := d.g.Degree(q)
+		rows[y][x] = byte('0' + deg%10)
+	}
+	var sb strings.Builder
+	for _, r := range rows {
+		sb.Write([]byte(strings.TrimRight(string(r), " ")))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func (d *Device) String() string {
+	return fmt.Sprintf("%s(%d qubits, %d couplings, avg degree %.2f)",
+		d.name, d.Len(), d.g.EdgeCount(), d.AvgDegree())
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,53 @@
+package device
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"surfstitch/internal/grid"
+)
+
+// jsonDevice is the interchange schema for coupling maps: the format a
+// hardware team would export from their calibration stack.
+type jsonDevice struct {
+	Name      string   `json:"name"`
+	Qubits    [][2]int `json:"qubits"`    // grid coordinates
+	Couplings [][2]int `json:"couplings"` // pairs of qubit indices
+}
+
+// ToJSON serializes a device's coupling map.
+func ToJSON(d *Device) ([]byte, error) {
+	out := jsonDevice{Name: d.Name()}
+	for q := 0; q < d.Len(); q++ {
+		c := d.Coord(q)
+		out.Qubits = append(out.Qubits, [2]int{c.X, c.Y})
+	}
+	for _, e := range d.Graph().Edges() {
+		out.Couplings = append(out.Couplings, [2]int{e[0], e[1]})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// FromJSON builds a device from a serialized coupling map. Couplings
+// reference qubit indices into the qubit list.
+func FromJSON(data []byte) (*Device, error) {
+	var in jsonDevice
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("device: %w", err)
+	}
+	if in.Name == "" {
+		in.Name = "custom"
+	}
+	coords := make([]grid.Coord, len(in.Qubits))
+	for i, q := range in.Qubits {
+		coords[i] = grid.C(q[0], q[1])
+	}
+	var couplings [][2]grid.Coord
+	for _, e := range in.Couplings {
+		if e[0] < 0 || e[0] >= len(coords) || e[1] < 0 || e[1] >= len(coords) {
+			return nil, fmt.Errorf("device: coupling %v references missing qubit", e)
+		}
+		couplings = append(couplings, [2]grid.Coord{coords[e[0]], coords[e[1]]})
+	}
+	return FromGraph(in.Name, coords, couplings)
+}

@@ -1,0 +1,49 @@
+package device
+
+import (
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := HeavySquare(3, 2)
+	blob, err := ToJSON(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("qubits %d != %d", back.Len(), orig.Len())
+	}
+	if back.Graph().EdgeCount() != orig.Graph().EdgeCount() {
+		t.Fatalf("edges %d != %d", back.Graph().EdgeCount(), orig.Graph().EdgeCount())
+	}
+	// Structure preserved: every original coupling exists in the round trip
+	// (qubit ids are stable because both sort by coordinate).
+	for _, e := range orig.Graph().Edges() {
+		if !back.Graph().HasEdge(e[0], e[1]) {
+			t.Fatalf("coupling %v lost", e)
+		}
+	}
+	if back.Name() != orig.Name() {
+		t.Errorf("name %q != %q", back.Name(), orig.Name())
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	if _, err := FromJSON([]byte("{nope")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := FromJSON([]byte(`{"qubits":[[0,0]],"couplings":[[0,5]]}`)); err == nil {
+		t.Error("dangling coupling accepted")
+	}
+	d, err := FromJSON([]byte(`{"qubits":[[0,0],[1,0]],"couplings":[[0,1]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "custom" || d.Len() != 2 {
+		t.Errorf("defaulted device wrong: %v", d)
+	}
+}

@@ -1,0 +1,94 @@
+package device
+
+import "fmt"
+
+// Preset devices modeled on published superconducting processors. The
+// coupling maps follow the public architecture descriptions (heavy-hexagon
+// fragments for IBM's Falcon and Hummingbird families, octagonal tiling for
+// Rigetti's Aspen family); qubit counts match the announced devices. They
+// are labeled "-like" because calibration data and minor revision details
+// are not modeled.
+
+// FalconLike27 returns a 27-qubit heavy-hexagon fragment in the shape of
+// IBM's Falcon processors (e.g. ibmq_montreal): two heavy-hexagon cells.
+func FalconLike27() *Device {
+	d := HeavyHexagon(2, 2)
+	d = trimTo(d, 27)
+	return rename(d, "falcon-like-27q")
+}
+
+// HummingbirdLike65 returns a 65-qubit heavy-hexagon fragment in the shape
+// of IBM's Hummingbird processors (e.g. ibmq_manhattan).
+func HummingbirdLike65() *Device {
+	d := HeavyHexagon(4, 3)
+	d = trimTo(d, 65)
+	return rename(d, "hummingbird-like-65q")
+}
+
+// AspenLike32 returns a 32-qubit octagonal lattice in the shape of Rigetti's
+// Aspen family (four octagons in a row).
+func AspenLike32() *Device {
+	return rename(Octagon(4, 1), "aspen-like-32q")
+}
+
+// SycamoreLike54 returns a 54-qubit square-lattice fragment in the shape of
+// Google's Sycamore processor (diagonal couplers modeled as a square grid of
+// equivalent connectivity).
+func SycamoreLike54() *Device {
+	d := Square(8, 5)
+	return rename(trimTo(d, 54), "sycamore-like-54q")
+}
+
+// Presets lists every chip preset with its device.
+func Presets() map[string]*Device {
+	return map[string]*Device{
+		"falcon-like-27q":      FalconLike27(),
+		"hummingbird-like-65q": HummingbirdLike65(),
+		"aspen-like-32q":       AspenLike32(),
+		"sycamore-like-54q":    SycamoreLike54(),
+	}
+}
+
+// Preset returns the named preset device.
+func Preset(name string) (*Device, error) {
+	d, ok := Presets()[name]
+	if !ok {
+		return nil, fmt.Errorf("device: unknown preset %q", name)
+	}
+	return d, nil
+}
+
+// trimTo removes qubits from the end of the coordinate order (bottom-right
+// of the tiling) until exactly n remain, dropping their couplings. The
+// remaining graph stays connected for all presets above.
+func trimTo(d *Device, n int) *Device {
+	if d.Len() <= n {
+		return d
+	}
+	keep := map[int]bool{}
+	for q := 0; q < n; q++ {
+		keep[q] = true
+	}
+	b := newBuilder()
+	for q := 0; q < n; q++ {
+		b.qubit(d.Coord(q))
+	}
+	for _, e := range d.Graph().Edges() {
+		if keep[e[0]] && keep[e[1]] {
+			b.couple(d.Coord(e[0]), d.Coord(e[1]))
+		}
+	}
+	return b.freeze(d.Name(), d.Kind())
+}
+
+// rename relabels a device while keeping its structure.
+func rename(d *Device, name string) *Device {
+	b := newBuilder()
+	for q := 0; q < d.Len(); q++ {
+		b.qubit(d.Coord(q))
+	}
+	for _, e := range d.Graph().Edges() {
+		b.couple(d.Coord(e[0]), d.Coord(e[1]))
+	}
+	return b.freeze(name, d.Kind())
+}

@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"math/rand"
+	"testing"
+
+	"surfstitch/internal/circuit"
+	"surfstitch/internal/decoder"
+	"surfstitch/internal/dem"
+	"surfstitch/internal/device"
+	"surfstitch/internal/frame"
+	"surfstitch/internal/noise"
+	"surfstitch/internal/synth"
+)
+
+// TestXBasisMemoryDetectsZErrors mirrors the Z-basis pipeline for the dual
+// experiment: |+>_L memory protected by X stabilizers against Z errors.
+func TestXBasisMemoryDetectsZErrors(t *testing.T) {
+	s := synthOn(t, device.Square(6, 6), 3, synth.ModeFour)
+	m, err := NewMemory(s, 3, Options{Basis: BasisX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Z error on any data qubit mid-circuit must trip a detector.
+	at := len(m.Circuit.Moments) / 2
+	for _, dq := range s.Layout.DataQubit {
+		injected := &circuit.Circuit{
+			NumQubits: m.Circuit.NumQubits, Detectors: m.Circuit.Detectors,
+			Observables: m.Circuit.Observables,
+		}
+		injected.Moments = append(injected.Moments, m.Circuit.Moments[:at]...)
+		injected.Moments = append(injected.Moments, circuit.Moment{
+			Noise: []circuit.Instruction{{Op: circuit.OpZError, Qubits: []int{dq}, Arg: 1}},
+		})
+		injected.Moments = append(injected.Moments, m.Circuit.Moments[at:]...)
+		sampler, err := frame.NewSampler(injected, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sampler.Sample(1).ShotDetectors(0)) == 0 {
+			t.Errorf("Z error on data qubit %d undetected in X-basis memory", dq)
+		}
+	}
+}
+
+func TestXBasisSingleMechanismsDecode(t *testing.T) {
+	s := synthOn(t, device.Square(6, 6), 3, synth.ModeFour)
+	m, err := NewMemory(s, 3, Options{Basis: BasisX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := m.Noisy(noise.Uniform(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := dem.FromCircuit(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decoder.New(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.UndetectableObs != 0 {
+		t.Fatal("X-basis memory has undetectable logical mechanisms")
+	}
+	bad := 0
+	for _, mech := range model.Mechanisms {
+		if len(mech.Detectors) == 0 {
+			continue
+		}
+		pred, err := dec.Decode(mech.Detectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred != mech.Obs {
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Errorf("%d/%d single mechanisms misdecoded in X-basis memory", bad, len(model.Mechanisms))
+	}
+}
+
+func TestXBasisLogicalRateComparableToZBasis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo in short mode")
+	}
+	// On the symmetric square-4 layout the X and Z memories should perform
+	// within a small factor of each other.
+	s := synthOn(t, device.Square(6, 6), 3, synth.ModeFour)
+	rates := map[Basis]float64{}
+	for _, basis := range []Basis{BasisZ, BasisX} {
+		m, err := NewMemory(s, 3, Options{Basis: basis})
+		if err != nil {
+			t.Fatal(err)
+		}
+		noisy, err := m.Noisy(noise.Uniform(0.004))
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := dem.FromCircuit(noisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := decoder.New(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler, err := frame.NewSampler(noisy, rand.New(rand.NewSource(21)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := dec.DecodeBatch(sampler.Sample(6000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates[basis] = stats.LogicalErrorRate()
+	}
+	t.Logf("Z-basis %.4f vs X-basis %.4f", rates[BasisZ], rates[BasisX])
+	if rates[BasisX] > 5*rates[BasisZ]+0.01 || rates[BasisZ] > 5*rates[BasisX]+0.01 {
+		t.Errorf("bases wildly asymmetric: Z=%.4f X=%.4f", rates[BasisZ], rates[BasisX])
+	}
+}
+
+func TestDistance7Memory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("d=7 assembly in short mode")
+	}
+	s := synthOn(t, device.Square(14, 14), 7, synth.ModeFour)
+	m, err := NewMemory(s, 3, Options{})
+	if err != nil {
+		t.Fatalf("d=7 memory: %v", err)
+	}
+	if m.NumDetectors() == 0 {
+		t.Error("no detectors")
+	}
+}

@@ -1,0 +1,365 @@
+// Package flagbridge generates flag-bridge stabilizer measurement circuits
+// (Lao & Almudéver, PRA 101, 032333) — the low-level backend the synthesis
+// framework instantiates for each stabilizer (§2.2 of the paper):
+//
+//  1. initialization: the bridge-tree root is prepared in |0> (Z-type
+//     trees) or |+> (X-type); the other bridge qubits in the opposite basis;
+//  2. an encoding circuit of CNOTs along the bridge tree, level by level;
+//  3. data-coupling CNOTs in a zig-zag order that keeps concurrently
+//     measured X- and Z-stabilizers commuting;
+//  4. a decoding circuit mirroring the encoding;
+//  5. measurement: the root yields the syndrome bit; the remaining bridge
+//     qubits are flag measurements that catch hook errors.
+//
+// Several plans are assembled into one lock-step "set" whose global phase
+// structure (init / encode / 4 data slots / decode / measure) guarantees the
+// zig-zag constraint across stabilizers sharing data qubits.
+package flagbridge
+
+import (
+	"fmt"
+	"sort"
+
+	"surfstitch/internal/circuit"
+	"surfstitch/internal/code"
+	"surfstitch/internal/graph"
+)
+
+// Direction identifies which corner of its plaquette a data qubit occupies,
+// as seen from the stabilizer's corner coordinate.
+type Direction int
+
+// Plaquette corner directions.
+const (
+	NW Direction = iota
+	NE
+	SW
+	SE
+)
+
+// String returns the compass name of the direction.
+func (d Direction) String() string {
+	return [...]string{"NW", "NE", "SW", "SE"}[d]
+}
+
+// dataSlotOrder gives, per stabilizer type, the global time slot (0..3) in
+// which each direction's data CNOT executes. X-stabilizers use the "Z"
+// visiting order (NW,NE,SW,SE) and Z-stabilizers the "S" order
+// (NW,SW,NE,SE); together these keep concurrently measured overlapping
+// stabilizers commuting (the paper's zig-zag constraint).
+func dataSlot(t code.StabType, d Direction) int {
+	if t == code.StabX {
+		return int(d) // NW=0, NE=1, SW=2, SE=3
+	}
+	switch d {
+	case NW:
+		return 0
+	case SW:
+		return 1
+	case NE:
+		return 2
+	default: // SE
+		return 3
+	}
+}
+
+// Plan is the compiled measurement plan of one stabilizer: its bridge tree
+// on the device plus the derived circuit structure.
+type Plan struct {
+	Type code.StabType
+	// Tree spans the bridge qubits and the data qubits; data qubits are
+	// leaves and the root is the syndrome qubit.
+	Tree *graph.Tree
+	// DataDirs maps each device data qubit in the tree to its plaquette
+	// direction.
+	DataDirs map[int]Direction
+
+	root    int
+	bridges []int       // all bridge qubits (root included), sorted
+	plus    []int       // bridge qubits initialized to |+> (H after reset)
+	encode  [][][2]int  // encode moments; each CNOT is (control, target)
+	couple  [4][][2]int // data-coupling CNOTs per global slot
+}
+
+// NewPlan validates the bridge tree and derives the circuit structure. The
+// tree's leaves must be exactly the keys of dataDirs (unless the tree is the
+// single root, which is invalid — a stabilizer needs data qubits).
+func NewPlan(t code.StabType, tree *graph.Tree, dataDirs map[int]Direction) (*Plan, error) {
+	if len(dataDirs) == 0 {
+		return nil, fmt.Errorf("flagbridge: stabilizer with no data qubits")
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != len(dataDirs) {
+		return nil, fmt.Errorf("flagbridge: tree has %d leaves but %d data qubits", len(leaves), len(dataDirs))
+	}
+	for _, l := range leaves {
+		if _, ok := dataDirs[l]; !ok {
+			return nil, fmt.Errorf("flagbridge: tree leaf %d is not a data qubit", l)
+		}
+	}
+	if _, isData := dataDirs[tree.Root]; isData {
+		return nil, fmt.Errorf("flagbridge: tree root %d is a data qubit", tree.Root)
+	}
+	slotSeen := map[int]bool{}
+	for _, d := range dataDirs {
+		s := dataSlot(t, d)
+		if slotSeen[s] {
+			return nil, fmt.Errorf("flagbridge: two data qubits share direction slot %d", s)
+		}
+		slotSeen[s] = true
+	}
+
+	p := &Plan{Type: t, Tree: tree, DataDirs: dataDirs, root: tree.Root}
+	for _, n := range tree.Nodes() {
+		if _, isData := dataDirs[n]; !isData {
+			p.bridges = append(p.bridges, n)
+		}
+	}
+	sort.Ints(p.bridges)
+	for _, b := range p.bridges {
+		if b != p.root {
+			p.plus = append(p.plus, b)
+		}
+	}
+	// For X-type trees the root is the |+>-prepared qubit and the other
+	// bridges start in |0>; roles are mirrored relative to Z-type.
+	if t == code.StabX {
+		p.plus = []int{p.root}
+	}
+
+	p.buildEncode()
+	p.buildCouplings()
+	return p, nil
+}
+
+// buildEncode lays out the encoding CNOTs level by level over the bridge
+// subtree, serializing CNOTs that share a parent. Z-type trees encode from
+// child to parent (collecting Z-parity toward the root); X-type trees encode
+// from parent to child (spreading the root's X superposition).
+func (p *Plan) buildEncode() {
+	isData := func(n int) bool { _, ok := p.DataDirs[n]; return ok }
+	for _, level := range p.Tree.LevelOrder()[1:] {
+		var bridgeNodes []int
+		for _, n := range level {
+			if !isData(n) {
+				bridgeNodes = append(bridgeNodes, n)
+			}
+		}
+		if len(bridgeNodes) == 0 {
+			continue
+		}
+		// Group by parent; the i-th child of each parent goes to sub-moment i.
+		byParent := map[int][]int{}
+		maxKids := 0
+		for _, n := range bridgeNodes {
+			par := p.Tree.Parent(n)
+			byParent[par] = append(byParent[par], n)
+			if len(byParent[par]) > maxKids {
+				maxKids = len(byParent[par])
+			}
+		}
+		moments := make([][][2]int, maxKids)
+		parents := make([]int, 0, len(byParent))
+		for par := range byParent {
+			parents = append(parents, par)
+		}
+		sort.Ints(parents)
+		for _, par := range parents {
+			for i, n := range byParent[par] {
+				cnot := [2]int{n, par} // Z-type: child controls parent
+				if p.Type == code.StabX {
+					cnot = [2]int{par, n}
+				}
+				moments[i] = append(moments[i], cnot)
+			}
+		}
+		p.encode = append(p.encode, moments...)
+	}
+}
+
+// buildCouplings assigns each data qubit's CNOT to its global time slot.
+// Z-type stabilizers use the data qubit as control (parity flows into the
+// bridge leaf); X-type use the bridge leaf as control.
+func (p *Plan) buildCouplings() {
+	for data, dir := range p.DataDirs {
+		leaf := p.Tree.Parent(data)
+		cnot := [2]int{data, leaf}
+		if p.Type == code.StabX {
+			cnot = [2]int{leaf, data}
+		}
+		p.couple[dataSlot(p.Type, dir)] = append(p.couple[dataSlot(p.Type, dir)], cnot)
+	}
+	for s := range p.couple {
+		sort.Slice(p.couple[s], func(i, j int) bool { return p.couple[s][i][0] < p.couple[s][j][0] })
+	}
+}
+
+// Root returns the syndrome qubit (bridge tree root).
+func (p *Plan) Root() int { return p.root }
+
+// Bridges returns all bridge qubits including the root, sorted.
+func (p *Plan) Bridges() []int { return p.bridges }
+
+// NumBridges returns the bridge qubit count (the paper's "bridge qubit #").
+func (p *Plan) NumBridges() int { return len(p.bridges) }
+
+// NumCNOTs returns the total CNOT count of the measurement circuit:
+// encoding + decoding + data couplings (the paper's "CNOT #").
+func (p *Plan) NumCNOTs() int {
+	enc := 0
+	for _, m := range p.encode {
+		enc += len(m)
+	}
+	return 2*enc + len(p.DataDirs)
+}
+
+// EncodeDepth returns the number of encoding moments.
+func (p *Plan) EncodeDepth() int { return len(p.encode) }
+
+// TimeSteps returns the stand-alone depth of this plan's measurement
+// circuit: init(2) + encode + 4 data slots (only occupied slots count when
+// the plan runs alone... the paper counts the fixed zig-zag window, so all
+// 4 are charged for weight-4 stabilizers, fewer for weight-2) + decode +
+// measure(2).
+func (p *Plan) TimeSteps() int {
+	slots := 0
+	for _, c := range p.couple {
+		if len(c) > 0 {
+			slots++
+		}
+	}
+	return 2 + len(p.encode) + slots + len(p.encode) + 2
+}
+
+// Result records where a plan's measurement outcomes landed in the record.
+type Result struct {
+	Plan        *Plan
+	SyndromeRec int
+	FlagRecs    []int
+}
+
+// AppendSet emits one lock-step measurement set for the given plans into the
+// builder. Plans in a set must have disjoint bridge trees (shared data
+// qubits are allowed — the slot discipline handles them); a conflict
+// surfaces as a validation error when the circuit is built.
+func AppendSet(b *circuit.Builder, plans []*Plan) []Result {
+	if len(plans) == 0 {
+		return nil
+	}
+	// Phase 1: reset all bridge qubits.
+	b.Begin()
+	for _, p := range plans {
+		b.R(p.bridges...)
+	}
+	// Phase 2: Hadamards on |+>-initialized qubits.
+	b.Begin()
+	for _, p := range plans {
+		b.H(p.plus...)
+	}
+	// Phase 3: encoding, aligned to the deepest plan.
+	maxEnc := 0
+	for _, p := range plans {
+		if len(p.encode) > maxEnc {
+			maxEnc = len(p.encode)
+		}
+	}
+	for k := 0; k < maxEnc; k++ {
+		b.Begin()
+		for _, p := range plans {
+			if k < len(p.encode) {
+				for _, cnot := range p.encode[k] {
+					b.CX(cnot[0], cnot[1])
+				}
+			}
+		}
+	}
+	// Phase 4: data coupling in the four global zig-zag slots.
+	for s := 0; s < 4; s++ {
+		b.Begin()
+		for _, p := range plans {
+			for _, cnot := range p.couple[s] {
+				b.CX(cnot[0], cnot[1])
+			}
+		}
+	}
+	// Phase 5: decoding (mirror of encoding).
+	for k := maxEnc - 1; k >= 0; k-- {
+		b.Begin()
+		for _, p := range plans {
+			if k < len(p.encode) {
+				for _, cnot := range p.encode[k] {
+					b.CX(cnot[0], cnot[1])
+				}
+			}
+		}
+	}
+	// Phase 6: Hadamards before measurement.
+	b.Begin()
+	for _, p := range plans {
+		b.H(p.plus...)
+	}
+	// Phase 7: measure all bridge qubits.
+	b.Begin()
+	results := make([]Result, len(plans))
+	for i, p := range plans {
+		recs := b.M(p.bridges...)
+		res := Result{Plan: p}
+		for j, q := range p.bridges {
+			if q == p.root {
+				res.SyndromeRec = recs[j]
+			} else {
+				res.FlagRecs = append(res.FlagRecs, recs[j])
+			}
+		}
+		results[i] = res
+	}
+	return results
+}
+
+// SetDepth returns the number of time steps AppendSet will emit for the
+// given plans: 2 + maxEncode + 4 + maxEncode + 2.
+func SetDepth(plans []*Plan) int {
+	if len(plans) == 0 {
+		return 0
+	}
+	maxEnc := 0
+	for _, p := range plans {
+		if len(p.encode) > maxEnc {
+			maxEnc = len(p.encode)
+		}
+	}
+	return 2 + maxEnc + 4 + maxEnc + 2
+}
+
+// Compatible reports whether two plans can run in the same set: their bridge
+// trees must not share any qubit, and they may share data qubits only if no
+// data qubit occupies the same global slot in both plans.
+func Compatible(a, b *Plan) bool {
+	if a.Tree.SharesNode(b.Tree) {
+		// Shared data qubits are tolerable only when they never collide in a
+		// slot; shared bridge qubits never are. SharesNode covers both, so
+		// inspect the shared nodes.
+		shared := sharedNodes(a, b)
+		for _, n := range shared {
+			_, aData := a.DataDirs[n]
+			_, bData := b.DataDirs[n]
+			if !aData || !bData {
+				return false // a bridge qubit is shared
+			}
+			if dataSlot(a.Type, a.DataDirs[n]) == dataSlot(b.Type, b.DataDirs[n]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sharedNodes(a, b *Plan) []int {
+	var out []int
+	for _, n := range a.Tree.Nodes() {
+		if b.Tree.Contains(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

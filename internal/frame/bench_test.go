@@ -1,0 +1,49 @@
+package frame
+
+import (
+	"testing"
+
+	"surfstitch/internal/circuit"
+)
+
+// benchCircuit builds a representative noisy stabilizer-round circuit.
+func benchCircuit(qubits, rounds int) *circuit.Circuit {
+	b := circuit.NewBuilder(qubits)
+	all := make([]int, qubits)
+	for i := range all {
+		all[i] = i
+	}
+	for r := 0; r < rounds; r++ {
+		b.Begin().R(all[qubits/2:]...)
+		b.Begin()
+		var pairs []int
+		for i := 0; i < qubits/2; i++ {
+			pairs = append(pairs, i, qubits/2+i)
+		}
+		b.CX(pairs...)
+		b.Noise(circuit.OpDepolarize2, 0.001, pairs...)
+		b.Begin()
+		recs := b.M(all[qubits/2:]...)
+		for _, rec := range recs {
+			b.Detector(rec)
+		}
+		b.Noise(circuit.OpDepolarize1, 0.0002, all...)
+	}
+	return b.MustBuild()
+}
+
+// BenchmarkSample measures bit-parallel frame sampling throughput.
+func BenchmarkSample(b *testing.B) {
+	c := benchCircuit(64, 10)
+	s, err := NewSampler(c, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shots := 100000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := s.Sample(shots)
+		_ = batch
+	}
+	b.ReportMetric(float64(shots), "shots/op")
+}

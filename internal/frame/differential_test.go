@@ -1,0 +1,124 @@
+package frame
+
+import (
+	"math/rand"
+	"testing"
+
+	"surfstitch/internal/circuit"
+	"surfstitch/internal/tableau"
+)
+
+// randomRoundCircuit builds a randomized repeated-measurement circuit with
+// deterministic detectors: a random Clifford prologue on the data qubits,
+// then `rounds` identical rounds of random data->ancilla parity collection,
+// with detectors comparing consecutive rounds.
+func randomRoundCircuit(seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	nData := 3 + rng.Intn(4)
+	nAnc := 1 + rng.Intn(3)
+	n := nData + nAnc
+	b := circuit.NewBuilder(n)
+
+	// Random Clifford prologue on data qubits (kept measurement-free so the
+	// rounds' parities stay repeatable).
+	b.Begin()
+	for q := 0; q < nData; q++ {
+		if rng.Intn(2) == 0 {
+			b.H(q)
+		}
+	}
+	b.Begin()
+	for q := 0; q < nData; q++ {
+		if rng.Intn(2) == 0 {
+			b.Gate(circuit.OpS, q)
+		}
+	}
+	for i := 0; i < nData; i++ {
+		a, c := rng.Intn(nData), rng.Intn(nData)
+		if a != c {
+			b.Begin().CX(a, c)
+		}
+	}
+
+	// A fixed random coupling pattern reused in every round.
+	type coupling struct{ data, anc int }
+	var pattern []coupling
+	for a := 0; a < nAnc; a++ {
+		k := 1 + rng.Intn(3)
+		for j := 0; j < k; j++ {
+			pattern = append(pattern, coupling{rng.Intn(nData), nData + a})
+		}
+	}
+
+	rounds := 2 + rng.Intn(2)
+	var prev []int
+	for r := 0; r < rounds; r++ {
+		ancs := make([]int, nAnc)
+		for a := range ancs {
+			ancs[a] = nData + a
+		}
+		b.Begin().R(ancs...)
+		for _, c := range pattern {
+			b.Begin().CX(c.data, c.anc)
+		}
+		b.Begin()
+		recs := b.M(ancs...)
+		if r > 0 {
+			for a := 0; a < nAnc; a++ {
+				b.Detector(prev[a], recs[a])
+			}
+		}
+		prev = recs
+	}
+	return b.MustBuild()
+}
+
+// TestFrameMatchesTableauOnRandomCircuits injects every single-qubit Pauli
+// at every moment boundary of randomized circuits and compares the frame
+// simulator's detector flips against exact tableau simulation.
+func TestFrameMatchesTableauOnRandomCircuits(t *testing.T) {
+	paulis := []circuit.Op{circuit.OpX, circuit.OpZ, circuit.OpY}
+	noiseFor := map[circuit.Op][]circuit.Op{
+		circuit.OpX: {circuit.OpXError},
+		circuit.OpZ: {circuit.OpZError},
+		circuit.OpY: {circuit.OpXError, circuit.OpZError},
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		base := randomRoundCircuit(seed)
+		refDet, _, err := tableau.Reference(base, 4)
+		if err != nil {
+			t.Fatalf("seed %d: detectors not deterministic: %v", seed, err)
+		}
+		for mi := 0; mi <= len(base.Moments); mi++ {
+			for q := 0; q < base.NumQubits; q++ {
+				for _, p := range paulis {
+					gateC := insertMoment(base, mi, circuit.Moment{
+						Gates: []circuit.Instruction{{Op: p, Qubits: []int{q}}},
+					})
+					res := tableau.Run(gateC, rand.New(rand.NewSource(3)))
+					det := tableau.DetectorValues(gateC, res.Records)
+					var want []int
+					for i := range det {
+						if det[i] != refDet[i] {
+							want = append(want, i)
+						}
+					}
+					var noiseInstrs []circuit.Instruction
+					for _, op := range noiseFor[p] {
+						noiseInstrs = append(noiseInstrs, circuit.Instruction{Op: op, Qubits: []int{q}, Arg: 1})
+					}
+					noiseC := insertMoment(base, mi, circuit.Moment{Noise: noiseInstrs})
+					s, err := NewSampler(noiseC, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := s.Sample(1).ShotDetectors(0)
+					if !equalInts(got, want) {
+						t.Fatalf("seed %d moment %d qubit %d pauli %v: frame %v vs tableau %v",
+							seed, mi, q, p, got, want)
+					}
+				}
+			}
+		}
+	}
+}

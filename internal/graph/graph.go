@@ -1,0 +1,200 @@
+// Package graph provides the undirected-graph substrate used by the device
+// models and the synthesis passes: adjacency lists, breadth-first search,
+// shortest paths, and small tree utilities for bridge-tree construction.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected graph over nodes 0..N-1 with adjacency lists kept
+// sorted for determinism. The zero value is an empty graph; use New to
+// allocate a graph with a fixed node count.
+type Graph struct {
+	adj [][]int
+}
+
+// New returns a graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.adj) }
+
+// AddEdge inserts the undirected edge {a, b}. Inserting an existing edge or
+// a self-loop is a no-op, so device builders may add edges freely.
+func (g *Graph) AddEdge(a, b int) {
+	if a == b {
+		return
+	}
+	g.checkNode(a)
+	g.checkNode(b)
+	if g.HasEdge(a, b) {
+		return
+	}
+	g.adj[a] = insertSorted(g.adj[a], b)
+	g.adj[b] = insertSorted(g.adj[b], a)
+}
+
+// HasEdge reports whether the undirected edge {a, b} exists.
+func (g *Graph) HasEdge(a, b int) bool {
+	g.checkNode(a)
+	g.checkNode(b)
+	list := g.adj[a]
+	i := sort.SearchInts(list, b)
+	return i < len(list) && list[i] == b
+}
+
+// Neighbors returns the sorted adjacency list of node a. The returned slice
+// is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(a int) []int {
+	g.checkNode(a)
+	return g.adj[a]
+}
+
+// Degree returns the number of neighbors of node a.
+func (g *Graph) Degree(a int) int {
+	g.checkNode(a)
+	return len(g.adj[a])
+}
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, l := range g.adj {
+		total += len(l)
+	}
+	return total / 2
+}
+
+// Edges returns every undirected edge exactly once as (a, b) with a < b,
+// in deterministic order.
+func (g *Graph) Edges() [][2]int {
+	var edges [][2]int
+	for a, l := range g.adj {
+		for _, b := range l {
+			if a < b {
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+	}
+	return edges
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.Len())
+	for i, l := range g.adj {
+		c.adj[i] = append([]int(nil), l...)
+	}
+	return c
+}
+
+func (g *Graph) checkNode(a int) {
+	if a < 0 || a >= len(g.adj) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", a, len(g.adj)))
+	}
+}
+
+// BFSDistances returns the unweighted shortest-path distance from src to
+// every node, restricted to nodes allowed by the filter (nil means all nodes
+// are allowed). Unreachable nodes get distance -1. The source must itself be
+// allowed.
+func (g *Graph) BFSDistances(src int, allowed func(int) bool) []int {
+	g.checkNode(src)
+	dist := make([]int, g.Len())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if allowed != nil && !allowed(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] != -1 {
+				continue
+			}
+			if allowed != nil && !allowed(v) {
+				continue
+			}
+			dist[v] = dist[u] + 1
+			queue = append(queue, v)
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest path from src to dst (inclusive of both
+// endpoints), restricted to allowed nodes, or nil when dst is unreachable.
+// Ties are broken toward smaller node indices, which keeps the synthesis
+// deterministic.
+func (g *Graph) ShortestPath(src, dst int, allowed func(int) bool) []int {
+	dist := g.BFSDistances(src, allowed)
+	if dist[dst] == -1 {
+		return nil
+	}
+	// Walk backwards from dst, always stepping to the smallest-index
+	// neighbor one unit closer to src.
+	path := []int{dst}
+	cur := dst
+	for cur != src {
+		next := -1
+		for _, v := range g.adj[cur] {
+			if dist[v] == dist[cur]-1 {
+				next = v
+				break // adjacency is sorted, first hit is smallest index
+			}
+		}
+		if next == -1 {
+			return nil // should not happen when dist[dst] != -1
+		}
+		path = append(path, next)
+		cur = next
+	}
+	reverse(path)
+	return path
+}
+
+// Distance returns the unweighted shortest-path distance between a and b
+// restricted to allowed nodes, or -1 when disconnected.
+func (g *Graph) Distance(a, b int, allowed func(int) bool) int {
+	return g.BFSDistances(a, allowed)[b]
+}
+
+// ConnectedWithin reports whether every node in nodes lies in a single
+// connected component of the subgraph induced by the allowed filter.
+func (g *Graph) ConnectedWithin(nodes []int, allowed func(int) bool) bool {
+	if len(nodes) == 0 {
+		return true
+	}
+	dist := g.BFSDistances(nodes[0], allowed)
+	for _, n := range nodes[1:] {
+		if dist[n] == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+func insertSorted(list []int, v int) []int {
+	i := sort.SearchInts(list, v)
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = v
+	return list
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

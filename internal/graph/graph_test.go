@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// path builds a path graph 0-1-2-...-n-1.
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// grid4 builds a w x h grid graph with 4-neighbor connectivity; node = y*w+x.
+func gridGraph(w, h int) *Graph {
+	g := New(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			n := y*w + x
+			if x+1 < w {
+				g.AddEdge(n, n+1)
+			}
+			if y+1 < h {
+				g.AddEdge(n, n+w)
+			}
+		}
+	}
+	return g
+}
+
+func TestAddEdgeIdempotentAndNoSelfLoop(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 2)
+	if got := g.EdgeCount(); got != 1 {
+		t.Fatalf("EdgeCount = %d, want 1", got)
+	}
+	if g.HasEdge(2, 2) {
+		t.Error("self loop should not exist")
+	}
+	if !g.HasEdge(1, 0) {
+		t.Error("edge should be undirected")
+	}
+}
+
+func TestDegreeAndNeighborsSorted(t *testing.T) {
+	g := New(5)
+	g.AddEdge(2, 4)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	if g.Degree(2) != 3 {
+		t.Fatalf("Degree(2) = %d, want 3", g.Degree(2))
+	}
+	ns := g.Neighbors(2)
+	want := []int{0, 3, 4}
+	for i, v := range want {
+		if ns[i] != v {
+			t.Fatalf("Neighbors(2) = %v, want %v", ns, want)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range node")
+		}
+	}()
+	g.AddEdge(0, 5)
+}
+
+func TestBFSDistancesOnPath(t *testing.T) {
+	g := pathGraph(6)
+	dist := g.BFSDistances(0, nil)
+	for i, d := range dist {
+		if d != i {
+			t.Errorf("dist[%d] = %d, want %d", i, d, i)
+		}
+	}
+}
+
+func TestBFSDistancesWithFilter(t *testing.T) {
+	g := pathGraph(6)
+	blocked := map[int]bool{3: true}
+	dist := g.BFSDistances(0, func(n int) bool { return !blocked[n] })
+	if dist[2] != 2 {
+		t.Errorf("dist[2] = %d, want 2", dist[2])
+	}
+	for _, n := range []int{3, 4, 5} {
+		if dist[n] != -1 {
+			t.Errorf("dist[%d] = %d, want -1 (cut off)", n, dist[n])
+		}
+	}
+}
+
+func TestBFSSourceNotAllowed(t *testing.T) {
+	g := pathGraph(3)
+	dist := g.BFSDistances(0, func(n int) bool { return n != 0 })
+	for i, d := range dist {
+		if d != -1 {
+			t.Errorf("dist[%d] = %d, want -1 when source disallowed", i, d)
+		}
+	}
+}
+
+func TestShortestPathEndpointsAndLength(t *testing.T) {
+	g := gridGraph(4, 4)
+	p := g.ShortestPath(0, 15, nil)
+	if p == nil {
+		t.Fatal("no path found in connected grid")
+	}
+	if p[0] != 0 || p[len(p)-1] != 15 {
+		t.Fatalf("path endpoints = %d..%d, want 0..15", p[0], p[len(p)-1])
+	}
+	if len(p)-1 != 6 {
+		t.Fatalf("path length = %d, want 6", len(p)-1)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			t.Fatalf("path step %d-%d is not an edge", p[i], p[i+1])
+		}
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if p := g.ShortestPath(0, 3, nil); p != nil {
+		t.Fatalf("expected nil path across components, got %v", p)
+	}
+	if d := g.Distance(0, 3, nil); d != -1 {
+		t.Fatalf("Distance = %d, want -1", d)
+	}
+}
+
+func TestShortestPathDeterministic(t *testing.T) {
+	g := gridGraph(3, 3)
+	p1 := g.ShortestPath(0, 8, nil)
+	p2 := g.ShortestPath(0, 8, nil)
+	if len(p1) != len(p2) {
+		t.Fatal("path lengths differ across runs")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("paths differ across runs; tie-breaking is not deterministic")
+		}
+	}
+}
+
+func TestShortestPathMatchesBFSDistanceOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 8 + rng.Intn(10)
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		src, dst := rng.Intn(n), rng.Intn(n)
+		d := g.Distance(src, dst, nil)
+		p := g.ShortestPath(src, dst, nil)
+		if d == -1 {
+			if p != nil {
+				t.Fatalf("trial %d: distance -1 but path %v", trial, p)
+			}
+			continue
+		}
+		if len(p)-1 != d {
+			t.Fatalf("trial %d: path length %d != distance %d", trial, len(p)-1, d)
+		}
+	}
+}
+
+func TestConnectedWithin(t *testing.T) {
+	g := gridGraph(3, 3)
+	if !g.ConnectedWithin([]int{0, 4, 8}, nil) {
+		t.Error("grid nodes should be connected")
+	}
+	// Block the middle column: nodes 1, 4, 7.
+	blocked := map[int]bool{1: true, 4: true, 7: true}
+	allowed := func(n int) bool { return !blocked[n] }
+	if g.ConnectedWithin([]int{0, 2}, allowed) {
+		t.Error("0 and 2 should be disconnected when the middle column is blocked")
+	}
+	if !g.ConnectedWithin([]int{0, 3, 6}, allowed) {
+		t.Error("left column should remain connected")
+	}
+	if !g.ConnectedWithin(nil, nil) {
+		t.Error("empty set is trivially connected")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := pathGraph(3)
+	c := g.Clone()
+	c.AddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Error("modifying clone affected original")
+	}
+	if !c.HasEdge(0, 1) {
+		t.Error("clone lost an edge")
+	}
+}
+
+func TestEdgesEachOnce(t *testing.T) {
+	g := gridGraph(3, 2)
+	edges := g.Edges()
+	if len(edges) != g.EdgeCount() {
+		t.Fatalf("Edges returned %d, EdgeCount = %d", len(edges), g.EdgeCount())
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not normalized", e)
+		}
+		if seen[e] {
+			t.Fatalf("edge %v duplicated", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestBFSDistanceSymmetryProperty(t *testing.T) {
+	// On undirected graphs dist(a,b) == dist(b,a).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(8)
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		a, b := rng.Intn(n), rng.Intn(n)
+		return g.Distance(a, b, nil) == g.Distance(b, a, nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

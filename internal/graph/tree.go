@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tree is a rooted tree over a subset of a graph's nodes, used to represent
+// bridge trees: the root acts as the syndrome qubit, the leaves are data
+// qubits, and interior nodes are bridge qubits. Trees are built from edge
+// sets with BuildTree and re-rooted with Reroot.
+type Tree struct {
+	Root   int
+	parent map[int]int // node -> parent; root maps to itself
+	kids   map[int][]int
+}
+
+// BuildTree assembles a rooted tree from an undirected edge set. It returns
+// an error when the edges do not form a tree containing the root (cycle,
+// disconnection, or missing root).
+func BuildTree(root int, edges [][2]int) (*Tree, error) {
+	adj := map[int][]int{}
+	nodeSet := map[int]bool{root: true}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+		nodeSet[e[0]] = true
+		nodeSet[e[1]] = true
+	}
+	if len(edges) != len(nodeSet)-1 {
+		return nil, fmt.Errorf("graph: %d edges over %d nodes is not a tree", len(edges), len(nodeSet))
+	}
+	t := &Tree{Root: root, parent: map[int]int{root: root}, kids: map[int][]int{}}
+	queue := []int{root}
+	visited := map[int]bool{root: true}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		ns := append([]int(nil), adj[u]...)
+		sort.Ints(ns)
+		for _, v := range ns {
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			t.parent[v] = u
+			t.kids[u] = append(t.kids[u], v)
+			queue = append(queue, v)
+		}
+	}
+	if len(visited) != len(nodeSet) {
+		return nil, fmt.Errorf("graph: edge set is disconnected from root %d", root)
+	}
+	return t, nil
+}
+
+// Len returns the number of nodes in the tree.
+func (t *Tree) Len() int { return len(t.parent) }
+
+// EdgeLen returns the number of edges (the paper's bridge tree "length").
+func (t *Tree) EdgeLen() int { return len(t.parent) - 1 }
+
+// Nodes returns all tree nodes in sorted order.
+func (t *Tree) Nodes() []int {
+	out := make([]int, 0, len(t.parent))
+	for n := range t.parent {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Contains reports whether node n belongs to the tree.
+func (t *Tree) Contains(n int) bool {
+	_, ok := t.parent[n]
+	return ok
+}
+
+// Parent returns the parent of n; the root is its own parent.
+func (t *Tree) Parent(n int) int { return t.parent[n] }
+
+// Children returns the sorted children of n.
+func (t *Tree) Children(n int) []int { return t.kids[n] }
+
+// Leaves returns the sorted leaf nodes (nodes without children). For a
+// bridge tree the leaves are exactly the coupled data qubits.
+func (t *Tree) Leaves() []int {
+	var out []int
+	for n := range t.parent {
+		if len(t.kids[n]) == 0 && n != t.Root {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 { // single-node tree
+		out = append(out, t.Root)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Depth returns the number of edges from n to the root.
+func (t *Tree) Depth(n int) int {
+	d := 0
+	for n != t.Root {
+		n = t.parent[n]
+		d++
+	}
+	return d
+}
+
+// Height returns the maximum depth over all nodes.
+func (t *Tree) Height() int {
+	h := 0
+	for n := range t.parent {
+		if d := t.Depth(n); d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// LevelOrder returns the nodes grouped by depth: result[k] holds the nodes
+// at distance k from the root in sorted order. The flag-bridge encoding
+// circuit adds one CNOT per node per level, so this is the natural iteration
+// order for circuit generation.
+func (t *Tree) LevelOrder() [][]int {
+	levels := make([][]int, t.Height()+1)
+	for n := range t.parent {
+		d := t.Depth(n)
+		levels[d] = append(levels[d], n)
+	}
+	for _, l := range levels {
+		sort.Ints(l)
+	}
+	return levels
+}
+
+// Edges returns the tree's undirected edges as (child, parent) pairs in
+// deterministic order.
+func (t *Tree) Edges() [][2]int {
+	var out [][2]int
+	for _, n := range t.Nodes() {
+		if n != t.Root {
+			out = append(out, [2]int{n, t.parent[n]})
+		}
+	}
+	return out
+}
+
+// Reroot returns a new tree with the same edge set rooted at newRoot.
+func (t *Tree) Reroot(newRoot int) (*Tree, error) {
+	if !t.Contains(newRoot) {
+		return nil, fmt.Errorf("graph: node %d is not in the tree", newRoot)
+	}
+	return BuildTree(newRoot, t.Edges())
+}
+
+// SharesNode reports whether the two trees have at least one node in common.
+// Bridge trees that share nodes are incompatible: their stabilizers cannot
+// be measured in parallel.
+func (t *Tree) SharesNode(u *Tree) bool {
+	small, big := t, u
+	if small.Len() > big.Len() {
+		small, big = big, small
+	}
+	for n := range small.parent {
+		if big.Contains(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// PathUnionTree builds a tree from the union of node paths (each path is a
+// sequence of adjacent nodes). Duplicate edges collapse; an error is
+// returned when the union contains a cycle. This implements the "merge
+// shortest paths" step of both bridge-tree heuristics.
+func PathUnionTree(root int, paths ...[]int) (*Tree, error) {
+	seen := map[[2]int]bool{}
+	var edges [][2]int
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			a, b := p[i], p[i+1]
+			if a > b {
+				a, b = b, a
+			}
+			if a == b {
+				return nil, fmt.Errorf("graph: path contains self-loop at %d", a)
+			}
+			if seen[[2]int{a, b}] {
+				continue
+			}
+			seen[[2]int{a, b}] = true
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+	return BuildTree(root, edges)
+}

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"testing"
+)
+
+// The bridge tree from the paper's Figure 3: root s with children e and f,
+// where e couples data qubits a, b and f couples data qubits c, d.
+// Node ids: a=0 b=1 c=2 d=3 e=4 s=5 f=6.
+func figure3Tree(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := BuildTree(5, [][2]int{{5, 4}, {5, 6}, {4, 0}, {4, 1}, {6, 2}, {6, 3}})
+	if err != nil {
+		t.Fatalf("BuildTree: %v", err)
+	}
+	return tr
+}
+
+func TestBuildTreeFigure3(t *testing.T) {
+	tr := figure3Tree(t)
+	if tr.Len() != 7 || tr.EdgeLen() != 6 {
+		t.Fatalf("Len/EdgeLen = %d/%d, want 7/6", tr.Len(), tr.EdgeLen())
+	}
+	leaves := tr.Leaves()
+	want := []int{0, 1, 2, 3}
+	if len(leaves) != 4 {
+		t.Fatalf("Leaves = %v, want %v", leaves, want)
+	}
+	for i := range want {
+		if leaves[i] != want[i] {
+			t.Fatalf("Leaves = %v, want %v", leaves, want)
+		}
+	}
+	if tr.Parent(0) != 4 || tr.Parent(4) != 5 || tr.Parent(5) != 5 {
+		t.Error("parent relation incorrect")
+	}
+	if tr.Height() != 2 {
+		t.Errorf("Height = %d, want 2", tr.Height())
+	}
+}
+
+func TestBuildTreeRejectsCycle(t *testing.T) {
+	_, err := BuildTree(0, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	if err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestBuildTreeRejectsDisconnected(t *testing.T) {
+	_, err := BuildTree(0, [][2]int{{0, 1}, {2, 3}, {3, 4}})
+	if err == nil {
+		t.Fatal("disconnected edge set accepted")
+	}
+}
+
+func TestBuildTreeSingleNode(t *testing.T) {
+	tr, err := BuildTree(7, nil)
+	if err != nil {
+		t.Fatalf("single-node tree: %v", err)
+	}
+	if tr.Len() != 1 || tr.EdgeLen() != 0 {
+		t.Fatalf("Len/EdgeLen = %d/%d, want 1/0", tr.Len(), tr.EdgeLen())
+	}
+	leaves := tr.Leaves()
+	if len(leaves) != 1 || leaves[0] != 7 {
+		t.Fatalf("Leaves = %v, want [7]", leaves)
+	}
+}
+
+func TestLevelOrder(t *testing.T) {
+	tr := figure3Tree(t)
+	levels := tr.LevelOrder()
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(levels))
+	}
+	if len(levels[0]) != 1 || levels[0][0] != 5 {
+		t.Errorf("level 0 = %v, want [5]", levels[0])
+	}
+	if len(levels[1]) != 2 || levels[1][0] != 4 || levels[1][1] != 6 {
+		t.Errorf("level 1 = %v, want [4 6]", levels[1])
+	}
+	if len(levels[2]) != 4 {
+		t.Errorf("level 2 = %v, want the four data qubits", levels[2])
+	}
+}
+
+func TestReroot(t *testing.T) {
+	tr := figure3Tree(t)
+	rr, err := tr.Reroot(4)
+	if err != nil {
+		t.Fatalf("Reroot: %v", err)
+	}
+	if rr.Root != 4 {
+		t.Fatalf("Root = %d, want 4", rr.Root)
+	}
+	if rr.Len() != tr.Len() || rr.EdgeLen() != tr.EdgeLen() {
+		t.Error("reroot changed node or edge count")
+	}
+	if rr.Parent(5) != 4 {
+		t.Errorf("Parent(5) = %d, want 4 after reroot", rr.Parent(5))
+	}
+	if _, err := tr.Reroot(99); err == nil {
+		t.Error("rerooting at a foreign node should fail")
+	}
+}
+
+func TestDepthConsistentWithParentChain(t *testing.T) {
+	tr := figure3Tree(t)
+	for _, n := range tr.Nodes() {
+		d := tr.Depth(n)
+		if n == tr.Root && d != 0 {
+			t.Errorf("root depth = %d", d)
+		}
+		if n != tr.Root && tr.Depth(tr.Parent(n)) != d-1 {
+			t.Errorf("depth(%d)=%d but depth(parent)=%d", n, d, tr.Depth(tr.Parent(n)))
+		}
+	}
+}
+
+func TestSharesNode(t *testing.T) {
+	a, _ := BuildTree(0, [][2]int{{0, 1}, {1, 2}})
+	b, _ := BuildTree(2, [][2]int{{2, 3}})
+	c, _ := BuildTree(5, [][2]int{{5, 6}})
+	if !a.SharesNode(b) {
+		t.Error("trees sharing node 2 reported disjoint")
+	}
+	if a.SharesNode(c) {
+		t.Error("disjoint trees reported as sharing")
+	}
+	if !b.SharesNode(a) {
+		t.Error("SharesNode not symmetric")
+	}
+}
+
+func TestPathUnionTree(t *testing.T) {
+	// Merge s->e->a and s->e->b and s->f->c style paths (figure 3 shape).
+	tr, err := PathUnionTree(5,
+		[]int{5, 4, 0},
+		[]int{5, 4, 1},
+		[]int{5, 6, 2},
+		[]int{5, 6, 3},
+	)
+	if err != nil {
+		t.Fatalf("PathUnionTree: %v", err)
+	}
+	if tr.EdgeLen() != 6 {
+		t.Fatalf("EdgeLen = %d, want 6", tr.EdgeLen())
+	}
+}
+
+func TestPathUnionTreeDetectsCycle(t *testing.T) {
+	_, err := PathUnionTree(0, []int{0, 1, 2}, []int{0, 3, 2})
+	if err == nil {
+		t.Fatal("cycle from merged paths accepted")
+	}
+}
+
+func TestChildrenSorted(t *testing.T) {
+	tr, err := BuildTree(0, [][2]int{{0, 3}, {0, 1}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := tr.Children(0)
+	for i := 0; i+1 < len(kids); i++ {
+		if kids[i] > kids[i+1] {
+			t.Fatalf("children not sorted: %v", kids)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package grid provides integer 2-D geometry used throughout the synthesis
+// framework: qubit coordinates on the device grid embedding and the axis-
+// aligned rectangles ("bridge rectangles" and "syndrome rectangles") that
+// drive the data qubit allocator.
+package grid
+
+import "fmt"
+
+// Coord is an integer coordinate on the 2-D grid a device is embedded into.
+// X grows rightward, Y grows downward (matching the paper's figures, where
+// the "top left" has the smallest coordinates).
+type Coord struct {
+	X, Y int
+}
+
+// C is shorthand for constructing a Coord.
+func C(x, y int) Coord { return Coord{X: x, Y: y} }
+
+// Add returns the component-wise sum c+d.
+func (c Coord) Add(d Coord) Coord { return Coord{c.X + d.X, c.Y + d.Y} }
+
+// Sub returns the component-wise difference c-d.
+func (c Coord) Sub(d Coord) Coord { return Coord{c.X - d.X, c.Y - d.Y} }
+
+// Scale returns c scaled by k in both components.
+func (c Coord) Scale(k int) Coord { return Coord{c.X * k, c.Y * k} }
+
+// Manhattan returns the L1 distance between c and d.
+func (c Coord) Manhattan(d Coord) int {
+	return abs(c.X-d.X) + abs(c.Y-d.Y)
+}
+
+// Chebyshev returns the L∞ distance between c and d.
+func (c Coord) Chebyshev(d Coord) int {
+	return max(abs(c.X-d.X), abs(c.Y-d.Y))
+}
+
+// Less orders coordinates top-left first: by Y, then by X. It provides the
+// deterministic ordering the allocator uses to pick the "top left corner"
+// rectangle of the device.
+func (c Coord) Less(d Coord) bool {
+	if c.Y != d.Y {
+		return c.Y < d.Y
+	}
+	return c.X < d.X
+}
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Rect is a closed axis-aligned rectangle [MinX,MaxX] x [MinY,MaxY] on the
+// grid. The zero value is the degenerate rectangle containing only (0,0).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY int
+}
+
+// RectAround returns the minimal rectangle containing all the given
+// coordinates. It panics when given no coordinates, since an empty rectangle
+// has no meaningful bounds.
+func RectAround(pts ...Coord) Rect {
+	if len(pts) == 0 {
+		panic("grid: RectAround needs at least one coordinate")
+	}
+	r := Rect{MinX: pts[0].X, MaxX: pts[0].X, MinY: pts[0].Y, MaxY: pts[0].Y}
+	for _, p := range pts[1:] {
+		r = r.Union(RectAt(p))
+	}
+	return r
+}
+
+// RectAt returns the degenerate rectangle containing exactly p.
+func RectAt(p Coord) Rect { return Rect{MinX: p.X, MaxX: p.X, MinY: p.Y, MaxY: p.Y} }
+
+// Union returns the minimal rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		MinX: min(r.MinX, s.MinX),
+		MinY: min(r.MinY, s.MinY),
+		MaxX: max(r.MaxX, s.MaxX),
+		MaxY: max(r.MaxY, s.MaxY),
+	}
+}
+
+// Contains reports whether p lies inside the closed rectangle r.
+func (r Rect) Contains(p Coord) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether r and s share at least one grid point. Two
+// bridge rectangles are "compatible" in the paper's sense exactly when they
+// do not intersect (zero overlapping area).
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Compatible reports whether r and s have zero overlap (the paper's
+// compatibility condition for bridge rectangles).
+func (r Rect) Compatible(s Rect) bool { return !r.Intersects(s) }
+
+// Expand returns r grown by k grid units in every direction.
+func (r Rect) Expand(k int) Rect {
+	return Rect{MinX: r.MinX - k, MinY: r.MinY - k, MaxX: r.MaxX + k, MaxY: r.MaxY + k}
+}
+
+// Width returns the number of grid columns the rectangle spans.
+func (r Rect) Width() int { return r.MaxX - r.MinX + 1 }
+
+// Height returns the number of grid rows the rectangle spans.
+func (r Rect) Height() int { return r.MaxY - r.MinY + 1 }
+
+// Area returns the number of grid points inside the closed rectangle.
+func (r Rect) Area() int { return r.Width() * r.Height() }
+
+// Center returns the grid point closest to the rectangle's center, rounding
+// toward the top-left on ties. The allocator selects the data qubit at the
+// center of the potential data area.
+func (r Rect) Center() Coord {
+	return Coord{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}
+
+// TopLeft returns the rectangle's minimal corner.
+func (r Rect) TopLeft() Coord { return Coord{r.MinX, r.MinY} }
+
+// BottomRight returns the rectangle's maximal corner.
+func (r Rect) BottomRight() Coord { return Coord{r.MaxX, r.MaxY} }
+
+// Points returns every grid point inside the rectangle in row-major order.
+func (r Rect) Points() []Coord {
+	pts := make([]Coord, 0, r.Area())
+	for y := r.MinY; y <= r.MaxY; y++ {
+		for x := r.MinX; x <= r.MaxX; x++ {
+			pts = append(pts, Coord{x, y})
+		}
+	}
+	return pts
+}
+
+// Less orders rectangles by their top-left corner, then by their bottom-right
+// corner, giving the allocator a deterministic processing order.
+func (r Rect) Less(s Rect) bool {
+	if r.TopLeft() != s.TopLeft() {
+		return r.TopLeft().Less(s.TopLeft())
+	}
+	return r.BottomRight().Less(s.BottomRight())
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d..%d]x[%d..%d]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// GapBetween returns the minimal Chebyshev gap between two compatible
+// rectangles: 0 when they touch or overlap.
+func GapBetween(r, s Rect) int {
+	dx := 0
+	if s.MinX > r.MaxX {
+		dx = s.MinX - r.MaxX - 1
+	} else if r.MinX > s.MaxX {
+		dx = r.MinX - s.MaxX - 1
+	}
+	dy := 0
+	if s.MinY > r.MaxY {
+		dy = s.MinY - r.MaxY - 1
+	} else if r.MinY > s.MaxY {
+		dy = r.MinY - s.MaxY - 1
+	}
+	return max(dx, dy)
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,235 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordArithmetic(t *testing.T) {
+	a, b := C(3, 4), C(-1, 2)
+	if got := a.Add(b); got != C(2, 6) {
+		t.Errorf("Add = %v, want (2,6)", got)
+	}
+	if got := a.Sub(b); got != C(4, 2) {
+		t.Errorf("Sub = %v, want (4,2)", got)
+	}
+	if got := b.Scale(3); got != C(-3, 6) {
+		t.Errorf("Scale = %v, want (-3,6)", got)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	cases := []struct {
+		a, b      Coord
+		man, cheb int
+	}{
+		{C(0, 0), C(0, 0), 0, 0},
+		{C(0, 0), C(3, 4), 7, 4},
+		{C(-2, 5), C(1, 1), 7, 4},
+		{C(5, 5), C(5, 9), 4, 4},
+	}
+	for _, c := range cases {
+		if got := c.a.Manhattan(c.b); got != c.man {
+			t.Errorf("Manhattan(%v,%v) = %d, want %d", c.a, c.b, got, c.man)
+		}
+		if got := c.a.Chebyshev(c.b); got != c.cheb {
+			t.Errorf("Chebyshev(%v,%v) = %d, want %d", c.a, c.b, got, c.cheb)
+		}
+	}
+}
+
+func TestManhattanSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by int16) bool {
+		a, b := C(int(ax), int(ay)), C(int(bx), int(by))
+		return a.Manhattan(b) == b.Manhattan(a) && a.Manhattan(b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManhattanTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a, b, c := C(int(ax), int(ay)), C(int(bx), int(by)), C(int(cx), int(cy))
+		return a.Manhattan(c) <= a.Manhattan(b)+b.Manhattan(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoordLessIsStrictTotalOrder(t *testing.T) {
+	pts := []Coord{C(0, 0), C(1, 0), C(0, 1), C(-3, 2), C(2, -3)}
+	for _, a := range pts {
+		if a.Less(a) {
+			t.Errorf("%v.Less(itself) = true", a)
+		}
+		for _, b := range pts {
+			if a != b && a.Less(b) == b.Less(a) {
+				t.Errorf("Less not antisymmetric for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestRectAround(t *testing.T) {
+	r := RectAround(C(2, 3), C(-1, 5), C(0, 0))
+	want := Rect{MinX: -1, MinY: 0, MaxX: 2, MaxY: 5}
+	if r != want {
+		t.Fatalf("RectAround = %v, want %v", r, want)
+	}
+	if r.Width() != 4 || r.Height() != 6 || r.Area() != 24 {
+		t.Errorf("dims = %dx%d area %d, want 4x6 area 24", r.Width(), r.Height(), r.Area())
+	}
+}
+
+func TestRectAroundPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RectAround() did not panic on empty input")
+		}
+	}()
+	RectAround()
+}
+
+func TestContains(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}
+	for _, p := range []Coord{C(0, 0), C(2, 2), C(1, 1), C(2, 0)} {
+		if !r.Contains(p) {
+			t.Errorf("%v should contain %v", r, p)
+		}
+	}
+	for _, p := range []Coord{C(-1, 0), C(3, 1), C(1, 3)} {
+		if r.Contains(p) {
+			t.Errorf("%v should not contain %v", r, p)
+		}
+	}
+}
+
+func TestIntersectsAndCompatible(t *testing.T) {
+	a := Rect{MinX: 0, MinY: 0, MaxX: 3, MaxY: 3}
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rect{MinX: 4, MinY: 0, MaxX: 6, MaxY: 3}, false}, // touching edge-to-edge misses by one: closed rects at x=4 vs max 3
+		{Rect{MinX: 3, MinY: 3, MaxX: 5, MaxY: 5}, true},  // shares corner point (3,3)
+		{Rect{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}, true},  // nested
+		{Rect{MinX: -5, MinY: -5, MaxX: -1, MaxY: -1}, false},
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("Intersects(%v,%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := a.Compatible(c.b); got != !c.want {
+			t.Errorf("Compatible(%v,%v) = %v, want %v", a, c.b, got, !c.want)
+		}
+		// symmetry
+		if a.Intersects(c.b) != c.b.Intersects(a) {
+			t.Errorf("Intersects not symmetric for %v, %v", a, c.b)
+		}
+	}
+}
+
+func TestIntersectsMatchesPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randRect := func() Rect {
+		x, y := rng.Intn(8), rng.Intn(8)
+		return Rect{MinX: x, MinY: y, MaxX: x + rng.Intn(4), MaxY: y + rng.Intn(4)}
+	}
+	for i := 0; i < 200; i++ {
+		a, b := randRect(), randRect()
+		brute := false
+		for _, p := range a.Points() {
+			if b.Contains(p) {
+				brute = true
+				break
+			}
+		}
+		if got := a.Intersects(b); got != brute {
+			t.Fatalf("Intersects(%v,%v) = %v, brute force = %v", a, b, got, brute)
+		}
+	}
+}
+
+func TestUnionContainsBoth(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh uint8) bool {
+		a := Rect{MinX: int(ax), MinY: int(ay), MaxX: int(ax) + int(aw%5), MaxY: int(ay) + int(ah%5)}
+		b := Rect{MinX: int(bx), MinY: int(by), MaxX: int(bx) + int(bw%5), MaxY: int(by) + int(bh%5)}
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCenterInsideRect(t *testing.T) {
+	f := func(x, y int8, w, h uint8) bool {
+		r := Rect{MinX: int(x), MinY: int(y), MaxX: int(x) + int(w%9), MaxY: int(y) + int(h%9)}
+		return r.Contains(r.Center())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	r := Rect{MinX: 1, MinY: 1, MaxX: 2, MaxY: 3}
+	e := r.Expand(2)
+	want := Rect{MinX: -1, MinY: -1, MaxX: 4, MaxY: 5}
+	if e != want {
+		t.Fatalf("Expand = %v, want %v", e, want)
+	}
+}
+
+func TestPointsCountAndOrder(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	pts := r.Points()
+	want := []Coord{C(0, 0), C(1, 0), C(0, 1), C(1, 1)}
+	if len(pts) != len(want) {
+		t.Fatalf("Points len = %d, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("Points[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestGapBetween(t *testing.T) {
+	a := Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}
+	cases := []struct {
+		b    Rect
+		want int
+	}{
+		{Rect{MinX: 3, MinY: 0, MaxX: 5, MaxY: 2}, 0}, // adjacent columns
+		{Rect{MinX: 5, MinY: 0, MaxX: 7, MaxY: 2}, 2}, // two empty columns between
+		{Rect{MinX: 0, MinY: 6, MaxX: 2, MaxY: 8}, 3}, // three empty rows between
+		{Rect{MinX: 1, MinY: 1, MaxX: 4, MaxY: 4}, 0}, // overlapping
+	}
+	for _, c := range cases {
+		if got := GapBetween(a, c.b); got != c.want {
+			t.Errorf("GapBetween(%v,%v) = %d, want %d", a, c.b, got, c.want)
+		}
+		if got := GapBetween(c.b, a); got != c.want {
+			t.Errorf("GapBetween not symmetric for %v,%v", a, c.b)
+		}
+	}
+}
+
+func TestRectLessDeterministic(t *testing.T) {
+	a := Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	b := Rect{MinX: 0, MinY: 1, MaxX: 1, MaxY: 2}
+	c := Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}
+	if !a.Less(b) {
+		t.Error("a should sort before b (smaller Y corner)")
+	}
+	if !a.Less(c) {
+		t.Error("a should sort before c (same corner, smaller extent)")
+	}
+	if a.Less(a) {
+		t.Error("Less must be irreflexive")
+	}
+}

@@ -1,0 +1,330 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteBest enumerates all matchings and returns (bestWeight, bestCardinality
+// weight) where the second value is the best weight among maximum-cardinality
+// matchings, plus the maximum cardinality itself.
+func bruteBest(n int, edges []Edge) (bestW int64, maxCard int, bestWAtMaxCard int64) {
+	used := make([]bool, n)
+	var rec func(k int, card int, w int64)
+	bestW, maxCard, bestWAtMaxCard = 0, 0, 0
+	first := true
+	rec = func(k int, card int, w int64) {
+		if w > bestW {
+			bestW = w
+		}
+		if card > maxCard || (card == maxCard && (first || w > bestWAtMaxCard)) {
+			if card > maxCard {
+				maxCard = card
+				bestWAtMaxCard = w
+			} else {
+				bestWAtMaxCard = w
+			}
+			first = false
+		}
+		for i := k; i < len(edges); i++ {
+			e := edges[i]
+			if used[e.U] || used[e.V] {
+				continue
+			}
+			used[e.U], used[e.V] = true, true
+			rec(i+1, card+1, w+e.W)
+			used[e.U], used[e.V] = false, false
+		}
+	}
+	rec(0, 0, 0)
+	return
+}
+
+func cardAndWeight(edges []Edge, mate []int) (int, int64) {
+	card := 0
+	var w int64
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		key := [2]int{e.U, e.V}
+		if e.U > e.V {
+			key = [2]int{e.V, e.U}
+		}
+		if mate[e.U] == e.V && !seen[key] {
+			seen[key] = true
+			card++
+			w += e.W
+		}
+	}
+	return card, w
+}
+
+func checkValidMatching(t *testing.T, n int, edges []Edge, mate []int) {
+	t.Helper()
+	adj := map[[2]int]bool{}
+	for _, e := range edges {
+		adj[[2]int{e.U, e.V}] = true
+		adj[[2]int{e.V, e.U}] = true
+	}
+	for v, m := range mate {
+		if m == noNode {
+			continue
+		}
+		if m < 0 || m >= n {
+			t.Fatalf("mate[%d] = %d out of range", v, m)
+		}
+		if mate[m] != v {
+			t.Fatalf("matching not symmetric: mate[%d]=%d but mate[%d]=%d", v, m, m, mate[m])
+		}
+		if !adj[[2]int{v, m}] {
+			t.Fatalf("matched pair (%d,%d) is not an edge", v, m)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	mate := MaxWeightMatching(3, nil, false)
+	for _, m := range mate {
+		if m != noNode {
+			t.Fatal("empty graph produced matches")
+		}
+	}
+}
+
+func TestSingleEdge(t *testing.T) {
+	mate := MaxWeightMatching(2, []Edge{{0, 1, 5}}, false)
+	if mate[0] != 1 || mate[1] != 0 {
+		t.Fatalf("mate = %v", mate)
+	}
+}
+
+func TestNegativeEdgeSkippedWithoutMaxCard(t *testing.T) {
+	mate := MaxWeightMatching(2, []Edge{{0, 1, -5}}, false)
+	if mate[0] != noNode {
+		t.Fatal("negative edge matched without maxcardinality")
+	}
+	mate = MaxWeightMatching(2, []Edge{{0, 1, -5}}, true)
+	if mate[0] != 1 {
+		t.Fatal("negative edge skipped with maxcardinality")
+	}
+}
+
+func TestPathGraphChoosesHeavyPair(t *testing.T) {
+	// Path 0-1-2 with weights 3, 4: best is {1,2}.
+	mate := MaxWeightMatching(3, []Edge{{0, 1, 3}, {1, 2, 4}}, false)
+	if mate[1] != 2 || mate[0] != noNode {
+		t.Fatalf("mate = %v, want 1-2 matched", mate)
+	}
+}
+
+func TestClassicBlossomCase(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 2-3. Max weight picks across the blossom.
+	edges := []Edge{{0, 1, 6}, {0, 2, 5}, {1, 2, 5}, {2, 3, 5}}
+	mate := MaxWeightMatching(4, edges, false)
+	checkValidMatching(t, 4, edges, mate)
+	_, w := cardAndWeight(edges, mate)
+	bestW, _, _ := bruteBest(4, edges)
+	if w != bestW {
+		t.Fatalf("weight %d, brute force best %d (mate=%v)", w, bestW, mate)
+	}
+}
+
+func TestNestedBlossoms(t *testing.T) {
+	// The van Rantwijk nested S-blossom test case:
+	// 5-cycle with chords forcing nested blossoms.
+	edges := []Edge{
+		{1, 2, 9}, {1, 3, 8}, {2, 3, 10}, {1, 4, 5}, {4, 5, 4}, {1, 6, 3},
+	}
+	mate := MaxWeightMatching(7, edges, false)
+	checkValidMatching(t, 7, edges, mate)
+	_, w := cardAndWeight(edges, mate)
+	bestW, _, _ := bruteBest(7, edges)
+	if w != bestW {
+		t.Fatalf("weight %d, brute best %d (mate=%v)", w, bestW, mate)
+	}
+}
+
+func TestSBlossomRelabeling(t *testing.T) {
+	// van Rantwijk test: create S-blossom, relabel as T-blossom, use for
+	// augmentation.
+	edges := []Edge{
+		{1, 2, 9}, {1, 3, 8}, {2, 3, 10}, {1, 4, 5}, {4, 5, 4}, {1, 6, 3},
+	}
+	mate := MaxWeightMatching(7, edges, false)
+	// Known optimal from the reference test-suite: 1-6, 2-3, 4-5.
+	if mate[1] != 6 || mate[2] != 3 || mate[4] != 5 {
+		t.Fatalf("mate = %v, want 1-6 2-3 4-5", mate)
+	}
+}
+
+func TestMaxCardinalityOnWeightedGraph(t *testing.T) {
+	// Without maxcardinality the heavy edge wins alone; with it, two edges.
+	edges := []Edge{{1, 2, 5}, {2, 3, 11}, {3, 4, 5}}
+	mate := MaxWeightMatching(5, edges, false)
+	if mate[2] != 3 || mate[1] != noNode {
+		t.Fatalf("plain: mate = %v", mate)
+	}
+	mate = MaxWeightMatching(5, edges, true)
+	if mate[1] != 2 || mate[3] != 4 {
+		t.Fatalf("maxcard: mate = %v", mate)
+	}
+}
+
+func TestRandomGraphsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(7) // up to 8 vertices
+		var edges []Edge
+		seen := map[[2]int]bool{}
+		for i := 0; i < n*(n-1)/2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				continue
+			}
+			if rng.Float64() < 0.4 {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			edges = append(edges, Edge{u, v, int64(rng.Intn(21) - 5)})
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		bestW, maxCard, bestWAtCard := bruteBest(n, edges)
+
+		mate := MaxWeightMatching(n, edges, false)
+		checkValidMatching(t, n, edges, mate)
+		_, w := cardAndWeight(edges, mate)
+		if w != bestW {
+			t.Fatalf("trial %d: weight %d != brute best %d\nedges=%v\nmate=%v",
+				trial, w, bestW, edges, mate)
+		}
+
+		mateC := MaxWeightMatching(n, edges, true)
+		checkValidMatching(t, n, edges, mateC)
+		card, wc := cardAndWeight(edges, mateC)
+		if card != maxCard {
+			t.Fatalf("trial %d: cardinality %d != brute max %d\nedges=%v\nmate=%v",
+				trial, card, maxCard, edges, mateC)
+		}
+		if wc != bestWAtCard {
+			t.Fatalf("trial %d: weight-at-maxcard %d != brute %d\nedges=%v\nmate=%v",
+				trial, wc, bestWAtCard, edges, mateC)
+		}
+	}
+}
+
+func TestLargerRandomGraphsValidOnly(t *testing.T) {
+	// For larger graphs brute force is infeasible; check validity and a
+	// greedy lower bound.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.Intn(30)
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.3 {
+					edges = append(edges, Edge{u, v, int64(rng.Intn(100))})
+				}
+			}
+		}
+		mate := MaxWeightMatching(n, edges, false)
+		checkValidMatching(t, n, edges, mate)
+		_, w := cardAndWeight(edges, mate)
+		// Greedy: sort-free simple bound — any single heaviest edge.
+		var heaviest int64
+		for _, e := range edges {
+			if e.W > heaviest {
+				heaviest = e.W
+			}
+		}
+		if w < heaviest {
+			t.Fatalf("trial %d: matching weight %d below single heaviest edge %d", trial, w, heaviest)
+		}
+	}
+}
+
+func TestMinWeightPerfectMatching(t *testing.T) {
+	// K4 with weights: the minimum perfect matching must pick 0-1 and 2-3.
+	edges := []Edge{
+		{0, 1, 1}, {0, 2, 9}, {0, 3, 8},
+		{1, 2, 7}, {1, 3, 9}, {2, 3, 2},
+	}
+	mate, err := MinWeightPerfectMatching(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mate[0] != 1 || mate[2] != 3 {
+		t.Fatalf("mate = %v, want 0-1, 2-3", mate)
+	}
+	if w := MatchingWeight(edges, mate); w != 3 {
+		t.Fatalf("weight = %d, want 3", w)
+	}
+}
+
+func TestMinWeightPerfectMatchingRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 * (1 + rng.Intn(4)) // 2..8, even
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				edges = append(edges, Edge{u, v, int64(rng.Intn(50))})
+			}
+		}
+		mate, err := MinWeightPerfectMatching(n, edges)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkValidMatching(t, n, edges, mate)
+		for v, m := range mate {
+			if m == noNode {
+				t.Fatalf("trial %d: vertex %d unmatched in complete graph", trial, v)
+			}
+		}
+		// Brute force minimal perfect matching weight.
+		neg := make([]Edge, len(edges))
+		for i, e := range edges {
+			neg[i] = Edge{e.U, e.V, -e.W}
+		}
+		_, maxCard, bestWAtCard := bruteBest(n, neg)
+		if maxCard != n/2 {
+			t.Fatalf("trial %d: brute maxCard %d != %d", trial, maxCard, n/2)
+		}
+		if got := MatchingWeight(edges, mate); got != -bestWAtCard {
+			t.Fatalf("trial %d: MWPM weight %d, brute %d", trial, got, -bestWAtCard)
+		}
+	}
+}
+
+func TestMinWeightPerfectMatchingInfeasible(t *testing.T) {
+	// A 4-vertex graph with an isolated vertex has no perfect matching.
+	if _, err := MinWeightPerfectMatching(4, []Edge{{0, 1, 1}, {1, 2, 1}}); err == nil {
+		t.Fatal("infeasible perfect matching accepted")
+	}
+	if _, err := MinWeightPerfectMatching(3, []Edge{{0, 1, 1}}); err == nil {
+		t.Fatal("odd vertex count accepted")
+	}
+}
+
+func TestPairs(t *testing.T) {
+	mate := []int{1, 0, 3, 2, noNode}
+	pairs := Pairs(mate)
+	if len(pairs) != 2 || pairs[0] != [2]int{0, 1} || pairs[1] != [2]int{2, 3} {
+		t.Fatalf("Pairs = %v", pairs)
+	}
+}
+
+func TestInvalidEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("self-loop accepted")
+		}
+	}()
+	MaxWeightMatching(2, []Edge{{1, 1, 3}}, false)
+}

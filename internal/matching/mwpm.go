@@ -1,0 +1,49 @@
+package matching
+
+import "fmt"
+
+// MinWeightPerfectMatching computes a minimum-weight perfect matching on a
+// graph with n vertices (n even) by running maximum-weight
+// maximum-cardinality matching on negated weights. It returns mate[v] for
+// every vertex, or an error when no perfect matching exists.
+func MinWeightPerfectMatching(n int, edges []Edge) ([]int, error) {
+	if n%2 != 0 {
+		return nil, fmt.Errorf("matching: perfect matching needs an even vertex count, got %d", n)
+	}
+	neg := make([]Edge, len(edges))
+	for i, e := range edges {
+		neg[i] = Edge{U: e.U, V: e.V, W: -e.W}
+	}
+	mate := MaxWeightMatching(n, neg, true)
+	for v, m := range mate {
+		if m == noNode {
+			return nil, fmt.Errorf("matching: vertex %d unmatched; graph has no perfect matching", v)
+		}
+	}
+	return mate, nil
+}
+
+// MatchingWeight sums the weights of the matched edges under mate, counting
+// each pair once. Edges absent from the edge list contribute nothing; use it
+// with matchings produced from the same edge list.
+func MatchingWeight(edges []Edge, mate []int) int64 {
+	var total int64
+	for _, e := range edges {
+		if mate[e.U] == e.V {
+			total += e.W
+		}
+	}
+	return total
+}
+
+// Pairs converts a mate array into a deduplicated list of matched pairs
+// (u < v).
+func Pairs(mate []int) [][2]int {
+	var out [][2]int
+	for u, v := range mate {
+		if v > u {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	return out
+}

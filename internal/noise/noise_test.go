@@ -1,0 +1,183 @@
+package noise
+
+import (
+	"testing"
+
+	"surfstitch/internal/circuit"
+)
+
+func sampleCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder(3)
+	b.Begin().R(0, 1, 2)
+	b.Begin().H(0)
+	b.Begin().CX(0, 1)
+	b.Begin()
+	b.M(0, 1)
+	return b.MustBuild()
+}
+
+func TestApplyInsertsChannels(t *testing.T) {
+	c := sampleCircuit(t)
+	noisy, err := Uniform(0.01).Apply(c)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if noisy.CountOp(circuit.OpDepolarize2) != 1 {
+		t.Errorf("Depolarize2 count = %d, want 1 (one CX)", noisy.CountOp(circuit.OpDepolarize2))
+	}
+	// H gets one Depolarize1 target; idle qubits get more.
+	if noisy.CountOp(circuit.OpDepolarize1) == 0 {
+		t.Error("no Depolarize1 channels inserted")
+	}
+	// Reset errors: 3 targets; measurement errors: 2 targets.
+	if got := noisy.CountOp(circuit.OpXError); got != 5 {
+		t.Errorf("XError targets = %d, want 5 (3 resets + 2 measurements)", got)
+	}
+	if err := noisy.Validate(); err != nil {
+		t.Fatalf("noisy circuit invalid: %v", err)
+	}
+}
+
+func TestGateStructurePreserved(t *testing.T) {
+	c := sampleCircuit(t)
+	noisy := Uniform(0.02).MustApply(c)
+	if noisy.Depth() != c.Depth() {
+		t.Errorf("Depth changed: %d -> %d", c.Depth(), noisy.Depth())
+	}
+	if noisy.NumMeasurements() != c.NumMeasurements() {
+		t.Errorf("measurements changed: %d -> %d", c.NumMeasurements(), noisy.NumMeasurements())
+	}
+	if noisy.CountOp(circuit.OpCX) != c.CountOp(circuit.OpCX) {
+		t.Error("gate counts changed")
+	}
+}
+
+func TestMeasurementErrorPrecedesMeasurement(t *testing.T) {
+	c := sampleCircuit(t)
+	noisy := Uniform(0.01).MustApply(c)
+	// Find the moment with the M gate; the moment before must carry the
+	// X_ERROR channel on the measured qubits.
+	for i, m := range noisy.Moments {
+		for _, g := range m.Gates {
+			if g.Op == circuit.OpM {
+				if i == 0 {
+					t.Fatal("measurement in first moment")
+				}
+				prev := noisy.Moments[i-1]
+				found := false
+				for _, nz := range prev.Noise {
+					if nz.Op == circuit.OpXError && len(nz.Qubits) == 2 {
+						found = true
+					}
+				}
+				if !found {
+					t.Error("no X_ERROR moment before measurement")
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("measurement not found")
+}
+
+func TestIdleNoiseOnlyOnIdleQubits(t *testing.T) {
+	b := circuit.NewBuilder(3)
+	b.Begin().H(0).H(1).H(2) // all active: no idle noise
+	b.Begin().H(0)           // 1 and 2 idle
+	c := b.MustBuild()
+	noisy := Model{GateError: 0, IdleError: 0.001}.MustApply(c)
+	if len(noisy.Moments[0].Noise) != 0 {
+		t.Errorf("moment 0 should have no idle noise, got %v", noisy.Moments[0].Noise)
+	}
+	ns := noisy.Moments[1].Noise
+	if len(ns) != 1 || ns[0].Op != circuit.OpDepolarize1 || len(ns[0].Qubits) != 2 {
+		t.Fatalf("moment 1 idle noise = %v, want Depolarize1 on two qubits", ns)
+	}
+}
+
+func TestIdleSetExcludesUntouchedQubits(t *testing.T) {
+	// Qubit 5 exists but is never gated: it must not receive idle noise.
+	b := circuit.NewBuilder(6)
+	b.Begin().H(0)
+	c := b.MustBuild()
+	noisy := Model{GateError: 0, IdleError: 0.001}.MustApply(c)
+	for _, m := range noisy.Moments {
+		for _, nz := range m.Noise {
+			for _, q := range nz.Qubits {
+				if q == 5 {
+					t.Fatal("untouched qubit received idle noise")
+				}
+			}
+		}
+	}
+}
+
+func TestIdleOnlyOverride(t *testing.T) {
+	b := circuit.NewBuilder(4)
+	b.Begin().H(0)
+	c := b.MustBuild()
+	m := Model{GateError: 0, IdleError: 0.001, IdleOnly: []int{0, 3}}
+	noisy := m.MustApply(c)
+	ns := noisy.Moments[0].Noise
+	if len(ns) != 1 || len(ns[0].Qubits) != 1 || ns[0].Qubits[0] != 3 {
+		t.Fatalf("idle noise = %v, want Depolarize1 on qubit 3 only", ns)
+	}
+}
+
+func TestZeroErrorsProduceCleanCircuit(t *testing.T) {
+	c := sampleCircuit(t)
+	noisy := Model{}.MustApply(c)
+	for _, m := range noisy.Moments {
+		if len(m.Noise) != 0 {
+			t.Fatal("zero-probability model inserted channels")
+		}
+	}
+}
+
+func TestApplyRejectsBadProbability(t *testing.T) {
+	c := sampleCircuit(t)
+	if _, err := (Model{GateError: 1.5}).Apply(c); err == nil {
+		t.Error("gate error > 1 accepted")
+	}
+	if _, err := (Model{IdleError: -0.1}).Apply(c); err == nil {
+		t.Error("negative idle error accepted")
+	}
+}
+
+func TestApplyRejectsAlreadyNoisy(t *testing.T) {
+	b := circuit.NewBuilder(1)
+	b.Begin().H(0).Noise(circuit.OpXError, 0.1, 0)
+	c := b.MustBuild()
+	if _, err := Uniform(0.01).Apply(c); err == nil {
+		t.Error("double noise application accepted")
+	}
+}
+
+func TestDetectorsPreserved(t *testing.T) {
+	b := circuit.NewBuilder(2)
+	b.Begin()
+	recs := b.M(0, 1)
+	b.Detector(recs[0], recs[1])
+	b.Observable(recs[0])
+	c := b.MustBuild()
+	noisy := Uniform(0.01).MustApply(c)
+	if len(noisy.Detectors) != 1 || len(noisy.Observables) != 1 {
+		t.Fatal("annotations lost")
+	}
+	// Deep copy: mutating the noisy annotations must not affect the source.
+	noisy.Detectors[0][0] = 1
+	if c.Detectors[0][0] != 0 {
+		t.Error("detector slices aliased")
+	}
+}
+
+func TestDefaultIdleErrorValue(t *testing.T) {
+	if DefaultIdleError != 0.0002 {
+		t.Errorf("DefaultIdleError = %g, want 0.0002 (paper §5.1)", DefaultIdleError)
+	}
+	m := Uniform(0.05)
+	if m.GateError != 0.05 || m.IdleError != DefaultIdleError {
+		t.Error("Uniform misconfigured")
+	}
+}

@@ -1,0 +1,49 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+
+	"surfstitch/internal/device"
+	"surfstitch/internal/synth"
+)
+
+func TestNoiseBudget(t *testing.T) {
+	s, err := synth.Synthesize(device.HeavySquare(5, 4), 3, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := NoiseBudget(s, 0.001, Config{Shots: 8000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	full := entries[0].Full
+	if full <= 0 {
+		t.Fatal("no logical errors observed; raise shots")
+	}
+	for _, e := range entries {
+		if e.Share < 0 || e.Share > 1 {
+			t.Errorf("%s: share %.2f out of range", e.Category, e.Share)
+		}
+		if e.Without > e.Full*1.5 {
+			t.Errorf("%s: removing noise increased the rate: %.4f -> %.4f",
+				e.Category, e.Full, e.Without)
+		}
+	}
+	// At p=0.1% with the default idle, both categories contribute
+	// appreciably on the heavy-square code's 24-step cycle.
+	if entries[0].Share < 0.1 {
+		t.Errorf("gate-error share implausibly small: %.2f", entries[0].Share)
+	}
+	if entries[1].Share < 0.05 {
+		t.Errorf("idle share implausibly small: %.2f", entries[1].Share)
+	}
+	text := FormatBudget(entries)
+	if !strings.Contains(text, "idle decoherence") {
+		t.Error("FormatBudget missing category")
+	}
+	t.Logf("\n%s", text)
+}

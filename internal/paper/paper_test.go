@@ -1,0 +1,172 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSurfStitchCodesBuildAtD3(t *testing.T) {
+	for _, spec := range SurfStitchCodes() {
+		s, err := spec.Build(3)
+		if err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+			continue
+		}
+		if s.Layout.Code.Distance() != 3 {
+			t.Errorf("%s: wrong distance", spec.Name)
+		}
+	}
+}
+
+func TestTable2QuickShape(t *testing.T) {
+	rows, err := Table2(Config{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Code] = r
+	}
+	// Exact Table 2 agreements of this reproduction.
+	if r := byName["Surf-Stitch Heavy Square"]; r.AvgBridge != 3 || r.AvgCNOT != 8 || r.AvgTimeSteps != 12 {
+		t.Errorf("heavy square row = %+v", r)
+	}
+	if r := byName["Surf-Stitch Square"]; r.AvgBridge != 2 || r.AvgCNOT != 6 || r.AvgTimeSteps != 10 {
+		t.Errorf("square row = %+v", r)
+	}
+	if r := byName["Surf-Stitch Square-4"]; r.AvgBridge != 1 || r.AvgCNOT != 4 || r.AvgTimeSteps != 8 {
+		t.Errorf("square-4 row = %+v", r)
+	}
+	// Paper ordering: heavy architectures use more bridge qubits than their
+	// polygon counterparts.
+	if byName["Surf-Stitch Heavy Square"].AvgBridge <= byName["Surf-Stitch Square"].AvgBridge {
+		t.Error("heavy square should use more bridges than square")
+	}
+	if byName["Surf-Stitch Heavy Hexagon"].AvgBridge <= byName["Surf-Stitch Hexagon"].AvgBridge {
+		t.Error("heavy hexagon should use more bridges than hexagon")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	for _, r := range rows {
+		sum := r.DataPct + r.BridgePct + r.UnusedPct
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("%s: percentages sum to %.2f", r.Code, sum)
+		}
+	}
+	// The square architecture's Table 3 row is exact: 45 qubits, 0 unused.
+	for _, r := range rows {
+		if r.Code == "Surf-Stitch Square" {
+			if r.TotalQubits != 45 || r.UnusedPct != 0 {
+				t.Errorf("square row = %+v, want 45 qubits and 0%% unused", r)
+			}
+		}
+	}
+}
+
+func TestTable4Scaling(t *testing.T) {
+	rows, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 15 (5 architectures x 3 distances)", len(rows))
+	}
+	// The paper's scalability claim: bridge/data ratio roughly constant in d.
+	byCode := map[string][]Table4Row{}
+	for _, r := range rows {
+		byCode[r.Code] = append(byCode[r.Code], r)
+	}
+	for code, rs := range byCode {
+		if len(rs) != 3 {
+			t.Fatalf("%s: %d distances", code, len(rs))
+		}
+		r3, r7 := rs[0], rs[2]
+		if r7.BridgeRatio > 2.5*r3.BridgeRatio {
+			t.Errorf("%s: bridge/data ratio grew superlinearly: %.2f (d=3) -> %.2f (d=7)",
+				code, r3.BridgeRatio, r7.BridgeRatio)
+		}
+		if r7.TwoQubit <= r3.TwoQubit {
+			t.Errorf("%s: CNOT count did not grow with distance", code)
+		}
+	}
+}
+
+func TestFigure10Renders(t *testing.T) {
+	text, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(a) square", "(e) heavy-square-4", "set 0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Figure 10 output missing %q", want)
+		}
+	}
+}
+
+func TestAllocationStudySmall(t *testing.T) {
+	res, err := AllocationStudy(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("results = %d, want 4", len(res))
+	}
+	if res[0].Name != "surf-stitch" || res[0].Valid != 50 {
+		t.Errorf("surf-stitch result = %+v", res[0])
+	}
+	for _, r := range res[1:] {
+		if r.Valid != 0 {
+			t.Errorf("%s produced %d valid layouts, paper reports none", r.Name, r.Valid)
+		}
+	}
+}
+
+func TestFigure11aQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo in short mode")
+	}
+	res, err := Figure11a(Config{Shots: 1500, Ps: []float64{0.002}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoutedCNOTs <= res.SurfCNOTs {
+		t.Errorf("routing should cost more CNOTs: %d vs %d", res.RoutedCNOTs, res.SurfCNOTs)
+	}
+	if len(res.SurfLogical) != 1 || len(res.RouteLogical) != 1 {
+		t.Fatal("wrong point counts")
+	}
+	if res.RouteLogical[0].Logical <= res.SurfLogical[0].Logical {
+		t.Errorf("routing should have higher logical error: %.4f vs %.4f",
+			res.RouteLogical[0].Logical, res.SurfLogical[0].Logical)
+	}
+}
+
+func TestFigure11bQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo in short mode")
+	}
+	res, err := Figure11b(Config{Shots: 3000}, 0.002, []float64{0.0002, 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("points = %d", len(res))
+	}
+	// At large idle error the refined (shorter) schedule must win clearly.
+	last := res[len(res)-1]
+	if last.RefinedLogical >= last.TwoStageLogical {
+		t.Errorf("refined schedule (%.4f) should beat two-stage (%.4f) at idle=%g",
+			last.RefinedLogical, last.TwoStageLogical, last.IdleError)
+	}
+}

@@ -1,0 +1,221 @@
+// Package pauli implements sparse Pauli strings (tensor products of I, X, Y,
+// Z operators over qubit indices) with multiplication and commutation. Phase
+// is tracked modulo ±1 only, which is all the stabilizer formalism of the
+// surface code requires.
+package pauli
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op is a single-qubit Pauli operator.
+type Op uint8
+
+// The four single-qubit Pauli operators. I is the zero value, so an unset
+// qubit is implicitly identity.
+const (
+	I Op = iota
+	X
+	Z
+	Y // Y = i*X*Z; stored as the X and Z bits both set
+)
+
+// String returns the operator letter.
+func (o Op) String() string {
+	switch o {
+	case X:
+		return "X"
+	case Y:
+		return "Y"
+	case Z:
+		return "Z"
+	default:
+		return "I"
+	}
+}
+
+// xBit reports whether the operator has an X component (X or Y).
+func (o Op) xBit() bool { return o == X || o == Y }
+
+// zBit reports whether the operator has a Z component (Z or Y).
+func (o Op) zBit() bool { return o == Z || o == Y }
+
+// fromBits assembles an operator from its X and Z component bits.
+func fromBits(x, z bool) Op {
+	switch {
+	case x && z:
+		return Y
+	case x:
+		return X
+	case z:
+		return Z
+	default:
+		return I
+	}
+}
+
+// Anticommutes reports whether the two single-qubit operators anticommute.
+// Distinct non-identity Paulis anticommute; identity commutes with all.
+func (o Op) Anticommutes(p Op) bool {
+	return o != I && p != I && o != p
+}
+
+// String is a sparse Pauli string: a map from qubit index to a non-identity
+// operator. The zero value (and New()) is the identity. Strings are
+// value-like; mutating methods return the receiver for chaining.
+type String struct {
+	ops map[int]Op
+}
+
+// New returns an identity Pauli string.
+func New() String { return String{ops: map[int]Op{}} }
+
+// XOn returns the Pauli string with X on each given qubit.
+func XOn(qubits ...int) String { return onAll(X, qubits) }
+
+// ZOn returns the Pauli string with Z on each given qubit.
+func ZOn(qubits ...int) String { return onAll(Z, qubits) }
+
+// YOn returns the Pauli string with Y on each given qubit.
+func YOn(qubits ...int) String { return onAll(Y, qubits) }
+
+// Single returns the Pauli string with op on one qubit.
+func Single(q int, op Op) String {
+	s := New()
+	s.Set(q, op)
+	return s
+}
+
+func onAll(op Op, qubits []int) String {
+	s := New()
+	for _, q := range qubits {
+		s.Set(q, op)
+	}
+	return s
+}
+
+// Get returns the operator acting on qubit q (I when unset).
+func (s String) Get(q int) Op {
+	if s.ops == nil {
+		return I
+	}
+	return s.ops[q]
+}
+
+// Set assigns the operator on qubit q, deleting the entry for identity.
+func (s String) Set(q int, op Op) {
+	if s.ops == nil {
+		panic("pauli: Set on uninitialized String; use New")
+	}
+	if op == I {
+		delete(s.ops, q)
+		return
+	}
+	s.ops[q] = op
+}
+
+// Weight returns the number of qubits acted on non-trivially.
+func (s String) Weight() int { return len(s.ops) }
+
+// IsIdentity reports whether the string acts trivially on all qubits.
+func (s String) IsIdentity() bool { return len(s.ops) == 0 }
+
+// Support returns the sorted qubit indices with non-identity operators.
+func (s String) Support() []int {
+	out := make([]int, 0, len(s.ops))
+	for q := range s.ops {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone returns an independent copy.
+func (s String) Clone() String {
+	c := New()
+	for q, op := range s.ops {
+		c.ops[q] = op
+	}
+	return c
+}
+
+// Equal reports whether the two strings apply identical operators
+// (phases ignored).
+func (s String) Equal(t String) bool {
+	if len(s.ops) != len(t.ops) {
+		return false
+	}
+	for q, op := range s.ops {
+		if t.Get(q) != op {
+			return false
+		}
+	}
+	return true
+}
+
+// Commutes reports whether s and t commute. Two Pauli strings commute
+// exactly when they anticommute on an even number of qubits.
+func (s String) Commutes(t String) bool {
+	small, big := s, t
+	if len(small.ops) > len(big.ops) {
+		small, big = big, small
+	}
+	anti := 0
+	for q, op := range small.ops {
+		if op.Anticommutes(big.Get(q)) {
+			anti++
+		}
+	}
+	return anti%2 == 0
+}
+
+// Mul returns the product s*t up to phase (component-wise XOR of the X and Z
+// bit planes). Since the surface code only tracks stabilizer membership and
+// commutation, the ±i phases are irrelevant and dropped.
+func (s String) Mul(t String) String {
+	out := s.Clone()
+	for q, op := range t.ops {
+		cur := out.Get(q)
+		out.Set(q, fromBits(cur.xBit() != op.xBit(), cur.zBit() != op.zBit()))
+	}
+	return out
+}
+
+// XSupport returns the sorted qubits with an X component (X or Y).
+func (s String) XSupport() []int {
+	var out []int
+	for q, op := range s.ops {
+		if op.xBit() {
+			out = append(out, q)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ZSupport returns the sorted qubits with a Z component (Z or Y).
+func (s String) ZSupport() []int {
+	var out []int
+	for q, op := range s.ops {
+		if op.zBit() {
+			out = append(out, q)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String renders the Pauli string in the compact stabilizer notation used by
+// the paper, e.g. "X1*X4*Z7". The identity renders as "I".
+func (s String) String() string {
+	if s.IsIdentity() {
+		return "I"
+	}
+	parts := make([]string, 0, len(s.ops))
+	for _, q := range s.Support() {
+		parts = append(parts, fmt.Sprintf("%s%d", s.ops[q], q))
+	}
+	return strings.Join(parts, "*")
+}

@@ -1,0 +1,215 @@
+package pauli
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpAnticommutes(t *testing.T) {
+	ops := []Op{I, X, Y, Z}
+	for _, a := range ops {
+		for _, b := range ops {
+			want := a != I && b != I && a != b
+			if got := a.Anticommutes(b); got != want {
+				t.Errorf("%v.Anticommutes(%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSetGetWeight(t *testing.T) {
+	s := New()
+	s.Set(3, X)
+	s.Set(1, Z)
+	s.Set(3, Y)
+	if s.Get(3) != Y || s.Get(1) != Z || s.Get(0) != I {
+		t.Fatal("Get after Set incorrect")
+	}
+	if s.Weight() != 2 {
+		t.Fatalf("Weight = %d, want 2", s.Weight())
+	}
+	s.Set(1, I)
+	if s.Weight() != 1 || s.Get(1) != I {
+		t.Fatal("setting identity should clear the entry")
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	s := XOn(0, 1, 2, 3)
+	if s.Weight() != 4 {
+		t.Fatalf("XOn weight = %d, want 4", s.Weight())
+	}
+	for q := 0; q < 4; q++ {
+		if s.Get(q) != X {
+			t.Errorf("XOn.Get(%d) = %v, want X", q, s.Get(q))
+		}
+	}
+	z := ZOn(5)
+	if z.Get(5) != Z || z.Weight() != 1 {
+		t.Error("ZOn incorrect")
+	}
+	y := YOn(2)
+	if y.Get(2) != Y {
+		t.Error("YOn incorrect")
+	}
+	single := Single(7, Z)
+	if single.Get(7) != Z || single.Weight() != 1 {
+		t.Error("Single incorrect")
+	}
+}
+
+func TestCommutesKnownCases(t *testing.T) {
+	// Z0Z1Z2Z3 and X0X1 share two anticommuting qubits -> commute.
+	zzzz := ZOn(0, 1, 2, 3)
+	xx := XOn(0, 1)
+	if !zzzz.Commutes(xx) {
+		t.Error("Z_{0123} should commute with X_{01}")
+	}
+	// Z0 and X0 anticommute.
+	if ZOn(0).Commutes(XOn(0)) {
+		t.Error("Z0 should anticommute with X0")
+	}
+	// Logical pair: X along row {0,1,2} vs Z along column {0,3,6}: share one
+	// qubit -> anticommute.
+	if XOn(0, 1, 2).Commutes(ZOn(0, 3, 6)) {
+		t.Error("crossing logicals should anticommute")
+	}
+	// Identity commutes with everything.
+	if !New().Commutes(XOn(0)) || !XOn(0).Commutes(New()) {
+		t.Error("identity must commute with all strings")
+	}
+	// Y vs X on same qubit anticommute; Y vs Y commute.
+	if YOn(0).Commutes(XOn(0)) {
+		t.Error("Y0 should anticommute with X0")
+	}
+	if !YOn(0).Commutes(YOn(0)) {
+		t.Error("Y0 should commute with itself")
+	}
+}
+
+func TestCommutesSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		a, b := randomString(seed, 8), randomString(seed+1, 8)
+		return a.Commutes(b) == b.Commutes(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulSelfIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomString(seed, 8)
+		return a.Mul(a).IsIdentity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulKnownProducts(t *testing.T) {
+	// X*Z = Y (up to phase) on the same qubit.
+	p := XOn(0).Mul(ZOn(0))
+	if p.Get(0) != Y {
+		t.Errorf("X0*Z0 = %v, want Y0", p)
+	}
+	// X*Y = Z (up to phase).
+	p = XOn(0).Mul(YOn(0))
+	if p.Get(0) != Z {
+		t.Errorf("X0*Y0 = %v, want Z0", p)
+	}
+	// Disjoint supports concatenate.
+	p = XOn(0).Mul(ZOn(1))
+	if p.Get(0) != X || p.Get(1) != Z || p.Weight() != 2 {
+		t.Errorf("X0*Z1 = %v", p)
+	}
+}
+
+func TestMulPreservesCommutationAlgebra(t *testing.T) {
+	// If a commutes with both b and c, it commutes with b*c. More generally
+	// comm(a, b*c) = comm(a,b) XOR comm(a,c) in the anticommutation sense.
+	f := func(seed int64) bool {
+		a := randomString(seed, 6)
+		b := randomString(seed+2, 6)
+		c := randomString(seed+4, 6)
+		lhs := a.Commutes(b.Mul(c))
+		rhs := a.Commutes(b) == a.Commutes(c)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSupports(t *testing.T) {
+	s := New()
+	s.Set(4, Y)
+	s.Set(2, X)
+	s.Set(9, Z)
+	wantAll := []int{2, 4, 9}
+	got := s.Support()
+	if len(got) != 3 || got[0] != 2 || got[1] != 4 || got[2] != 9 {
+		t.Fatalf("Support = %v, want %v", got, wantAll)
+	}
+	xs := s.XSupport()
+	if len(xs) != 2 || xs[0] != 2 || xs[1] != 4 {
+		t.Errorf("XSupport = %v, want [2 4]", xs)
+	}
+	zs := s.ZSupport()
+	if len(zs) != 2 || zs[0] != 4 || zs[1] != 9 {
+		t.Errorf("ZSupport = %v, want [4 9]", zs)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := XOn(0, 1)
+	b := a.Clone()
+	b.Set(0, I)
+	if a.Get(0) != X {
+		t.Error("mutating clone changed original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !XOn(0, 1).Equal(XOn(1, 0)) {
+		t.Error("order should not matter")
+	}
+	if XOn(0).Equal(ZOn(0)) {
+		t.Error("different ops reported equal")
+	}
+	if XOn(0).Equal(XOn(0, 1)) {
+		t.Error("different weights reported equal")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if got := New().String(); got != "I" {
+		t.Errorf("identity String = %q", got)
+	}
+	s := New()
+	s.Set(4, Z)
+	s.Set(1, X)
+	if got := s.String(); got != "X1*Z4" {
+		t.Errorf("String = %q, want X1*Z4", got)
+	}
+}
+
+func TestSetOnZeroValuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Set on zero-value String should panic")
+		}
+	}()
+	var s String
+	s.Set(0, X)
+}
+
+func randomString(seed int64, n int) String {
+	rng := rand.New(rand.NewSource(seed))
+	s := New()
+	for q := 0; q < n; q++ {
+		s.Set(q, Op(rng.Intn(4)))
+	}
+	return s
+}

@@ -1,0 +1,185 @@
+// Package render draws devices and syntheses as SVG documents: qubits on
+// their grid coordinates, couplings as lines, data qubits and bridge trees
+// highlighted per stabilizer, schedule sets color-coded. The output matches
+// the visual language of the paper's figures (blue data dots, red syndrome
+// dots, highlighted bridge trees) and needs no external dependencies.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"surfstitch/internal/code"
+	"surfstitch/internal/device"
+	"surfstitch/internal/synth"
+)
+
+const (
+	cell   = 44 // pixels per grid unit
+	margin = 30
+	radius = 9
+)
+
+// palette assigns a distinguishable color per schedule set.
+var palette = []string{
+	"#e05656", "#569ae0", "#57b86b", "#c78ae0",
+	"#e0a156", "#56cfd0", "#8a8ae0", "#a6b854",
+}
+
+type canvas struct {
+	b      strings.Builder
+	width  int
+	height int
+}
+
+func newCanvas(w, h int) *canvas {
+	c := &canvas{width: w, height: h}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		w, h, w, h)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return c
+}
+
+func (c *canvas) line(x1, y1, x2, y2 int, stroke string, width float64) {
+	fmt.Fprintf(&c.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+func (c *canvas) circle(x, y, r int, fill, stroke string) {
+	fmt.Fprintf(&c.b, `<circle cx="%d" cy="%d" r="%d" fill="%s" stroke="%s" stroke-width="1.5"/>`+"\n",
+		x, y, r, fill, stroke)
+}
+
+func (c *canvas) text(x, y int, size int, fill, s string) {
+	fmt.Fprintf(&c.b, `<text x="%d" y="%d" font-size="%d" fill="%s" font-family="monospace">%s</text>`+"\n",
+		x, y, size, fill, escape(s))
+}
+
+func (c *canvas) done() string {
+	c.b.WriteString("</svg>\n")
+	return c.b.String()
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return strings.ReplaceAll(s, ">", "&gt;")
+}
+
+// Device renders a bare device: grey qubits and couplings.
+func Device(dev *device.Device) string {
+	bounds := dev.Bounds()
+	toPx := func(x, y int) (int, int) {
+		return margin + (x-bounds.MinX)*cell, margin + (y-bounds.MinY)*cell
+	}
+	c := newCanvas(2*margin+(bounds.Width()-1)*cell, 2*margin+(bounds.Height()-1)*cell+20)
+	for _, e := range dev.Graph().Edges() {
+		a, b := dev.Coord(e[0]), dev.Coord(e[1])
+		x1, y1 := toPx(a.X, a.Y)
+		x2, y2 := toPx(b.X, b.Y)
+		c.line(x1, y1, x2, y2, "#bbbbbb", 2)
+	}
+	for q := 0; q < dev.Len(); q++ {
+		p := dev.Coord(q)
+		x, y := toPx(p.X, p.Y)
+		c.circle(x, y, radius-2, "#dddddd", "#888888")
+	}
+	c.text(margin, 2*margin+(bounds.Height()-1)*cell+8, 13, "#444444", dev.String())
+	return c.done()
+}
+
+// Synthesis renders a synthesized code: couplings in light grey, bridge
+// trees as thick lines colored by schedule set, data qubits as blue dots,
+// syndrome roots as red dots, other bridge qubits as small set-colored dots.
+func Synthesis(s *synth.Synthesis) string {
+	dev := s.Layout.Dev
+	bounds := dev.Bounds()
+	toPx := func(q int) (int, int) {
+		p := dev.Coord(q)
+		return margin + (p.X-bounds.MinX)*cell, margin + (p.Y-bounds.MinY)*cell
+	}
+	legendH := 22*len(s.Schedule) + 30
+	c := newCanvas(2*margin+(bounds.Width()-1)*cell, 2*margin+(bounds.Height()-1)*cell+legendH)
+
+	// Layer 1: device couplings.
+	for _, e := range dev.Graph().Edges() {
+		x1, y1 := toPx(e[0])
+		x2, y2 := toPx(e[1])
+		c.line(x1, y1, x2, y2, "#e0e0e0", 1.5)
+	}
+	// Layer 2: bridge trees, colored by schedule set.
+	setOf := map[int]int{}
+	for si := range s.Plans {
+		setOf[si] = -1
+	}
+	planIdx := map[interface{}]int{}
+	for si, p := range s.Plans {
+		planIdx[p] = si
+	}
+	for setID, set := range s.Schedule {
+		for _, p := range set {
+			setOf[planIdx[p]] = setID
+		}
+	}
+	for si, tree := range s.Trees {
+		color := palette[setOf[si]%len(palette)]
+		for _, e := range tree.Edges() {
+			x1, y1 := toPx(e[0])
+			x2, y2 := toPx(e[1])
+			c.line(x1, y1, x2, y2, color, 3.5)
+		}
+	}
+	// Layer 3: qubits. Draw bridges first so data/root dots overlay cleanly.
+	roots := map[int]int{} // qubit -> set id
+	bridges := map[int]int{}
+	for si, p := range s.Plans {
+		for _, b := range p.Bridges() {
+			bridges[b] = setOf[si]
+		}
+		roots[p.Root()] = setOf[si]
+	}
+	for q, setID := range bridges {
+		if _, isRoot := roots[q]; isRoot {
+			continue
+		}
+		x, y := toPx(q)
+		c.circle(x, y, radius-3, palette[setID%len(palette)], "#666666")
+	}
+	for q := range roots {
+		x, y := toPx(q)
+		c.circle(x, y, radius-1, "#d03030", "#702020")
+	}
+	for _, q := range s.Layout.DataQubit {
+		x, y := toPx(q)
+		c.circle(x, y, radius, "#3060d0", "#203070")
+	}
+	// Unused qubits as faint dots.
+	used := map[int]bool{}
+	for _, q := range s.AllQubits() {
+		used[q] = true
+	}
+	for q := 0; q < dev.Len(); q++ {
+		if !used[q] {
+			x, y := toPx(q)
+			c.circle(x, y, radius-5, "#f4f4f4", "#cccccc")
+		}
+	}
+	// Legend.
+	baseY := 2*margin + (bounds.Height()-1)*cell + 8
+	c.text(margin, baseY, 13, "#222222",
+		fmt.Sprintf("distance-%d on %s: blue=data red=syndrome-root", s.Layout.Code.Distance(), dev.Name()))
+	for i, set := range s.Schedule {
+		y := baseY + 20*(i+1)
+		c.circle(margin+6, y-4, 6, palette[i%len(palette)], "#555555")
+		x, z := 0, 0
+		for _, p := range set {
+			if p.Type == code.StabX {
+				x++
+			} else {
+				z++
+			}
+		}
+		c.text(margin+20, y, 12, "#333333", fmt.Sprintf("set %d: %dX + %dZ", i, x, z))
+	}
+	return c.done()
+}

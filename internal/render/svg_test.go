@@ -1,0 +1,55 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"surfstitch/internal/device"
+	"surfstitch/internal/synth"
+)
+
+func TestDeviceSVG(t *testing.T) {
+	svg := Device(device.HeavySquare(2, 2))
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(svg, "<circle") != device.HeavySquare(2, 2).Len() {
+		t.Errorf("circle count %d != qubit count %d",
+			strings.Count(svg, "<circle"), device.HeavySquare(2, 2).Len())
+	}
+	if strings.Count(svg, "<line") != device.HeavySquare(2, 2).Graph().EdgeCount() {
+		t.Errorf("line count mismatch")
+	}
+}
+
+func TestSynthesisSVG(t *testing.T) {
+	s, err := synth.Synthesize(device.HeavySquare(4, 3), 3, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := Synthesis(s)
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("not an SVG document")
+	}
+	// Data dots (blue) appear exactly once per data qubit.
+	if got := strings.Count(svg, `fill="#3060d0"`); got != 9 {
+		t.Errorf("data dots = %d, want 9", got)
+	}
+	// One red root per stabilizer... roots may coincide across sets only if
+	// reused; at least one must render.
+	if strings.Count(svg, `fill="#d03030"`) == 0 {
+		t.Error("no syndrome roots rendered")
+	}
+	// Legend mentions every schedule set.
+	for i := range s.Schedule {
+		if !strings.Contains(svg, "set "+string(rune('0'+i))) {
+			t.Errorf("legend missing set %d", i)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape("<a&b>") != "&lt;a&amp;b&gt;" {
+		t.Error("escape broken")
+	}
+}

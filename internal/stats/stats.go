@@ -1,0 +1,94 @@
+// Package stats provides the small statistical toolkit used when reporting
+// threshold experiments: binomial confidence intervals for logical error
+// rates, log-log regression for error-curve slopes, and the error
+// suppression factor Λ between code distances.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// WilsonInterval returns the Wilson score interval for k successes out of n
+// trials at the given z (1.96 for 95% confidence). It behaves sensibly at
+// k = 0 and k = n, unlike the normal approximation.
+func WilsonInterval(k, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(k) / float64(n)
+	z2 := z * z
+	nf := float64(n)
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// LinearFit performs least-squares regression y = a + b*x and returns the
+// intercept, slope and the coefficient of determination R².
+func LinearFit(xs, ys []float64) (a, b, r2 float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0, fmt.Errorf("stats: need two equal-length samples, got %d/%d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, fmt.Errorf("stats: degenerate x values")
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	ssTot := syy - sy*sy/n
+	ssRes := 0.0
+	for i := range xs {
+		r := ys[i] - (a + b*xs[i])
+		ssRes += r * r
+	}
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	} else {
+		r2 = 1
+	}
+	return a, b, r2, nil
+}
+
+// LogLogSlope fits log(y) = a + b*log(x) over strictly positive samples and
+// returns the slope b — for sub-threshold logical error curves the slope
+// approximates (d+1)/2, the fault-tolerance order of the code.
+func LogLogSlope(xs, ys []float64) (float64, error) {
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	_, b, _, err := LinearFit(lx, ly)
+	return b, err
+}
+
+// Lambda returns the error suppression factor between two code distances:
+// Λ = p_L(d) / p_L(d+2). Below threshold Λ > 1 and the code is working;
+// Λ grows as the physical error rate falls.
+func Lambda(pLow, pHigh float64) (float64, error) {
+	if pHigh <= 0 {
+		return 0, fmt.Errorf("stats: larger-distance rate must be positive")
+	}
+	return pLow / pHigh, nil
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilsonIntervalKnownValues(t *testing.T) {
+	lo, hi := WilsonInterval(50, 100, 1.96)
+	if lo > 0.5 || hi < 0.5 {
+		t.Errorf("interval [%f, %f] does not contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("interval too wide: [%f, %f]", lo, hi)
+	}
+	// Zero successes: interval starts at 0 but has positive width.
+	lo, hi = WilsonInterval(0, 1000, 1.96)
+	if lo != 0 {
+		t.Errorf("lo = %f, want 0", lo)
+	}
+	if hi <= 0 || hi > 0.01 {
+		t.Errorf("hi = %f, want small positive", hi)
+	}
+	// Degenerate input.
+	lo, hi = WilsonInterval(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty sample interval = [%f, %f]", lo, hi)
+	}
+}
+
+func TestWilsonIntervalProperties(t *testing.T) {
+	f := func(k8, n8 uint8) bool {
+		n := int(n8)%1000 + 1
+		k := int(k8) % (n + 1)
+		lo, hi := WilsonInterval(k, n, 1.96)
+		p := float64(k) / float64(n)
+		return lo >= 0 && hi <= 1 && lo <= p+1e-12 && hi >= p-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-9 || math.Abs(b-2) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Errorf("fit = %f + %fx, r2=%f; want 1 + 2x, r2=1", a, b, r2)
+	}
+}
+
+func TestLinearFitRejectsBadInput(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 2}, []float64{2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = 4 x^3 in log-log space has slope 3.
+	xs := []float64{0.001, 0.002, 0.004, 0.008}
+	var ys []float64
+	for _, x := range xs {
+		ys = append(ys, 4*math.Pow(x, 3))
+	}
+	b, err := LogLogSlope(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-3) > 1e-9 {
+		t.Errorf("slope = %f, want 3", b)
+	}
+	// Zero samples are skipped, not fatal.
+	b, err = LogLogSlope([]float64{0.001, 0.002, 0, 0.004}, []float64{1e-9, 8e-9, 0, 6.4e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < 2.5 || b > 3.5 {
+		t.Errorf("slope with skipped zeros = %f", b)
+	}
+}
+
+func TestLambda(t *testing.T) {
+	l, err := Lambda(0.01, 0.002)
+	if err != nil || math.Abs(l-5) > 1e-12 {
+		t.Errorf("Lambda = %f, %v", l, err)
+	}
+	if _, err := Lambda(0.01, 0); err == nil {
+		t.Error("zero denominator accepted")
+	}
+}

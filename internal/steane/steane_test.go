@@ -1,0 +1,283 @@
+package steane
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"surfstitch/internal/circuit"
+	"surfstitch/internal/decoder"
+	"surfstitch/internal/dem"
+	"surfstitch/internal/device"
+	"surfstitch/internal/frame"
+	"surfstitch/internal/grid"
+	"surfstitch/internal/noise"
+)
+
+// synthCache shares syntheses across tests (they are deterministic).
+var synthCache = map[string]*Synthesis{}
+
+func cachedSynth(t *testing.T, dev *device.Device, trials int, seed int64) *Synthesis {
+	t.Helper()
+	key := dev.Name()
+	if s, ok := synthCache[key]; ok {
+		return s
+	}
+	s, err := Synthesize(dev, trials, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synthCache[key] = s
+	return s
+}
+
+func TestCodeAlgebra(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(Supports()) != 3 {
+		t.Fatal("wrong generator count")
+	}
+	for _, sup := range Supports() {
+		if len(sup) != 4 {
+			t.Errorf("support %v not weight 4", sup)
+		}
+	}
+}
+
+func TestColorSlots(t *testing.T) {
+	slots, err := colorSlots(Supports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No stabilizer repeats a slot; no data qubit repeats a slot.
+	dataSeen := map[int]map[int]bool{}
+	for gi, m := range slots {
+		stabSeen := map[int]bool{}
+		for dq, s := range m {
+			if s < 0 || s > 3 {
+				t.Fatalf("slot %d out of range", s)
+			}
+			if stabSeen[s] {
+				t.Errorf("stabilizer %d repeats slot %d", gi, s)
+			}
+			stabSeen[s] = true
+			if dataSeen[dq] == nil {
+				dataSeen[dq] = map[int]bool{}
+			}
+			if dataSeen[dq][s] {
+				t.Errorf("data qubit %d repeats slot %d", dq, s)
+			}
+			dataSeen[dq][s] = true
+		}
+	}
+}
+
+func TestSynthesizeOnSquareDevice(t *testing.T) {
+	dev := device.Square(6, 6)
+	syn := cachedSynth(t, dev, 150, 3)
+	if len(syn.XPlans) != 3 || len(syn.ZPlans) != 3 {
+		t.Fatalf("plans = %d/%d", len(syn.XPlans), len(syn.ZPlans))
+	}
+	// Same-type plans must be mutually compatible (disjoint trees).
+	for _, plans := range [][]int{{0, 1}, {0, 2}, {1, 2}} {
+		a, b := syn.XPlans[plans[0]], syn.XPlans[plans[1]]
+		sharedBridge := false
+		for _, n := range a.Bridges() {
+			for _, m := range b.Bridges() {
+				if n == m {
+					sharedBridge = true
+				}
+			}
+		}
+		if sharedBridge {
+			t.Error("same-type X trees share a bridge qubit")
+		}
+	}
+}
+
+func TestSynthesizeOnHeavyHexChip(t *testing.T) {
+	// The flag-bridge source paper measured the Steane code on IBM's
+	// 20-qubit device; the hummingbird-like 65-qubit heavy-hex model hosts
+	// it comfortably.
+	dev := device.HummingbirdLike65()
+	syn := cachedSynth(t, dev, 800, 5)
+	c, err := syn.MemoryCircuit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Detectors) == 0 {
+		t.Error("no detectors")
+	}
+}
+
+func TestMemoryDeterministicAndDecodable(t *testing.T) {
+	dev := device.Square(6, 6)
+	syn := cachedSynth(t, dev, 150, 3)
+	c, err := syn.MemoryCircuit(3) // determinism checked inside
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := (noise.Model{GateError: 0.001, IdleError: noise.DefaultIdleError, IdleOnly: syn.IdleQubits()}).Apply(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := dem.FromCircuit(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decoder.NewLookup(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-fault property: every single mechanism decodes to its exact
+	// observable effect UNLESS its full signature is shared by another
+	// mechanism with a conflicting effect — an intrinsic ambiguity of the
+	// plain (non-Chao-Reichardt-ordered) extraction circuit, where the
+	// decoder must go with the more probable cause. Such ambiguities must
+	// be rare and carry little probability.
+	conflicting := map[string]bool{}
+	bySig := map[string]uint64{}
+	seen := map[string]bool{}
+	for _, mech := range model.Mechanisms {
+		key := fmt.Sprint(mech.Detectors)
+		if seen[key] && bySig[key] != mech.Obs {
+			conflicting[key] = true
+		}
+		seen[key] = true
+		bySig[key] = mech.Obs
+	}
+	bad, badP, total := 0, 0.0, 0
+	for _, mech := range model.Mechanisms {
+		if len(mech.Detectors) == 0 {
+			if mech.Obs != 0 {
+				t.Fatal("undetectable logical mechanism")
+			}
+			continue
+		}
+		total++
+		pred, err := dec.Decode(mech.Detectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred != mech.Obs {
+			if !conflicting[fmt.Sprint(mech.Detectors)] {
+				t.Errorf("unambiguous mechanism %v obs=%b misdecoded as %b",
+					mech.Detectors, mech.Obs, pred)
+			}
+			bad++
+			badP += mech.Prob
+		}
+	}
+	t.Logf("ambiguous-signature misdecodes: %d/%d (probability %.2g)", bad, total, badP)
+	if bad*20 > total {
+		t.Errorf("too many ambiguous signatures: %d/%d", bad, total)
+	}
+}
+
+func TestLogicalErrorSuppression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo in short mode")
+	}
+	dev := device.Square(6, 6)
+	syn := cachedSynth(t, dev, 150, 3)
+	c, err := syn.MemoryCircuit(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle error is held negligible to isolate the gate-error scaling.
+	rate := func(p float64) float64 {
+		noisy, err := (noise.Model{GateError: p, IdleError: 1e-12, IdleOnly: syn.IdleQubits()}).Apply(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := dem.FromCircuit(noisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := decoder.NewLookup(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler, _ := frame.NewSampler(noisy, rand.New(rand.NewSource(1)))
+		stats, err := dec.DecodeBatch(sampler.Sample(20000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.LogicalErrorRate()
+	}
+	low, high := rate(0.0005), rate(0.002)
+	t.Logf("steane logical rates: %.5f @0.0005, %.5f @0.002", low, high)
+	if high <= low {
+		t.Error("logical rate not increasing with p")
+	}
+	// Distance 3 implies superlinear scaling: quadrupling p should raise the
+	// rate by more than 4x in the sub-threshold regime.
+	if low > 0 && high/low < 4 {
+		t.Errorf("scaling too shallow for a distance-3 code: %.1fx over 4x p", high/low)
+	}
+}
+
+func TestSynthesizeFailsOnTinyDevice(t *testing.T) {
+	if _, err := Synthesize(device.Square(2, 2), 50, 1); err == nil {
+		t.Error("tiny device accepted")
+	}
+}
+
+func TestSynthesizeOnExplicitPlacement(t *testing.T) {
+	dev := device.Square(8, 8)
+	// Spread data on a loose diagonal band.
+	coords := [][2]int{{1, 1}, {3, 1}, {5, 1}, {1, 3}, {3, 3}, {5, 3}, {3, 5}}
+	var data []int
+	for _, c := range coords {
+		q, ok := dev.QubitAt(grid.C(c[0], c[1]))
+		if !ok {
+			t.Fatal("missing qubit")
+		}
+		data = append(data, q)
+	}
+	syn, err := SynthesizeOn(dev, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := syn.MemoryCircuit(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SynthesizeOn(dev, data[:5]); err == nil {
+		t.Error("short placement accepted")
+	}
+}
+
+func TestMemoryRejectsZeroRounds(t *testing.T) {
+	dev := device.Square(6, 6)
+	syn := cachedSynth(t, dev, 100, 3)
+	if _, err := syn.MemoryCircuit(0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+// TestXErrorsDetected injects X on every data qubit between rounds.
+func TestXErrorsDetected(t *testing.T) {
+	dev := device.Square(6, 6)
+	syn := cachedSynth(t, dev, 100, 3)
+	base, err := syn.MemoryCircuit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := len(base.Moments) / 2
+	for _, dq := range syn.Data {
+		injected := &circuit.Circuit{NumQubits: base.NumQubits, Detectors: base.Detectors, Observables: base.Observables}
+		injected.Moments = append(injected.Moments, base.Moments[:at]...)
+		injected.Moments = append(injected.Moments, circuit.Moment{
+			Noise: []circuit.Instruction{{Op: circuit.OpXError, Qubits: []int{dq}, Arg: 1}},
+		})
+		injected.Moments = append(injected.Moments, base.Moments[at:]...)
+		sampler, err := frame.NewSampler(injected, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sampler.Sample(1).ShotDetectors(0)) == 0 {
+			t.Errorf("X on data qubit %d undetected", dq)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package synth implements the Surf-Stitch synthesis framework — the
+// paper's core contribution. It stitches a rotated surface code onto a
+// connectivity-constrained superconducting device in three stages:
+//
+//  1. data qubit allocation (Algorithm 1): bridge rectangles seeded from
+//     high-degree qubits anchor a periodic data-qubit lattice;
+//  2. bridge tree construction (Algorithm 2): the star-tree and
+//     branching-tree heuristics find small local bridge trees inside each
+//     syndrome rectangle;
+//  3. stabilizer measurement scheduling (Algorithm 3): an iterative
+//     refinement groups large measurement circuits together to shorten the
+//     error detection cycle.
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"surfstitch/internal/code"
+	"surfstitch/internal/device"
+	"surfstitch/internal/flagbridge"
+	"surfstitch/internal/graph"
+	"surfstitch/internal/grid"
+)
+
+// Mode selects how syndrome rectangles are induced (§5.3 of the paper).
+type Mode int
+
+const (
+	// ModeDefault induces syndrome rectangles from pairs of three-degree
+	// qubits (the suffix-less codes of Table 2).
+	ModeDefault Mode = iota
+	// ModeFour centers syndrome rectangles on four-degree qubits (the "-4"
+	// codes of Table 2), yielding diamond data lattices.
+	ModeFour
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeFour {
+		return "four-degree"
+	}
+	return "default"
+}
+
+// Layout is the result of data qubit allocation: the affine embedding of the
+// abstract d x d data lattice onto device qubits, plus the per-stabilizer
+// syndrome rectangles.
+type Layout struct {
+	Dev  *device.Device
+	Code *code.Code
+	Mode Mode
+
+	// Base, U, V define the embedding: abstract data (r, c) sits at device
+	// coordinate Base + c*U + r*V.
+	Base, U, V grid.Coord
+
+	// DataQubit maps abstract data index -> device qubit.
+	DataQubit []int
+	// IsData flags device qubits holding data.
+	IsData []bool
+	// Rects holds the syndrome rectangle of each stabilizer, indexed like
+	// Code.Stabilizers().
+	Rects []grid.Rect
+
+	// Score is the allocation quality metric (total bridge-tree size plus
+	// hook-orientation penalties); lower is better. FitDevice compares it
+	// across equally sized devices.
+	Score int
+}
+
+// DataCoord returns the device coordinate of abstract data position (r, c).
+func (l *Layout) DataCoord(r, c int) grid.Coord {
+	return l.Base.Add(l.U.Scale(c)).Add(l.V.Scale(r))
+}
+
+// LayoutFromMapping builds a Layout from an explicit data-qubit assignment
+// (abstract data index -> device qubit). It is the entry point for foreign
+// allocators (random sampling, SABRE-style, noise-adaptive) in the §5.4
+// comparison: the resulting layout can be fed to FindAllTrees to test
+// whether all stabilizer measurements are executable without moving data.
+func LayoutFromMapping(dev *device.Device, c *code.Code, dataQubits []int) (*Layout, error) {
+	if len(dataQubits) != c.NumData() {
+		return nil, fmt.Errorf("synth: mapping has %d qubits, want %d", len(dataQubits), c.NumData())
+	}
+	layout := &Layout{
+		Dev: dev, Code: c, Mode: ModeDefault,
+		DataQubit: append([]int(nil), dataQubits...),
+		IsData:    make([]bool, dev.Len()),
+	}
+	for _, q := range dataQubits {
+		if q < 0 || q >= dev.Len() {
+			return nil, fmt.Errorf("synth: qubit %d out of range", q)
+		}
+		if layout.IsData[q] {
+			return nil, fmt.Errorf("synth: qubit %d assigned twice", q)
+		}
+		layout.IsData[q] = true
+	}
+	for _, s := range c.Stabilizers() {
+		pts := make([]grid.Coord, len(s.Data))
+		for i, dq := range s.Data {
+			pts[i] = dev.Coord(dataQubits[dq])
+		}
+		layout.Rects = append(layout.Rects, grid.RectAround(pts...))
+	}
+	return layout, nil
+}
+
+// BridgeRectangles implements lines 1–11 of Algorithm 1: one minimal
+// rectangle per high-degree qubit, containing the qubit, its nearest
+// high-degree partner (for three-degree seeds), and their neighbors.
+func BridgeRectangles(dev *device.Device, mode Mode) []grid.Rect {
+	minDeg := 3
+	if mode == ModeFour {
+		minDeg = 4
+	}
+	high := dev.HighDegreeQubits(minDeg)
+	g := dev.Graph()
+	var rects []grid.Rect
+	seen := map[grid.Rect]bool{}
+	for _, na := range high {
+		pts := []grid.Coord{dev.Coord(na)}
+		for _, nb := range g.Neighbors(na) {
+			pts = append(pts, dev.Coord(nb))
+		}
+		if mode == ModeDefault && g.Degree(na) == 3 {
+			nb := nearestHighDegree(dev, na, 3)
+			if nb >= 0 {
+				pts = append(pts, dev.Coord(nb))
+				for _, nn := range g.Neighbors(nb) {
+					pts = append(pts, dev.Coord(nn))
+				}
+			}
+		}
+		r := grid.RectAround(pts...)
+		if !seen[r] {
+			seen[r] = true
+			rects = append(rects, r)
+		}
+	}
+	sort.Slice(rects, func(i, j int) bool { return rects[i].Less(rects[j]) })
+	return rects
+}
+
+// nearestHighDegree returns the high-degree qubit nearest to q (excluding
+// q), breaking ties toward smaller qubit id.
+func nearestHighDegree(dev *device.Device, q, minDeg int) int {
+	best, bestDist := -1, 0
+	for _, cand := range dev.HighDegreeQubits(minDeg) {
+		if cand == q {
+			continue
+		}
+		d := dev.Coord(q).Manhattan(dev.Coord(cand))
+		if best == -1 || d < bestDist {
+			best, bestDist = cand, d
+		}
+	}
+	return best
+}
+
+// latticeCandidates enumerates candidate (U, V) basis vector pairs for the
+// data lattice, smallest cell first. ModeDefault tries axis-aligned
+// lattices; ModeFour tries diamond lattices centered on four-degree qubits.
+func latticeCandidates(mode Mode, maxPeriod int) [][2]grid.Coord {
+	var out [][2]grid.Coord
+	if mode == ModeFour {
+		for k := 1; k <= maxPeriod; k++ {
+			out = append(out, [2]grid.Coord{{X: k, Y: k}, {X: -k, Y: k}})
+		}
+		return out
+	}
+	type cand struct {
+		uv   [2]grid.Coord
+		area int
+	}
+	var cands []cand
+	for px := 1; px <= maxPeriod; px++ {
+		for py := 1; py <= maxPeriod; py++ {
+			cands = append(cands, cand{[2]grid.Coord{{X: px}, {Y: py}}, px * py})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].area != cands[j].area {
+			return cands[i].area < cands[j].area
+		}
+		return cands[i].uv[0].X < cands[j].uv[0].X
+	})
+	for _, c := range cands {
+		out = append(out, c.uv)
+	}
+	return out
+}
+
+// Allocate runs data qubit allocation for a distance-d rotated surface code
+// on the device. It searches the periodic lattices anchored by the device's
+// bridge rectangles (Algorithm 1) and returns the first layout for which
+// every stabilizer admits a local bridge tree (verified with Algorithm 2's
+// tree finder).
+func Allocate(dev *device.Device, d int, mode Mode) (*Layout, error) {
+	c, err := code.NewRotated(d)
+	if err != nil {
+		return nil, err
+	}
+	rects := BridgeRectangles(dev, mode)
+	if len(rects) == 0 {
+		return nil, fmt.Errorf("synth: device %s has no degree-%d qubits to anchor bridge rectangles",
+			dev.Name(), 3+int(mode))
+	}
+	bounds := dev.Bounds()
+	anchor := rects[0] // the top-left bridge rectangle (line 12 of Alg. 1)
+
+	// Evaluate one feasible base per lattice candidate and keep the layout
+	// with the smallest total bridge-tree size (compactness tiebreak). A
+	// pure first-feasible rule would accept sparse lattices rescued by
+	// oversized fallback trees.
+	const maxPeriod = 4
+	var best *Layout
+	bestScore := 0
+	for _, uv := range latticeCandidates(mode, maxPeriod) {
+		u, v := uv[0], uv[1]
+		// Candidate bases: qubit coordinates within one lattice cell of the
+		// anchor rectangle's top-left corner.
+		for _, base := range baseCandidates(dev, anchor, u, v) {
+			layout, ok := tryLattice(dev, c, mode, base, u, v, bounds)
+			if !ok {
+				continue
+			}
+			trees, err := FindAllTrees(layout)
+			if err != nil {
+				continue
+			}
+			score := 0
+			for _, t := range trees {
+				score += t.EdgeLen()
+			}
+			// Hook-orientation penalty: a bridge leaf of an X-type tree that
+			// couples two data qubits of the same abstract column turns a
+			// single hook fault into a vertical weight-2 X error — aligned
+			// with the logical X operator — halving the code's effective
+			// distance against the Pauli-X errors the paper's evaluation
+			// measures. Such layouts are heavily penalized so that a
+			// transposed orientation (horizontal, benign hooks) wins.
+			score += 500 * verticalXHookPairs(layout, trees)
+			if best == nil || score < bestScore {
+				layout.Score = score
+				best, bestScore = layout, score
+			}
+			break // one feasible base per lattice candidate
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("synth: no valid distance-%d data layout found on %s (mode %v)",
+			d, dev.Name(), mode)
+	}
+	return best, nil
+}
+
+// baseCandidates lists plausible positions for abstract data qubit (0,0):
+// every qubit within the anchor rectangle expanded by one lattice cell, plus
+// the whole top band of the device. The top band matters for diamond
+// lattices (ModeFour), whose base is the topmost diamond vertex and can sit
+// anywhere along the device's upper edge.
+func baseCandidates(dev *device.Device, anchor grid.Rect, u, v grid.Coord) []grid.Coord {
+	cell := max(abs(u.X)+abs(v.X), abs(u.Y)+abs(v.Y))
+	reach := anchor.Expand(cell)
+	bounds := dev.Bounds()
+	topBand := grid.Rect{
+		MinX: bounds.MinX, MaxX: bounds.MaxX,
+		MinY: bounds.MinY, MaxY: bounds.MinY + cell,
+	}
+	seen := map[grid.Coord]bool{}
+	var out []grid.Coord
+	for _, r := range []grid.Rect{reach, topBand} {
+		for _, q := range dev.QubitsIn(r) {
+			c := dev.Coord(q)
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// tryLattice instantiates the affine data lattice and the syndrome
+// rectangles; it fails fast when any lattice point misses a qubit.
+func tryLattice(dev *device.Device, c *code.Code, mode Mode, base, u, v grid.Coord, bounds grid.Rect) (*Layout, bool) {
+	d := c.Distance()
+	layout := &Layout{
+		Dev: dev, Code: c, Mode: mode,
+		Base: base, U: u, V: v,
+		DataQubit: make([]int, c.NumData()),
+		IsData:    make([]bool, dev.Len()),
+	}
+	for r := 0; r < d; r++ {
+		for cl := 0; cl < d; cl++ {
+			pos := layout.DataCoord(r, cl)
+			if !bounds.Contains(pos) {
+				return nil, false
+			}
+			q, ok := dev.QubitAt(pos)
+			if !ok {
+				return nil, false
+			}
+			layout.DataQubit[c.DataIndex(r, cl)] = q
+			layout.IsData[q] = true
+		}
+	}
+	for _, s := range c.Stabilizers() {
+		pts := make([]grid.Coord, len(s.Data))
+		for i, dq := range s.Data {
+			pts[i] = dev.Coord(layout.DataQubit[dq])
+		}
+		layout.Rects = append(layout.Rects, grid.RectAround(pts...))
+	}
+	return layout, true
+}
+
+// verifyTrees checks that every stabilizer admits a local bridge tree under
+// the sequential same-type allocation discipline (trees of equal type must
+// not share qubits). It is the acceptance test of the allocation search.
+func verifyTrees(layout *Layout) error {
+	_, err := FindAllTrees(layout)
+	return err
+}
+
+// verticalXHookPairs counts bridge leaves of X-type trees whose coupled
+// data qubits share an abstract column (hook pairs parallel to the logical
+// X operator).
+func verticalXHookPairs(layout *Layout, trees []*graph.Tree) int {
+	col := map[int]int{} // device qubit -> abstract column
+	for idx, q := range layout.DataQubit {
+		_, c := layout.Code.DataPos(idx)
+		col[q] = c
+	}
+	bad := 0
+	for si, st := range layout.Code.Stabilizers() {
+		if st.Type != code.StabX {
+			continue
+		}
+		t := trees[si]
+		// Group the stabilizer's data qubits by their parent bridge leaf.
+		byLeaf := map[int][]int{}
+		for _, dq := range st.Data {
+			q := layout.DataQubit[dq]
+			byLeaf[t.Parent(q)] = append(byLeaf[t.Parent(q)], q)
+		}
+		for _, group := range byLeaf {
+			if len(group) == 2 && col[group[0]] == col[group[1]] {
+				bad++
+			}
+		}
+	}
+	return bad
+}
+
+// Directions returns the plaquette direction of each data qubit of
+// stabilizer index si, keyed by device qubit.
+func (l *Layout) Directions(si int) map[int]flagbridge.Direction {
+	s := l.Code.Stabilizers()[si]
+	out := map[int]flagbridge.Direction{}
+	for _, dq := range s.Data {
+		r, c := l.Code.DataPos(dq)
+		var dir flagbridge.Direction
+		switch {
+		case r == s.Corner[0]-1 && c == s.Corner[1]-1:
+			dir = flagbridge.NW
+		case r == s.Corner[0]-1 && c == s.Corner[1]:
+			dir = flagbridge.NE
+		case r == s.Corner[0] && c == s.Corner[1]-1:
+			dir = flagbridge.SW
+		default:
+			dir = flagbridge.SE
+		}
+		out[l.DataQubit[dq]] = dir
+	}
+	return out
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"surfstitch/internal/device"
+	"surfstitch/internal/graph"
+)
+
+// AnnealConfig controls the simulated-annealing allocator — the paper's §6
+// "advanced optimization algorithms like simulated annealing ... to discover
+// better data qubit layouts".
+type AnnealConfig struct {
+	// Iterations of the annealing loop (default 300).
+	Iterations int
+	// StartTemp and EndTemp bound the exponential cooling schedule
+	// (defaults 8 and 0.2, in units of the layout energy).
+	StartTemp, EndTemp float64
+	// Seed drives the proposal chain; runs are reproducible.
+	Seed int64
+}
+
+func (c AnnealConfig) withDefaults() AnnealConfig {
+	if c.Iterations == 0 {
+		c.Iterations = 300
+	}
+	if c.StartTemp == 0 {
+		c.StartTemp = 8
+	}
+	if c.EndTemp == 0 {
+		c.EndTemp = 0.2
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	return c
+}
+
+// layoutEnergy scores a layout: total bridge-tree size plus the
+// hook-orientation penalty (the same objective the lattice search uses),
+// plus a small term for same-type tree conflicts that would fragment the
+// schedule. Returns the energy and the trees, or an error when infeasible.
+func layoutEnergy(layout *Layout) (float64, []*graph.Tree, error) {
+	trees, err := FindAllTrees(layout)
+	if err != nil {
+		return 0, nil, err
+	}
+	e := 0.0
+	for _, t := range trees {
+		e += float64(t.EdgeLen())
+	}
+	e += 500 * float64(verticalXHookPairs(layout, trees))
+	e += 25 * float64(sameTypeConflicts(layout, trees))
+	return e, trees, nil
+}
+
+// sameTypeConflicts counts pairs of same-type trees sharing bridge qubits
+// (each such pair forces schedule fragmentation).
+func sameTypeConflicts(layout *Layout, trees []*graph.Tree) int {
+	stabs := layout.Code.Stabilizers()
+	conflicts := 0
+	for i := range trees {
+		for j := i + 1; j < len(trees); j++ {
+			if stabs[i].Type != stabs[j].Type {
+				continue
+			}
+			if sharesBridge(layout, trees[i], trees[j]) {
+				conflicts++
+			}
+		}
+	}
+	return conflicts
+}
+
+func sharesBridge(layout *Layout, a, b *graph.Tree) bool {
+	for _, n := range a.Nodes() {
+		if !layout.IsData[n] && b.Contains(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// Anneal refines a data-qubit layout by simulated annealing: single data
+// qubits hop to nearby free qubits, and moves are accepted by the
+// Metropolis rule on the layout energy. The best layout seen is returned
+// (always at least as good as the input under the same energy).
+func Anneal(start *Layout, cfg AnnealConfig) (*Layout, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dev := start.Dev
+
+	cur := append([]int(nil), start.DataQubit...)
+	curEnergy, _, err := energyOfMapping(dev, start, cur)
+	if err != nil {
+		return nil, fmt.Errorf("synth: anneal start layout infeasible: %w", err)
+	}
+	best := append([]int(nil), cur...)
+	bestEnergy := curEnergy
+
+	temp := cfg.StartTemp
+	cool := math.Pow(cfg.EndTemp/cfg.StartTemp, 1/float64(cfg.Iterations))
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		prop := append([]int(nil), cur...)
+		// Move one random data qubit to a random neighbor (hop distance 1).
+		di := rng.Intn(len(prop))
+		neighbors := dev.Graph().Neighbors(prop[di])
+		if len(neighbors) == 0 {
+			continue
+		}
+		target := neighbors[rng.Intn(len(neighbors))]
+		if containsInt(prop, target) {
+			continue // occupied by another data qubit
+		}
+		prop[di] = target
+		propEnergy, _, err := energyOfMapping(dev, start, prop)
+		if err != nil {
+			continue // infeasible proposal
+		}
+		delta := propEnergy - curEnergy
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			cur, curEnergy = prop, propEnergy
+			if curEnergy < bestEnergy {
+				best = append([]int(nil), cur...)
+				bestEnergy = curEnergy
+			}
+		}
+		temp *= cool
+	}
+	layout, err := LayoutFromMapping(dev, start.Code, best)
+	if err != nil {
+		return nil, err
+	}
+	layout.Score = int(bestEnergy)
+	return layout, nil
+}
+
+func energyOfMapping(dev *device.Device, template *Layout, mapping []int) (float64, []*graph.Tree, error) {
+	layout, err := LayoutFromMapping(dev, template.Code, mapping)
+	if err != nil {
+		return 0, nil, err
+	}
+	return layoutEnergy(layout)
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

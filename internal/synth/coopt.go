@@ -1,0 +1,95 @@
+package synth
+
+import (
+	"surfstitch/internal/flagbridge"
+	"surfstitch/internal/graph"
+)
+
+// CoOptimize implements the paper's §6 "co-optimizing the bridge tree finder
+// and the stabilizer measurement scheduler": when the schedule fragments
+// into extra sets because of bridge-tree conflicts, the plans of the
+// smallest sets retry their tree search avoiding the trees of a target set,
+// and the move is kept when the total error-detection cycle shrinks. The
+// returned synthesis is never worse than the input.
+func CoOptimize(s *Synthesis) (*Synthesis, error) {
+	best := s
+	const maxRounds = 8
+	for round := 0; round < maxRounds; round++ {
+		improved, err := coOptimizeOnce(best)
+		if err != nil {
+			return nil, err
+		}
+		if improved == nil {
+			break
+		}
+		best = improved
+	}
+	return best, nil
+}
+
+// coOptimizeOnce attempts one improving move; nil means no improvement found.
+func coOptimizeOnce(s *Synthesis) (*Synthesis, error) {
+	if len(s.Schedule) <= 1 {
+		return nil, nil
+	}
+	layout := s.Layout
+	planIdx := map[*flagbridge.Plan]int{}
+	for si, p := range s.Plans {
+		planIdx[p] = si
+	}
+	// Smallest set first: eliminating it buys the most.
+	smallest := 0
+	for i, set := range s.Schedule {
+		if len(set) < len(s.Schedule[smallest]) {
+			smallest = i
+		}
+	}
+	for _, mover := range s.Schedule[smallest] {
+		si := planIdx[mover]
+		// Try to re-find the mover's tree avoiding each other set's trees.
+		for j, target := range s.Schedule {
+			if j == smallest {
+				continue
+			}
+			blocked := make([]bool, layout.Dev.Len())
+			for _, q := range target {
+				for _, n := range q.Tree.Nodes() {
+					if !layout.IsData[n] {
+						blocked[n] = true
+					}
+				}
+			}
+			newTree, err := FindTree(layout, si, blocked)
+			if err != nil {
+				continue
+			}
+			// Rebuild the synthesis with the new tree and reschedule.
+			trees := append([]*graph.Tree(nil), s.Trees...)
+			trees[si] = newTree
+			candidate, err := rebuild(layout, trees)
+			if err != nil {
+				continue
+			}
+			if candidate.Schedule.TotalSteps() < s.Schedule.TotalSteps() {
+				return candidate, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// rebuild reconstructs plans and schedule from a tree assignment.
+func rebuild(layout *Layout, trees []*graph.Tree) (*Synthesis, error) {
+	plans := make([]*flagbridge.Plan, len(trees))
+	for si, tree := range trees {
+		p, err := flagbridge.NewPlan(layout.Code.Stabilizers()[si].Type, tree, layout.Directions(si))
+		if err != nil {
+			return nil, err
+		}
+		plans[si] = p
+	}
+	return &Synthesis{
+		Layout: layout, Trees: trees, Plans: plans,
+		Schedule: BestSchedule(plans),
+	}, nil
+}

@@ -1,0 +1,135 @@
+package synth
+
+import (
+	"encoding/json"
+
+	"surfstitch/internal/code"
+	"surfstitch/internal/flagbridge"
+)
+
+// Report is the machine-readable form of a synthesis, suitable for feeding
+// downstream tooling (control-stack compilers, visualizers). Coordinates are
+// device-grid positions.
+type Report struct {
+	Device      string          `json:"device"`
+	Distance    int             `json:"distance"`
+	Mode        string          `json:"mode"`
+	Lattice     LatticeReport   `json:"lattice"`
+	Stabilizers []StabReport    `json:"stabilizers"`
+	Schedule    []SetReport     `json:"schedule"`
+	Metrics     MetricsReport   `json:"metrics"`
+	Utilization UtilizationJSON `json:"utilization"`
+}
+
+// LatticeReport is the affine data-lattice embedding.
+type LatticeReport struct {
+	Base [2]int `json:"base"`
+	U    [2]int `json:"u"`
+	V    [2]int `json:"v"`
+}
+
+// StabReport describes one stabilizer's physical realization.
+type StabReport struct {
+	Index      int      `json:"index"`
+	Type       string   `json:"type"`
+	Weight     int      `json:"weight"`
+	DataCoords [][2]int `json:"data"`
+	Bridges    [][2]int `json:"bridges"`
+	Root       [2]int   `json:"root"`
+	CNOTs      int      `json:"cnots"`
+	TimeSteps  int      `json:"timeSteps"`
+}
+
+// SetReport describes one parallel measurement set.
+type SetReport struct {
+	Stabilizers []int `json:"stabilizers"`
+	Depth       int   `json:"depth"`
+}
+
+// MetricsReport mirrors Metrics with JSON tags.
+type MetricsReport struct {
+	AvgBridgeQubits float64 `json:"avgBridgeQubits"`
+	AvgCNOTs        float64 `json:"avgCnots"`
+	AvgTimeSteps    float64 `json:"avgTimeSteps"`
+	TotalTimeSteps  int     `json:"totalTimeSteps"`
+}
+
+// UtilizationJSON mirrors Utilization with JSON tags.
+type UtilizationJSON struct {
+	Data   int `json:"data"`
+	Bridge int `json:"bridge"`
+	Unused int `json:"unused"`
+	Total  int `json:"total"`
+}
+
+// Report builds the machine-readable synthesis report.
+func (s *Synthesis) Report() Report {
+	dev := s.Layout.Dev
+	coordOf := func(q int) [2]int {
+		c := dev.Coord(q)
+		return [2]int{c.X, c.Y}
+	}
+	rep := Report{
+		Device:   dev.Name(),
+		Distance: s.Layout.Code.Distance(),
+		Mode:     s.Layout.Mode.String(),
+		Lattice: LatticeReport{
+			Base: [2]int{s.Layout.Base.X, s.Layout.Base.Y},
+			U:    [2]int{s.Layout.U.X, s.Layout.U.Y},
+			V:    [2]int{s.Layout.V.X, s.Layout.V.Y},
+		},
+	}
+	planIndex := map[*flagbridge.Plan]int{}
+	for si, st := range s.Layout.Code.Stabilizers() {
+		plan := s.Plans[si]
+		planIndex[plan] = si
+		sr := StabReport{
+			Index: si, Type: st.Type.String(), Weight: st.Weight(),
+			Root: coordOf(plan.Root()), CNOTs: plan.NumCNOTs(), TimeSteps: plan.TimeSteps(),
+		}
+		for _, dq := range st.Data {
+			sr.DataCoords = append(sr.DataCoords, coordOf(s.Layout.DataQubit[dq]))
+		}
+		for _, b := range plan.Bridges() {
+			sr.Bridges = append(sr.Bridges, coordOf(b))
+		}
+		rep.Stabilizers = append(rep.Stabilizers, sr)
+	}
+	for _, set := range s.Schedule {
+		sr := SetReport{Depth: flagbridge.SetDepth(set)}
+		for _, p := range set {
+			sr.Stabilizers = append(sr.Stabilizers, planIndex[p])
+		}
+		rep.Schedule = append(rep.Schedule, sr)
+	}
+	m := s.Metrics()
+	rep.Metrics = MetricsReport{
+		AvgBridgeQubits: m.AvgBridgeQubits, AvgCNOTs: m.AvgCNOTs,
+		AvgTimeSteps: m.AvgTimeSteps, TotalTimeSteps: m.TotalTimeSteps,
+	}
+	u := s.Utilization()
+	rep.Utilization = UtilizationJSON{Data: u.DataQubits, Bridge: u.BridgeQubits, Unused: u.UnusedQubits, Total: u.TotalQubits}
+	return rep
+}
+
+// MarshalJSON renders the synthesis report as indented JSON.
+func (s *Synthesis) MarshalJSON() ([]byte, error) {
+	return json.MarshalIndent(s.Report(), "", "  ")
+}
+
+// countStabsOfType is a small helper for report consumers.
+func (r Report) countStabsOfType(t code.StabType) int {
+	n := 0
+	for _, s := range r.Stabilizers {
+		if s.Type == t.String() {
+			n++
+		}
+	}
+	return n
+}
+
+// NumX returns the number of X stabilizers in the report.
+func (r Report) NumX() int { return r.countStabsOfType(code.StabX) }
+
+// NumZ returns the number of Z stabilizers in the report.
+func (r Report) NumZ() int { return r.countStabsOfType(code.StabZ) }

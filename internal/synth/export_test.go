@@ -1,0 +1,64 @@
+package synth
+
+import (
+	"encoding/json"
+	"testing"
+
+	"surfstitch/internal/device"
+)
+
+func TestReportStructure(t *testing.T) {
+	s, err := Synthesize(device.HeavySquare(4, 3), 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep.Distance != 3 || rep.Mode != "default" {
+		t.Errorf("header = %+v", rep)
+	}
+	if len(rep.Stabilizers) != 8 {
+		t.Fatalf("stabilizers = %d, want 8", len(rep.Stabilizers))
+	}
+	if rep.NumX() != 4 || rep.NumZ() != 4 {
+		t.Errorf("X/Z = %d/%d", rep.NumX(), rep.NumZ())
+	}
+	scheduled := 0
+	for _, set := range rep.Schedule {
+		scheduled += len(set.Stabilizers)
+		if set.Depth <= 0 {
+			t.Error("set depth missing")
+		}
+	}
+	if scheduled != 8 {
+		t.Errorf("scheduled stabilizers = %d", scheduled)
+	}
+	if rep.Utilization.Data+rep.Utilization.Bridge+rep.Utilization.Unused != rep.Utilization.Total {
+		t.Error("utilization does not sum")
+	}
+}
+
+func TestMarshalJSONRoundTrip(t *testing.T) {
+	s, err := Synthesize(device.Square(6, 6), 3, Options{Mode: ModeFour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Distance != 3 || len(back.Stabilizers) != 8 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	for _, st := range back.Stabilizers {
+		if len(st.DataCoords) != st.Weight {
+			t.Errorf("stabilizer %d: %d data coords for weight %d", st.Index, len(st.DataCoords), st.Weight)
+		}
+		if len(st.Bridges) == 0 {
+			t.Errorf("stabilizer %d: no bridges", st.Index)
+		}
+	}
+}

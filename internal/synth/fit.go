@@ -1,0 +1,51 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"surfstitch/internal/device"
+)
+
+// FitDevice finds the smallest tiling of the architecture's building blocks
+// that supports a distance-d synthesis in the given mode — the methodology
+// behind the paper's Table 3 ("finding the smallest tiling of building
+// blocks that is able to support the distance-5 surface code"). Smallest
+// means fewest qubits, with ties broken toward fewer tiles.
+func FitDevice(kind device.Kind, d int, mode Mode) (*device.Device, *Layout, error) {
+	// The search space is bounded: distance-d codes need O(d) tiles per
+	// axis on every Table 1 architecture. Devices are cheap to construct,
+	// so build all candidates and scan them in exact qubit-count order.
+	maxSide := 2*d + 4
+	var devs []*device.Device
+	for w := 1; w <= maxSide; w++ {
+		for h := 1; h <= maxSide; h++ {
+			devs = append(devs, device.ByKind(kind, w, h))
+		}
+	}
+	sort.SliceStable(devs, func(i, j int) bool { return devs[i].Len() < devs[j].Len() })
+	// Among devices of the same minimal qubit count, orientation matters: a
+	// w x h tiling and its transpose host mirrored layouts whose hook
+	// orientations differ. Compare allocation scores across the whole
+	// minimal-size tier before accepting.
+	for i := 0; i < len(devs); {
+		j := i
+		var bestDev *device.Device
+		var bestLayout *Layout
+		for ; j < len(devs) && devs[j].Len() == devs[i].Len(); j++ {
+			layout, err := Allocate(devs[j], d, mode)
+			if err != nil {
+				continue
+			}
+			if bestLayout == nil || layout.Score < bestLayout.Score {
+				bestDev, bestLayout = devs[j], layout
+			}
+		}
+		if bestLayout != nil {
+			return bestDev, bestLayout, nil
+		}
+		i = j
+	}
+	return nil, nil, fmt.Errorf("synth: no %v tiling up to %dx%d supports distance %d (mode %v)",
+		kind, maxSide, maxSide, d, mode)
+}

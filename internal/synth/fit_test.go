@@ -1,0 +1,32 @@
+package synth
+
+import (
+	"testing"
+	"time"
+
+	"surfstitch/internal/device"
+)
+
+func TestFitDeviceSquareD5(t *testing.T) {
+	start := time.Now()
+	dev, layout, err := FitDevice(device.KindSquare, 5, ModeDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("square d=5 fit: %v (%.1fs)", dev, time.Since(start).Seconds())
+	// Table 3: the square architecture supports d=5 with 45 qubits.
+	if dev.Len() != 45 {
+		t.Errorf("fit device has %d qubits, want 45 (Table 3)", dev.Len())
+	}
+	if layout.Code.Distance() != 5 {
+		t.Error("wrong distance")
+	}
+}
+
+func TestFitDeviceRejectsImpossible(t *testing.T) {
+	// Distance 3 in four-degree mode on hexagon devices (max degree 3) is
+	// impossible: no four-degree qubits exist.
+	if _, _, err := FitDevice(device.KindHexagon, 3, ModeFour); err == nil {
+		t.Error("hexagon -4 synthesis should be impossible")
+	}
+}

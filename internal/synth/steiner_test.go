@@ -1,0 +1,139 @@
+package synth
+
+import (
+	"testing"
+
+	"surfstitch/internal/device"
+	"surfstitch/internal/graph"
+)
+
+// bruteSteinerEdges finds the minimal edge count of a tree in the device
+// graph whose leaves are exactly the given data qubits and whose interior
+// uses only allowed qubits, by exhaustive search over subsets of allowed
+// interior nodes (feasible for small instances only).
+func bruteSteinerEdges(t *testing.T, dev *device.Device, data []int, allowed func(int) bool) int {
+	t.Helper()
+	var interior []int
+	for q := 0; q < dev.Len(); q++ {
+		if allowed(q) {
+			interior = append(interior, q)
+		}
+	}
+	if len(interior) > 16 {
+		t.Fatalf("brute force infeasible: %d interior nodes", len(interior))
+	}
+	best := -1
+	g := dev.Graph()
+	for mask := 0; mask < 1<<uint(len(interior)); mask++ {
+		nodes := append([]int(nil), data...)
+		inSet := map[int]bool{}
+		for _, d := range data {
+			inSet[d] = true
+		}
+		for i, q := range interior {
+			if mask&(1<<uint(i)) != 0 {
+				nodes = append(nodes, q)
+				inSet[q] = true
+			}
+		}
+		// Count edges of the induced subgraph; a spanning tree needs
+		// exactly len(nodes)-1 edges and connectivity.
+		edges := 0
+		for _, e := range g.Edges() {
+			if inSet[e[0]] && inSet[e[1]] {
+				edges++
+			}
+		}
+		if edges < len(nodes)-1 {
+			continue
+		}
+		sub := graph.New(dev.Len())
+		for _, e := range g.Edges() {
+			if inSet[e[0]] && inSet[e[1]] {
+				sub.AddEdge(e[0], e[1])
+			}
+		}
+		if !sub.ConnectedWithin(nodes, func(q int) bool { return inSet[q] }) {
+			continue
+		}
+		// Data qubits must be usable as leaves: they need degree >= 1 in the
+		// subgraph; a spanning tree of the node set has len(nodes)-1 edges.
+		// The minimal tree over this node set has exactly len(nodes)-1 edges.
+		if best == -1 || len(nodes)-1 < best {
+			// Verify a tree with data as leaves exists: prune iteratively is
+			// complex; instead require that each data qubit has at least one
+			// interior neighbor in the set (degree-1 attachment possible).
+			ok := true
+			for _, d := range data {
+				hasInterior := false
+				for _, nb := range sub.Neighbors(d) {
+					if !contains(data, nb) {
+						hasInterior = true
+					}
+				}
+				if !hasInterior {
+					ok = false
+				}
+			}
+			if ok {
+				best = len(nodes) - 1
+			}
+		}
+	}
+	return best
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFindTreeIsNearOptimal checks the tree finder against brute-force
+// minimal Steiner trees on the bulk stabilizers of small syntheses: the
+// found tree must have at most one extra edge over the optimum (the finder
+// restricts to trees whose leaves are exactly the data qubits, which can
+// cost one edge vs the unconstrained Steiner optimum).
+func TestFindTreeIsNearOptimal(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dev  *device.Device
+		mode Mode
+	}{
+		{"heavy-square", device.HeavySquare(4, 3), ModeDefault},
+		{"square-4", device.Square(6, 6), ModeFour},
+	} {
+		layout, err := Allocate(tc.dev, 3, tc.mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees, err := FindAllTrees(layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, s := range layout.Code.Stabilizers() {
+			if s.Weight() != 4 {
+				continue
+			}
+			rect := layout.Rects[si]
+			allowed := func(q int) bool {
+				return rect.Contains(tc.dev.Coord(q)) && !layout.IsData[q]
+			}
+			data := make([]int, len(s.Data))
+			for i, dq := range s.Data {
+				data[i] = layout.DataQubit[dq]
+			}
+			opt := bruteSteinerEdges(t, tc.dev, data, allowed)
+			if opt == -1 {
+				continue // no in-rect tree; the finder expanded the rect
+			}
+			got := trees[si].EdgeLen()
+			if got > opt+1 {
+				t.Errorf("%s %v: tree has %d edges, optimum %d", tc.name, s, got, opt)
+			}
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"surfstitch/internal/code"
+	"surfstitch/internal/device"
+	"surfstitch/internal/flagbridge"
+	"surfstitch/internal/graph"
+)
+
+// Options configures a synthesis run.
+type Options struct {
+	// Mode selects the syndrome-rectangle induction strategy.
+	Mode Mode
+	// NoRefine skips the Algorithm 3 refinement, leaving the two-stage
+	// X-then-Z schedule (used by the Figure 11(b) baseline).
+	NoRefine bool
+	// StarOnlyTrees disables the branching-tree heuristic of Algorithm 2
+	// (ablation of the path-merging optimization motivated by Figure 6).
+	StarOnlyTrees bool
+	// CoOptimize runs the §6 tree/schedule co-optimization pass after
+	// synthesis, re-finding bridge trees to merge fragmented schedule sets.
+	CoOptimize bool
+}
+
+// Synthesis is a fully synthesized surface code: the layout, the bridge
+// trees and measurement plans of every stabilizer, and the measurement
+// schedule.
+type Synthesis struct {
+	Layout   *Layout
+	Trees    []*graph.Tree      // per stabilizer
+	Plans    []*flagbridge.Plan // per stabilizer
+	Schedule Schedule
+}
+
+// Synthesize runs the full Surf-Stitch pipeline: data qubit allocation,
+// bridge tree construction, and stabilizer measurement scheduling.
+func Synthesize(dev *device.Device, distance int, opts Options) (*Synthesis, error) {
+	layout, err := Allocate(dev, distance, opts.Mode)
+	if err != nil {
+		return nil, err
+	}
+	return SynthesizeOnLayout(layout, opts)
+}
+
+// SynthesizeOnLayout runs stages two and three on a pre-computed layout.
+func SynthesizeOnLayout(layout *Layout, opts Options) (*Synthesis, error) {
+	trees, err := FindAllTreesWith(layout, opts.StarOnlyTrees)
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]*flagbridge.Plan, len(trees))
+	for si, tree := range trees {
+		p, err := flagbridge.NewPlan(layout.Code.Stabilizers()[si].Type, tree, layout.Directions(si))
+		if err != nil {
+			return nil, fmt.Errorf("synth: plan for stabilizer %v: %w", layout.Code.Stabilizers()[si], err)
+		}
+		plans[si] = p
+	}
+	sched := InitialSchedule(plans)
+	if !opts.NoRefine {
+		sched = BestSchedule(plans)
+	}
+	out := &Synthesis{Layout: layout, Trees: trees, Plans: plans, Schedule: sched}
+	if opts.CoOptimize {
+		return CoOptimize(out)
+	}
+	return out, nil
+}
+
+// Metrics summarizes a synthesis in the units of the paper's Table 2.
+// Averages run over the weight-4 X-type stabilizers (the bulk measurement
+// circuits the table characterizes).
+type Metrics struct {
+	AvgBridgeQubits float64
+	AvgCNOTs        float64
+	AvgTimeSteps    float64
+	TotalTimeSteps  int
+}
+
+// Metrics computes the Table 2 statistics for the synthesis.
+func (s *Synthesis) Metrics() Metrics {
+	var m Metrics
+	nx := 0
+	for si, st := range s.Layout.Code.Stabilizers() {
+		if st.Type != code.StabX || st.Weight() != 4 {
+			continue
+		}
+		nx++
+		m.AvgBridgeQubits += float64(s.Plans[si].NumBridges())
+		m.AvgCNOTs += float64(s.Plans[si].NumCNOTs())
+		m.AvgTimeSteps += float64(s.Plans[si].TimeSteps())
+	}
+	if nx > 0 {
+		m.AvgBridgeQubits /= float64(nx)
+		m.AvgCNOTs /= float64(nx)
+		m.AvgTimeSteps /= float64(nx)
+	}
+	m.TotalTimeSteps = s.Schedule.TotalSteps()
+	return m
+}
+
+// Utilization reports the Table 3 qubit-utilization statistics over the
+// minimal device bounding box that supports the code.
+type Utilization struct {
+	DataQubits   int
+	BridgeQubits int
+	UnusedQubits int
+	TotalQubits  int
+}
+
+// DataPercent returns the data-qubit share of the device.
+func (u Utilization) DataPercent() float64 {
+	return 100 * float64(u.DataQubits) / float64(u.TotalQubits)
+}
+
+// BridgePercent returns the bridge-qubit share of the device.
+func (u Utilization) BridgePercent() float64 {
+	return 100 * float64(u.BridgeQubits) / float64(u.TotalQubits)
+}
+
+// UnusedPercent returns the idle-qubit share of the device.
+func (u Utilization) UnusedPercent() float64 {
+	return 100 * float64(u.UnusedQubits) / float64(u.TotalQubits)
+}
+
+// Utilization counts data, bridge and unused qubits over the whole device.
+func (s *Synthesis) Utilization() Utilization {
+	used := make(map[int]bool)
+	for _, t := range s.Trees {
+		for _, n := range t.Nodes() {
+			used[n] = true
+		}
+	}
+	var u Utilization
+	u.TotalQubits = s.Layout.Dev.Len()
+	for q := 0; q < s.Layout.Dev.Len(); q++ {
+		switch {
+		case s.Layout.IsData[q]:
+			u.DataQubits++
+		case used[q]:
+			u.BridgeQubits++
+		default:
+			u.UnusedQubits++
+		}
+	}
+	return u
+}
+
+// AllQubits returns every device qubit participating in the code (data or
+// bridge), sorted — the set that receives idle noise in experiments.
+func (s *Synthesis) AllQubits() []int {
+	set := map[int]bool{}
+	for _, t := range s.Trees {
+		for _, n := range t.Nodes() {
+			set[n] = true
+		}
+	}
+	for _, q := range s.Layout.DataQubit {
+		set[q] = true
+	}
+	out := make([]int, 0, len(set))
+	for q := range set {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Describe renders a human-readable synthesis report: the first stabilizers
+// with their bridge trees (Figure 10 style) and the schedule shape.
+func (s *Synthesis) Describe(maxStabs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "synthesis of distance-%d surface code on %s (mode %v)\n",
+		s.Layout.Code.Distance(), s.Layout.Dev.Name(), s.Layout.Mode)
+	fmt.Fprintf(&b, "lattice: base %v, u %v, v %v\n", s.Layout.Base, s.Layout.U, s.Layout.V)
+	stabs := s.Layout.Code.Stabilizers()
+	for si := 0; si < len(stabs) && si < maxStabs; si++ {
+		st := stabs[si]
+		var dataCoords []string
+		for _, dq := range st.Data {
+			dataCoords = append(dataCoords, s.Layout.Dev.Coord(s.Layout.DataQubit[dq]).String())
+		}
+		var bridgeCoords []string
+		for _, n := range s.Trees[si].Nodes() {
+			if !s.Layout.IsData[n] {
+				bridgeCoords = append(bridgeCoords, s.Layout.Dev.Coord(n).String())
+			}
+		}
+		fmt.Fprintf(&b, "  %v: data %s | bridges %s | root %v | cnots %d\n",
+			st, strings.Join(dataCoords, " "), strings.Join(bridgeCoords, " "),
+			s.Layout.Dev.Coord(s.Plans[si].Root()), s.Plans[si].NumCNOTs())
+	}
+	fmt.Fprintf(&b, "schedule: %d sets, %d total time steps\n", len(s.Schedule), s.Schedule.TotalSteps())
+	for i, set := range s.Schedule {
+		x, z := 0, 0
+		for _, p := range set {
+			if p.Type == code.StabX {
+				x++
+			} else {
+				z++
+			}
+		}
+		fmt.Fprintf(&b, "  set %d: %dX + %dZ, depth %d\n", i, x, z, flagbridge.SetDepth(set))
+	}
+	return b.String()
+}

@@ -1,0 +1,421 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"surfstitch/internal/code"
+	"surfstitch/internal/graph"
+	"surfstitch/internal/grid"
+)
+
+// maxRectExpand bounds how far a syndrome rectangle may grow when the tight
+// rectangle admits no bridge tree (boundary stabilizers routinely need one
+// extra ring of qubits).
+const maxRectExpand = 3
+
+// FindAllTrees runs Algorithm 2 for every stabilizer of the layout,
+// processing each stabilizer type in deterministic order and preferring
+// same-type bridge trees to be disjoint (the property the initial X/Z
+// schedule exploits). On tightly packed layouts the boundary stabilizers may
+// have no disjoint option — the paper's Table 3 square layout leaves zero
+// unused qubits — so the finder falls back to overlapping trees, which the
+// measurement scheduler later places in different sets. The result is
+// indexed like layout.Code.Stabilizers().
+func FindAllTrees(layout *Layout) ([]*graph.Tree, error) {
+	return FindAllTreesWith(layout, false)
+}
+
+// FindAllTreesWith is FindAllTrees with the branching-tree heuristic
+// optionally disabled for every stabilizer (the star-only ablation).
+func FindAllTreesWith(layout *Layout, starOnly bool) ([]*graph.Tree, error) {
+	stabs := layout.Code.Stabilizers()
+	trees := make([]*graph.Tree, len(stabs))
+	blockedBy := map[code.StabType][]bool{
+		code.StabX: make([]bool, layout.Dev.Len()),
+		code.StabZ: make([]bool, layout.Dev.Len()),
+	}
+	// Bulk (weight-4) stabilizers of both types go first: their trees are
+	// the most constrained (often a single possible root), while boundary
+	// stabilizers usually have alternatives.
+	var order []int
+	for _, w := range []int{4, 2} {
+		for _, t := range []code.StabType{code.StabX, code.StabZ} {
+			for si, s := range stabs {
+				if s.Type == t && s.Weight() == w {
+					order = append(order, si)
+				}
+			}
+		}
+	}
+	for _, si := range order {
+		s := stabs[si]
+		same := blockedBy[s.Type]
+		other := blockedBy[s.Type.Opposite()]
+		// Preference ladder: avoid every earlier tree (maximal parallelism),
+		// then only same-type trees (the initial X/Z schedule still works),
+		// then nothing (the scheduler serializes the conflicts).
+		both := make([]bool, len(same))
+		for i := range both {
+			both[i] = same[i] || other[i]
+		}
+		tree, err := FindTreeWith(layout, si, both, starOnly)
+		if err != nil {
+			tree, err = FindTreeWith(layout, si, same, starOnly)
+		}
+		if err != nil {
+			tree, err = FindTreeWith(layout, si, make([]bool, layout.Dev.Len()), starOnly)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("synth: stabilizer %v: %w", s, err)
+		}
+		trees[si] = tree
+		for _, n := range tree.Nodes() {
+			if !layout.IsData[n] {
+				same[n] = true
+			}
+		}
+	}
+	return trees, nil
+}
+
+// FindTree finds a small local bridge tree for stabilizer si: bridge qubits
+// confined to the stabilizer's syndrome rectangle (expanded ring by ring up
+// to maxRectExpand), avoiding data qubits and the blocked set. Both the
+// star-tree and branching-tree heuristics run; the smaller tree wins
+// (Algorithm 2 line 13). The returned tree is rooted at its center.
+func FindTree(layout *Layout, si int, blocked []bool) (*graph.Tree, error) {
+	return FindTreeWith(layout, si, blocked, false)
+}
+
+// FindTreeWith is FindTree with the branching-tree heuristic optionally
+// disabled (the star-only ablation of Figure 6's design discussion).
+func FindTreeWith(layout *Layout, si int, blocked []bool, starOnly bool) (*graph.Tree, error) {
+	s := layout.Code.Stabilizers()[si]
+	data := make([]int, len(s.Data))
+	for i, dq := range s.Data {
+		data[i] = layout.DataQubit[dq]
+	}
+	for expand := 0; expand <= maxRectExpand; expand++ {
+		rect := layout.Rects[si].Expand(expand)
+		interior := func(q int) bool {
+			return rect.Contains(layout.Dev.Coord(q)) && !layout.IsData[q] && !blocked[q]
+		}
+		best := bestStarTree(layout, data, interior)
+		if len(data) == 4 && !starOnly {
+			if bt := bestBranchingTree(layout, data, interior); bt != nil {
+				if best == nil || bt.EdgeLen() < best.EdgeLen() {
+					best = bt
+				}
+			}
+		}
+		if best != nil {
+			return rerootAtCenter(best, layout.IsData)
+		}
+	}
+	return nil, fmt.Errorf("no local bridge tree within %v (+%d)", layout.Rects[si], maxRectExpand)
+}
+
+// terminalBFS runs a BFS from src that expands only through interior nodes
+// but may terminate on the given terminal nodes. It returns parent pointers
+// (-1 = unreached; src's parent is src).
+func terminalBFS(layout *Layout, src int, interior func(int) bool, terminals map[int]bool) []int {
+	g := layout.Dev.Graph()
+	parent := make([]int, layout.Dev.Len())
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if terminals[u] && u != src {
+			continue // do not expand through terminals
+		}
+		for _, v := range g.Neighbors(u) {
+			if parent[v] != -1 {
+				continue
+			}
+			if !interior(v) && !terminals[v] {
+				continue
+			}
+			parent[v] = u
+			queue = append(queue, v)
+		}
+	}
+	return parent
+}
+
+func pathFromParents(parent []int, dst int) []int {
+	if parent[dst] == -1 {
+		return nil
+	}
+	path := []int{dst}
+	for parent[path[len(path)-1]] != path[len(path)-1] {
+		path = append(path, parent[path[len(path)-1]])
+	}
+	// reverse: src..dst
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// bestStarTree implements the star-tree method: every interior qubit is
+// tried as root; the BFS tree branches to the data qubits are merged. The
+// smallest resulting tree wins.
+func bestStarTree(layout *Layout, data []int, interior func(int) bool) *graph.Tree {
+	terminals := map[int]bool{}
+	for _, d := range data {
+		terminals[d] = true
+	}
+	var best *graph.Tree
+	for q := 0; q < layout.Dev.Len(); q++ {
+		if !interior(q) {
+			continue
+		}
+		parent := terminalBFS(layout, q, interior, terminals)
+		paths := make([][]int, 0, len(data))
+		ok := true
+		for _, d := range data {
+			p := pathFromParents(parent, d)
+			if p == nil {
+				ok = false
+				break
+			}
+			paths = append(paths, p)
+		}
+		if !ok {
+			continue
+		}
+		tree, err := graph.PathUnionTree(q, paths...)
+		if err != nil {
+			continue
+		}
+		if !leavesAreExactly(tree, data) {
+			continue
+		}
+		if best == nil || tree.EdgeLen() < best.EdgeLen() {
+			best = tree
+		}
+	}
+	return best
+}
+
+// bestBranchingTree implements the branching-tree method for weight-4
+// stabilizers: connect the closest data-qubit pairs with shortest paths,
+// then join the two paths by a connector path (Algorithm 2 lines 7–12).
+func bestBranchingTree(layout *Layout, data []int, interior func(int) bool) *graph.Tree {
+	terminals := map[int]bool{}
+	for _, d := range data {
+		terminals[d] = true
+	}
+	// Pairwise distances between data qubits through the interior.
+	dist := map[[2]int]int{}
+	paths := map[[2]int][]int{}
+	for _, a := range data {
+		parent := terminalBFS(layout, a, interior, terminals)
+		for _, b := range data {
+			if b == a {
+				continue
+			}
+			if p := pathFromParents(parent, b); p != nil {
+				dist[[2]int{a, b}] = len(p) - 1
+				paths[[2]int{a, b}] = p
+			}
+		}
+	}
+	pairings := [][4]int{
+		{data[0], data[1], data[2], data[3]},
+		{data[0], data[2], data[1], data[3]},
+		{data[0], data[3], data[1], data[2]},
+	}
+	sort.Slice(pairings, func(i, j int) bool {
+		return pairingCost(dist, pairings[i]) < pairingCost(dist, pairings[j])
+	})
+	var best *graph.Tree
+	for _, pr := range pairings {
+		p1, ok1 := paths[[2]int{pr[0], pr[1]}]
+		p2, ok2 := paths[[2]int{pr[2], pr[3]}]
+		if !ok1 || !ok2 {
+			continue
+		}
+		if t := joinPaths(layout, p1, p2, interior, terminals); t != nil {
+			if !leavesAreExactly(t, data) {
+				continue
+			}
+			if best == nil || t.EdgeLen() < best.EdgeLen() {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+func pairingCost(dist map[[2]int]int, pr [4]int) int {
+	const inf = 1 << 20
+	c := 0
+	if d, ok := dist[[2]int{pr[0], pr[1]}]; ok {
+		c += d
+	} else {
+		c += inf
+	}
+	if d, ok := dist[[2]int{pr[2], pr[3]}]; ok {
+		c += d
+	} else {
+		c += inf
+	}
+	return c
+}
+
+// joinPaths connects two data-to-data shortest paths into one bridge tree by
+// the shortest connector between their interior nodes. The two paths must
+// not intersect; overlapping pairs are rejected (the star method covers
+// those cases).
+func joinPaths(layout *Layout, p1, p2 []int, interior func(int) bool, terminals map[int]bool) *graph.Tree {
+	onP1 := map[int]bool{}
+	for _, n := range p1 {
+		onP1[n] = true
+	}
+	for _, n := range p2 {
+		if onP1[n] {
+			return nil
+		}
+	}
+	in1, in2 := interiorNodes(p1, terminals), interiorNodes(p2, terminals)
+	if len(in1) == 0 || len(in2) == 0 {
+		return nil
+	}
+	onP2 := map[int]bool{}
+	for _, n := range p2 {
+		onP2[n] = true
+	}
+	// Multi-source BFS from p1's interior nodes through interior nodes not
+	// already on either path; stop at p2's interior nodes.
+	g := layout.Dev.Graph()
+	parent := make([]int, layout.Dev.Len())
+	for i := range parent {
+		parent[i] = -1
+	}
+	var queue []int
+	for _, n := range in1 {
+		parent[n] = n
+		queue = append(queue, n)
+	}
+	var hit int = -1
+	for len(queue) > 0 && hit == -1 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if parent[v] != -1 {
+				continue
+			}
+			if onP2[v] {
+				if terminals[v] {
+					continue // cannot attach at a data qubit
+				}
+				parent[v] = u
+				hit = v
+				break
+			}
+			if !interior(v) || onP1[v] {
+				continue
+			}
+			parent[v] = u
+			queue = append(queue, v)
+		}
+	}
+	if hit == -1 {
+		return nil
+	}
+	connector := pathFromParents(parent, hit)
+	root := connector[0]
+	tree, err := graph.PathUnionTree(root, p1, p2, connector)
+	if err != nil {
+		return nil
+	}
+	return tree
+}
+
+func interiorNodes(path []int, terminals map[int]bool) []int {
+	var out []int
+	for _, n := range path {
+		if !terminals[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// leavesAreExactly checks that the tree's leaves are precisely the data
+// qubits and that the tree contains at least one bridge qubit.
+func leavesAreExactly(t *graph.Tree, data []int) bool {
+	leaves := t.Leaves()
+	if len(leaves) != len(data) {
+		return false
+	}
+	set := map[int]bool{}
+	for _, d := range data {
+		set[d] = true
+	}
+	for _, l := range leaves {
+		if !set[l] {
+			return false
+		}
+	}
+	return t.Len() > len(data)
+}
+
+// rerootAtCenter re-roots the tree at the non-data node with minimal
+// eccentricity (ties toward smaller id); the root acts as the syndrome
+// qubit, and a central root minimizes the encoding depth.
+func rerootAtCenter(t *graph.Tree, isData []bool) (*graph.Tree, error) {
+	bestNode, bestEcc := -1, 0
+	for _, n := range t.Nodes() {
+		if isData[n] {
+			continue
+		}
+		rr, err := t.Reroot(n)
+		if err != nil {
+			return nil, err
+		}
+		ecc := rr.Height()
+		if bestNode == -1 || ecc < bestEcc {
+			bestNode, bestEcc = n, ecc
+		}
+	}
+	if bestNode == -1 {
+		return nil, fmt.Errorf("synth: tree has no bridge qubits")
+	}
+	return t.Reroot(bestNode)
+}
+
+// TreeStats summarizes bridge tree sizes for reporting.
+type TreeStats struct {
+	Bridges int // bridge qubits (tree nodes minus data leaves)
+	Edges   int // total tree edges
+}
+
+// StatsFor computes the bridge statistics of a tree given the layout.
+func (l *Layout) StatsFor(t *graph.Tree) TreeStats {
+	bridges := 0
+	for _, n := range t.Nodes() {
+		if !l.IsData[n] {
+			bridges++
+		}
+	}
+	return TreeStats{Bridges: bridges, Edges: t.EdgeLen()}
+}
+
+// RectsByType returns the syndrome rectangles of one stabilizer type, for
+// overlap diagnostics.
+func (l *Layout) RectsByType(t code.StabType) []grid.Rect {
+	var out []grid.Rect
+	for i, s := range l.Code.Stabilizers() {
+		if s.Type == t {
+			out = append(out, l.Rects[i])
+		}
+	}
+	return out
+}

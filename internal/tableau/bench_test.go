@@ -1,0 +1,46 @@
+package tableau
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkRandomCliffordCircuit measures tableau update throughput on a
+// random Clifford circuit with periodic measurements.
+func BenchmarkRandomCliffordCircuit(b *testing.B) {
+	n := 128
+	rng := rand.New(rand.NewSource(1))
+	type op struct{ kind, a, c int }
+	var ops []op
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			ops = append(ops, op{0, rng.Intn(n), 0})
+		case 1:
+			ops = append(ops, op{1, rng.Intn(n), 0})
+		case 2:
+			x, y := rng.Intn(n), rng.Intn(n)
+			if x != y {
+				ops = append(ops, op{2, x, y})
+			}
+		case 3:
+			ops = append(ops, op{3, rng.Intn(n), 0})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(n, rand.New(rand.NewSource(2)))
+		for _, o := range ops {
+			switch o.kind {
+			case 0:
+				s.H(o.a)
+			case 1:
+				s.S(o.a)
+			case 2:
+				s.CX(o.a, o.c)
+			case 3:
+				s.Measure(o.a)
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package tableau
+
+import (
+	"testing"
+
+	"surfstitch/internal/circuit"
+)
+
+func bellCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder(2)
+	b.Begin().H(0)
+	b.Begin().CX(0, 1)
+	b.Begin()
+	recs := b.M(0, 1)
+	b.Detector(recs[0], recs[1]) // parity of Bell outcomes is deterministic 0
+	return b.MustBuild()
+}
+
+func TestRunBellDetector(t *testing.T) {
+	c := bellCircuit(t)
+	res := Run(c, nil)
+	if len(res.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(res.Records))
+	}
+	det := DetectorValues(c, res.Records)
+	if det[0] != 0 {
+		t.Fatalf("Bell detector = %d, want 0", det[0])
+	}
+	if !res.Random[0] || res.Random[1] {
+		t.Errorf("randomness flags = %v, want [true false]", res.Random)
+	}
+}
+
+func TestReferenceAcceptsDeterministicDetector(t *testing.T) {
+	c := bellCircuit(t)
+	det, obs, err := Reference(c, 8)
+	if err != nil {
+		t.Fatalf("Reference: %v", err)
+	}
+	if len(det) != 1 || det[0] != 0 {
+		t.Errorf("reference detectors = %v", det)
+	}
+	if len(obs) != 0 {
+		t.Errorf("observables = %v, want none", obs)
+	}
+}
+
+func TestReferenceRejectsRandomDetector(t *testing.T) {
+	// A detector over a single random measurement is not deterministic.
+	b := circuit.NewBuilder(1)
+	b.Begin().H(0)
+	b.Begin()
+	recs := b.M(0)
+	b.Detector(recs[0])
+	c := b.MustBuild()
+	if _, _, err := Reference(c, 16); err == nil {
+		t.Fatal("non-deterministic detector accepted")
+	}
+}
+
+func TestReferenceObservableDeterminism(t *testing.T) {
+	// Observable over both Bell outcomes is deterministic (parity 0); over a
+	// single outcome it is random and must be rejected.
+	b := circuit.NewBuilder(2)
+	b.Begin().H(0)
+	b.Begin().CX(0, 1)
+	b.Begin()
+	recs := b.M(0, 1)
+	b.Observable(recs[0])
+	c := b.MustBuild()
+	if _, _, err := Reference(c, 16); err == nil {
+		t.Fatal("random observable accepted")
+	}
+}
+
+func TestRunSkipsNoiseChannels(t *testing.T) {
+	b := circuit.NewBuilder(1)
+	b.Begin().Noise(circuit.OpXError, 1.0, 0) // would always flip if applied
+	b.Begin()
+	b.M(0)
+	c := b.MustBuild()
+	res := Run(c, nil)
+	if res.Records[0] != 0 {
+		t.Fatal("noise channel was applied during noiseless run")
+	}
+}
+
+func TestRunResetGate(t *testing.T) {
+	b := circuit.NewBuilder(1)
+	b.Begin().X(0)
+	b.Begin().R(0)
+	b.Begin()
+	b.M(0)
+	c := b.MustBuild()
+	res := Run(c, nil)
+	if res.Records[0] != 0 {
+		t.Fatal("R gate did not reset")
+	}
+}
+
+func TestRunRepeatedStabilizerRound(t *testing.T) {
+	// Two rounds of a Z0Z1 ancilla measurement with reset between rounds;
+	// the round-to-round detector is deterministic.
+	b := circuit.NewBuilder(3)
+	var rounds [][]int
+	for r := 0; r < 2; r++ {
+		b.Begin().R(2)
+		b.Begin().CX(0, 2)
+		b.Begin().CX(1, 2)
+		b.Begin()
+		rounds = append(rounds, b.M(2))
+	}
+	b.Detector(rounds[0][0])
+	b.Detector(rounds[0][0], rounds[1][0])
+	c := b.MustBuild()
+	det, _, err := Reference(c, 8)
+	if err != nil {
+		t.Fatalf("Reference: %v", err)
+	}
+	if det[0] != 0 || det[1] != 0 {
+		t.Fatalf("detectors = %v, want zeros", det)
+	}
+}

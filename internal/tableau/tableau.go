@@ -1,0 +1,315 @@
+// Package tableau implements an Aaronson–Gottesman (CHP) stabilizer
+// simulator with destabilizers. It serves as the exact simulation backend of
+// the reproduction (the role stim plays in the paper): computing reference
+// measurement outcomes, verifying that detector parities of synthesized
+// measurement circuits are deterministic, and cross-checking the fast Pauli
+// frame sampler.
+package tableau
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Simulator tracks the stabilizer state of n qubits. Rows 0..n-1 are
+// destabilizers, rows n..2n-1 are stabilizers, stored as X/Z bit planes with
+// a sign bit per row. The initial state is |0...0>.
+type Simulator struct {
+	n     int
+	words int
+	x     [][]uint64 // x[row][word]
+	z     [][]uint64
+	r     []uint8 // sign bit per row (0 => +1, 1 => -1)
+	rng   *rand.Rand
+
+	scratchX, scratchZ []uint64
+}
+
+// New returns a simulator over n qubits in the |0...0> state. The RNG drives
+// intrinsically random measurement outcomes; a nil RNG defaults to a fixed
+// seed so noiseless runs are reproducible.
+func New(n int, rng *rand.Rand) *Simulator {
+	if n <= 0 {
+		panic("tableau: need at least one qubit")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	words := (n + 63) / 64
+	s := &Simulator{
+		n: n, words: words,
+		x: make([][]uint64, 2*n), z: make([][]uint64, 2*n),
+		r:        make([]uint8, 2*n),
+		rng:      rng,
+		scratchX: make([]uint64, words), scratchZ: make([]uint64, words),
+	}
+	for i := range s.x {
+		s.x[i] = make([]uint64, words)
+		s.z[i] = make([]uint64, words)
+	}
+	for q := 0; q < n; q++ {
+		s.setBit(s.x[q], q)   // destabilizer X_q
+		s.setBit(s.z[q+n], q) // stabilizer Z_q
+	}
+	return s
+}
+
+// N returns the number of qubits.
+func (s *Simulator) N() int { return s.n }
+
+func (s *Simulator) setBit(row []uint64, q int)   { row[q/64] |= 1 << (q % 64) }
+func (s *Simulator) clearBit(row []uint64, q int) { row[q/64] &^= 1 << (q % 64) }
+func (s *Simulator) getBit(row []uint64, q int) bool {
+	return row[q/64]&(1<<(q%64)) != 0
+}
+
+func (s *Simulator) check(q int) {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("tableau: qubit %d out of range [0,%d)", q, s.n))
+	}
+}
+
+// H applies a Hadamard to qubit q.
+func (s *Simulator) H(q int) {
+	s.check(q)
+	w, m := q/64, uint64(1)<<(q%64)
+	for i := 0; i < 2*s.n; i++ {
+		xb, zb := s.x[i][w]&m, s.z[i][w]&m
+		if xb != 0 && zb != 0 {
+			s.r[i] ^= 1
+		}
+		s.x[i][w] = (s.x[i][w] &^ m) | zb
+		s.z[i][w] = (s.z[i][w] &^ m) | xb
+	}
+}
+
+// S applies the phase gate S to qubit q.
+func (s *Simulator) S(q int) {
+	s.check(q)
+	w, m := q/64, uint64(1)<<(q%64)
+	for i := 0; i < 2*s.n; i++ {
+		xb, zb := s.x[i][w]&m, s.z[i][w]&m
+		if xb != 0 && zb != 0 {
+			s.r[i] ^= 1
+		}
+		s.z[i][w] ^= xb
+	}
+}
+
+// CX applies a CNOT with control a and target b.
+func (s *Simulator) CX(a, b int) {
+	s.check(a)
+	s.check(b)
+	if a == b {
+		panic("tableau: CX with identical control and target")
+	}
+	wa, ma := a/64, uint64(1)<<(a%64)
+	wb, mb := b/64, uint64(1)<<(b%64)
+	for i := 0; i < 2*s.n; i++ {
+		xa, za := s.x[i][wa]&ma != 0, s.z[i][wa]&ma != 0
+		xb, zb := s.x[i][wb]&mb != 0, s.z[i][wb]&mb != 0
+		if xa && zb && (xb == za) {
+			s.r[i] ^= 1
+		}
+		if xa {
+			s.x[i][wb] ^= mb
+		}
+		if zb {
+			s.z[i][wa] ^= ma
+		}
+	}
+}
+
+// CZ applies a controlled-Z between a and b (H on b, CX, H on b).
+func (s *Simulator) CZ(a, b int) {
+	s.H(b)
+	s.CX(a, b)
+	s.H(b)
+}
+
+// X applies a Pauli X to qubit q.
+func (s *Simulator) X(q int) {
+	s.check(q)
+	for i := 0; i < 2*s.n; i++ {
+		if s.getBit(s.z[i], q) {
+			s.r[i] ^= 1
+		}
+	}
+}
+
+// Z applies a Pauli Z to qubit q.
+func (s *Simulator) Z(q int) {
+	s.check(q)
+	for i := 0; i < 2*s.n; i++ {
+		if s.getBit(s.x[i], q) {
+			s.r[i] ^= 1
+		}
+	}
+}
+
+// Y applies a Pauli Y to qubit q.
+func (s *Simulator) Y(q int) {
+	s.check(q)
+	for i := 0; i < 2*s.n; i++ {
+		if s.getBit(s.x[i], q) != s.getBit(s.z[i], q) {
+			s.r[i] ^= 1
+		}
+	}
+}
+
+// rowPhaseExp computes the exponent of i (mod 4) produced when multiplying
+// the Pauli in row i onto the accumulator (ax, az), before bit XOR.
+func phaseContribution(ax, az, bx, bz uint64) int {
+	// Per-qubit g(x1,z1,x2,z2) from Aaronson-Gottesman, vectorized:
+	// g = 0 when (x1,z1) = (0,0)
+	// for X (1,0): g = z2*(2*x2-1): Y->+1, Z->-1... computed bitwise below.
+	// We accumulate the sum mod 4 using two counters: plus and minus counts.
+	// Case (1,0) X: g = +1 if (x2,z2)=(1,1) (Y), -1 if (0,1) (Z)
+	// Case (1,1) Y: g = +1 if (0,1) (Z),  -1 if (1,0) (X)
+	// Case (0,1) Z: g = +1 if (1,0) (X),  -1 if (1,1) (Y)
+	xOnly1 := ax &^ az
+	y1 := ax & az
+	zOnly1 := az &^ ax
+	xOnly2 := bx &^ bz
+	y2 := bx & bz
+	zOnly2 := bz &^ bx
+	plus := bits.OnesCount64(xOnly1&y2) + bits.OnesCount64(y1&zOnly2) + bits.OnesCount64(zOnly1&xOnly2)
+	minus := bits.OnesCount64(xOnly1&zOnly2) + bits.OnesCount64(y1&xOnly2) + bits.OnesCount64(zOnly1&y2)
+	return plus - minus
+}
+
+// rowMulInto multiplies row src into the accumulator (accX, accZ, accR2)
+// where accR2 is the phase exponent of i mod 4 (always even for valid
+// states). It returns the updated exponent.
+func (s *Simulator) rowMulInto(accX, accZ []uint64, accR2 int, src int) int {
+	exp := accR2 + 2*int(s.r[src])
+	for w := 0; w < s.words; w++ {
+		exp += phaseContribution(accX[w], accZ[w], s.x[src][w], s.z[src][w])
+	}
+	for w := 0; w < s.words; w++ {
+		accX[w] ^= s.x[src][w]
+		accZ[w] ^= s.z[src][w]
+	}
+	return ((exp % 4) + 4) % 4
+}
+
+// rowMul multiplies row src into row dst (dst <- dst * src), CHP's rowsum.
+func (s *Simulator) rowMul(dst, src int) {
+	exp := 2*int(s.r[dst]) + 2*int(s.r[src])
+	for w := 0; w < s.words; w++ {
+		exp += phaseContribution(s.x[dst][w], s.z[dst][w], s.x[src][w], s.z[src][w])
+	}
+	exp = ((exp % 4) + 4) % 4
+	// Products of commuting rows always give an even exponent. Destabilizer
+	// rows may anticommute with the multiplier; their signs are never read,
+	// so the ±i ambiguity is harmless and we only insist on evenness for
+	// stabilizer rows.
+	if dst >= s.n && exp%2 != 0 {
+		panic("tableau: odd phase exponent on stabilizer row; tableau corrupted")
+	}
+	for w := 0; w < s.words; w++ {
+		s.x[dst][w] ^= s.x[src][w]
+		s.z[dst][w] ^= s.z[src][w]
+	}
+	s.r[dst] = uint8((exp & 2) >> 1)
+}
+
+// Measure performs a Z-basis measurement on qubit q. It returns the outcome
+// bit and whether the outcome was intrinsically random (a coin flip) rather
+// than determined by the state.
+func (s *Simulator) Measure(q int) (outcome int, random bool) {
+	s.check(q)
+	// Look for a stabilizer row with X support on q.
+	p := -1
+	for i := s.n; i < 2*s.n; i++ {
+		if s.getBit(s.x[i], q) {
+			p = i
+			break
+		}
+	}
+	if p >= 0 {
+		// Random outcome.
+		for i := 0; i < 2*s.n; i++ {
+			if i != p && s.getBit(s.x[i], q) {
+				s.rowMul(i, p)
+			}
+		}
+		// Destabilizer row p-n becomes the old stabilizer row p.
+		copy(s.x[p-s.n], s.x[p])
+		copy(s.z[p-s.n], s.z[p])
+		s.r[p-s.n] = s.r[p]
+		// Stabilizer row p becomes ±Z_q with a random sign.
+		for w := 0; w < s.words; w++ {
+			s.x[p][w] = 0
+			s.z[p][w] = 0
+		}
+		s.setBit(s.z[p], q)
+		b := uint8(s.rng.Intn(2))
+		s.r[p] = b
+		return int(b), true
+	}
+	// Deterministic outcome: accumulate stabilizer rows indicated by the
+	// destabilizers with X support on q.
+	for w := 0; w < s.words; w++ {
+		s.scratchX[w] = 0
+		s.scratchZ[w] = 0
+	}
+	exp := 0
+	for i := 0; i < s.n; i++ {
+		if s.getBit(s.x[i], q) {
+			exp = s.rowMulInto(s.scratchX, s.scratchZ, exp, i+s.n)
+		}
+	}
+	if exp != 0 && exp != 2 {
+		panic("tableau: odd phase in deterministic measurement")
+	}
+	return exp / 2, false
+}
+
+// MeasureReset measures qubit q in the Z basis and resets it to |0>.
+func (s *Simulator) MeasureReset(q int) (outcome int, random bool) {
+	outcome, random = s.Measure(q)
+	if outcome == 1 {
+		s.X(q)
+	}
+	return outcome, random
+}
+
+// Reset forces qubit q to |0>, discarding its state.
+func (s *Simulator) Reset(q int) {
+	if out, _ := s.Measure(q); out == 1 {
+		s.X(q)
+	}
+}
+
+// ExpectationZ returns +1, -1 or 0 for the expectation of Z on qubit q
+// (0 means the outcome would be random). The state is not modified.
+func (s *Simulator) ExpectationZ(q int) int {
+	s.check(q)
+	for i := s.n; i < 2*s.n; i++ {
+		if s.getBit(s.x[i], q) {
+			return 0
+		}
+	}
+	for w := 0; w < s.words; w++ {
+		s.scratchX[w] = 0
+		s.scratchZ[w] = 0
+	}
+	exp := 0
+	for i := 0; i < s.n; i++ {
+		if s.getBit(s.x[i], q) {
+			exp = s.rowMulInto(s.scratchX, s.scratchZ, exp, i+s.n)
+		}
+	}
+	if exp == 0 {
+		return 1
+	}
+	return -1
+}
+
+// StabilizerSigns returns a copy of the stabilizer sign bits; useful in
+// tests asserting state equality up to generator choice is not needed.
+func (s *Simulator) StabilizerSigns() []uint8 {
+	return append([]uint8(nil), s.r[s.n:]...)
+}

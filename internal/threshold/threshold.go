@@ -1,0 +1,209 @@
+// Package threshold estimates error thresholds of synthesized surface codes:
+// it sweeps the physical error rate, Monte-Carlo samples the logical error
+// rate of memory experiments at each point, and locates the crossing of the
+// distance-3 and distance-5 curves — the paper's threshold definition ("the
+// physical error rate where code curves of different distances meet").
+package threshold
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"surfstitch/internal/circuit"
+	"surfstitch/internal/decoder"
+	"surfstitch/internal/dem"
+	"surfstitch/internal/frame"
+	"surfstitch/internal/noise"
+)
+
+// Point is one measured point of a logical-vs-physical error curve.
+type Point struct {
+	P       float64 // physical error rate
+	Shots   int
+	Errors  int
+	Logical float64 // logical error rate
+}
+
+// StdErr returns the binomial standard error of the logical rate.
+func (pt Point) StdErr() float64 {
+	if pt.Shots == 0 {
+		return 0
+	}
+	p := pt.Logical
+	return math.Sqrt(p * (1 - p) / float64(pt.Shots))
+}
+
+// Curve is a measured logical error curve for one code instance.
+type Curve struct {
+	Label    string
+	Distance int
+	Points   []Point
+}
+
+// Config controls curve estimation.
+type Config struct {
+	// Shots per sweep point (the paper uses 1e5; tests use fewer).
+	Shots int
+	// IdleError overrides the idle error rate; zero means the paper default.
+	IdleError float64
+	// Seed drives sampling; curves are reproducible for a fixed seed.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shots == 0 {
+		c.Shots = 2000
+	}
+	if c.IdleError == 0 {
+		c.IdleError = noise.DefaultIdleError
+	}
+	if c.Seed == 0 {
+		c.Seed = 20220618 // ISCA'22 conference date
+	}
+	return c
+}
+
+// CircuitProvider yields the noise-free experiment circuit to sweep; the
+// threshold package applies the error model itself so that each sweep point
+// rebuilds the detector error model at the right probability.
+type CircuitProvider interface {
+	ExperimentCircuit() *circuit.Circuit
+	IdleQubits() []int
+}
+
+// memoryAdapter adapts a pre-built circuit and its idle set.
+type memoryAdapter struct {
+	c    *circuit.Circuit
+	idle []int
+}
+
+func (m memoryAdapter) ExperimentCircuit() *circuit.Circuit { return m.c }
+func (m memoryAdapter) IdleQubits() []int                   { return m.idle }
+
+// Provider wraps a circuit and the qubit set receiving idle noise.
+func Provider(c *circuit.Circuit, idleQubits []int) CircuitProvider {
+	return memoryAdapter{c: c, idle: idleQubits}
+}
+
+// EstimatePoint measures the logical error rate at one physical error rate.
+func EstimatePoint(prov CircuitProvider, p float64, cfg Config) (Point, error) {
+	cfg = cfg.withDefaults()
+	model := noise.Model{GateError: p, IdleError: cfg.IdleError, IdleOnly: prov.IdleQubits()}
+	noisy, err := model.Apply(prov.ExperimentCircuit())
+	if err != nil {
+		return Point{}, fmt.Errorf("threshold: %w", err)
+	}
+	dm, err := dem.FromCircuit(noisy)
+	if err != nil {
+		return Point{}, fmt.Errorf("threshold: %w", err)
+	}
+	dec, err := decoder.New(dm)
+	if err != nil {
+		return Point{}, fmt.Errorf("threshold: %w", err)
+	}
+	seed := cfg.Seed ^ int64(math.Float64bits(p))
+	sampler, err := frame.NewSampler(noisy, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return Point{}, fmt.Errorf("threshold: %w", err)
+	}
+	stats, err := dec.DecodeBatch(sampler.Sample(cfg.Shots))
+	if err != nil {
+		return Point{}, fmt.Errorf("threshold: %w", err)
+	}
+	return Point{P: p, Shots: stats.Shots, Errors: stats.LogicalErrors, Logical: stats.LogicalErrorRate()}, nil
+}
+
+// EstimateCurve sweeps the physical error rates and returns the curve.
+func EstimateCurve(label string, distance int, prov CircuitProvider, ps []float64, cfg Config) (Curve, error) {
+	curve := Curve{Label: label, Distance: distance}
+	for _, p := range ps {
+		pt, err := EstimatePoint(prov, p, cfg)
+		if err != nil {
+			return curve, err
+		}
+		curve.Points = append(curve.Points, pt)
+	}
+	return curve, nil
+}
+
+// Crossing locates the physical error rate where two curves intersect using
+// log-log linear interpolation between sweep points, with the convention
+// that below threshold the larger-distance curve lies below. It returns
+// false when the curves do not cross within the sweep range.
+func Crossing(low, high Curve) (float64, bool) {
+	if len(low.Points) != len(high.Points) || len(low.Points) < 2 {
+		return 0, false
+	}
+	diff := func(i int) float64 {
+		a, b := low.Points[i].Logical, high.Points[i].Logical
+		if a <= 0 || b <= 0 {
+			// No data at this point; treat the higher-distance curve as
+			// below (sub-threshold) when it has strictly fewer errors.
+			return float64(high.Points[i].Errors - low.Points[i].Errors)
+		}
+		return math.Log(b) - math.Log(a)
+	}
+	for i := 0; i+1 < len(low.Points); i++ {
+		d0, d1 := diff(i), diff(i+1)
+		if d0 == 0 {
+			return low.Points[i].P, true
+		}
+		if d0 < 0 && d1 >= 0 {
+			// Interpolate the zero crossing in log(p).
+			if d1 == d0 {
+				return low.Points[i].P, true
+			}
+			t := -d0 / (d1 - d0)
+			lp := math.Log(low.Points[i].P) + t*(math.Log(low.Points[i+1].P)-math.Log(low.Points[i].P))
+			return math.Exp(lp), true
+		}
+	}
+	return 0, false
+}
+
+// Sweep is a convenience range builder: n log-spaced points in [lo, hi].
+func Sweep(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		panic("threshold: invalid sweep range")
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1)
+		out[i] = math.Exp(math.Log(lo) + t*(math.Log(hi)-math.Log(lo)))
+	}
+	return out
+}
+
+// PerRoundRate converts a whole-experiment logical error probability into a
+// per-round rate via p_total = (1-(1-2*p_round)^rounds)/2 inverted — the
+// standard conversion for comparing memories of different durations.
+func PerRoundRate(pTotal float64, rounds int) float64 {
+	if rounds <= 0 || pTotal <= 0 {
+		return 0
+	}
+	if pTotal >= 0.5 {
+		return 0.5
+	}
+	return (1 - math.Pow(1-2*pTotal, 1/float64(rounds))) / 2
+}
+
+// RoundScaling measures the per-round logical error rate at several round
+// counts; for a well-formed memory the per-round rates agree within noise,
+// which validates that detectors tile correctly in time.
+func RoundScaling(build func(rounds int) (CircuitProvider, error), roundCounts []int, p float64, cfg Config) ([]Point, error) {
+	var out []Point
+	for _, r := range roundCounts {
+		prov, err := build(r)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := EstimatePoint(prov, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pt.Logical = PerRoundRate(pt.Logical, r)
+		out = append(out, pt)
+	}
+	return out, nil
+}

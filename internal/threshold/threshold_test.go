@@ -1,0 +1,220 @@
+package threshold
+
+import (
+	"math"
+	"testing"
+
+	"surfstitch/internal/device"
+	"surfstitch/internal/experiment"
+	"surfstitch/internal/synth"
+)
+
+func memoryProvider(t *testing.T, dev *device.Device, d int, mode synth.Mode, rounds int) (CircuitProvider, *experiment.Memory) {
+	t.Helper()
+	s, err := synth.Synthesize(dev, d, synth.Options{Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := experiment.NewMemory(s, rounds, experiment.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Provider(m.Circuit, s.AllQubits()), m
+}
+
+func TestSweepLogSpaced(t *testing.T) {
+	ps := Sweep(0.001, 0.01, 5)
+	if len(ps) != 5 {
+		t.Fatalf("len = %d", len(ps))
+	}
+	if math.Abs(ps[0]-0.001) > 1e-12 || math.Abs(ps[4]-0.01) > 1e-12 {
+		t.Errorf("endpoints = %v", ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] <= ps[i-1] {
+			t.Error("sweep not increasing")
+		}
+	}
+	ratio := ps[1] / ps[0]
+	for i := 2; i < len(ps); i++ {
+		if math.Abs(ps[i]/ps[i-1]-ratio) > 1e-9 {
+			t.Error("sweep not log-spaced")
+		}
+	}
+}
+
+func TestSweepPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad sweep accepted")
+		}
+	}()
+	Sweep(0.01, 0.001, 5)
+}
+
+func TestEstimatePointZeroNoise(t *testing.T) {
+	prov, _ := memoryProvider(t, device.Square(6, 6), 3, synth.ModeFour, 2)
+	pt, err := EstimatePoint(prov, 0, Config{Shots: 500, IdleError: -1})
+	if err != nil {
+		// IdleError=-1 is invalid; expected path: use tiny positive instead.
+		pt, err = EstimatePoint(prov, 0, Config{Shots: 500, IdleError: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pt.Errors != 0 {
+		t.Errorf("zero-noise logical errors = %d", pt.Errors)
+	}
+}
+
+func TestLogicalRateIncreasesWithP(t *testing.T) {
+	prov, _ := memoryProvider(t, device.Square(6, 6), 3, synth.ModeFour, 3)
+	cfg := Config{Shots: 3000, Seed: 5}
+	low, err := EstimatePoint(prov, 0.001, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := EstimatePoint(prov, 0.02, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Logical <= low.Logical {
+		t.Errorf("logical rate not increasing: %.4f @0.001 vs %.4f @0.02", low.Logical, high.Logical)
+	}
+}
+
+func TestEstimateCurveShape(t *testing.T) {
+	prov, _ := memoryProvider(t, device.Square(6, 6), 3, synth.ModeFour, 3)
+	ps := []float64{0.002, 0.008}
+	curve, err := EstimateCurve("test", 3, prov, ps, Config{Shots: 1500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 2 || curve.Distance != 3 || curve.Label != "test" {
+		t.Fatalf("curve = %+v", curve)
+	}
+	for i, pt := range curve.Points {
+		if pt.P != ps[i] || pt.Shots != 1500 {
+			t.Errorf("point %d = %+v", i, pt)
+		}
+		if pt.Logical != float64(pt.Errors)/float64(pt.Shots) {
+			t.Errorf("point %d rate inconsistent", i)
+		}
+	}
+}
+
+func TestPointStdErr(t *testing.T) {
+	pt := Point{P: 0.01, Shots: 10000, Errors: 100, Logical: 0.01}
+	se := pt.StdErr()
+	want := math.Sqrt(0.01 * 0.99 / 10000)
+	if math.Abs(se-want) > 1e-12 {
+		t.Errorf("StdErr = %g, want %g", se, want)
+	}
+	if (Point{}).StdErr() != 0 {
+		t.Error("zero-shot stderr should be 0")
+	}
+}
+
+func TestCrossingSynthetic(t *testing.T) {
+	// Construct curves that cross between p=0.004 and p=0.008:
+	// below threshold d5 < d3, above d5 > d3.
+	d3 := Curve{Distance: 3, Points: []Point{
+		{P: 0.002, Logical: 0.010, Errors: 10, Shots: 1000},
+		{P: 0.004, Logical: 0.030, Errors: 30, Shots: 1000},
+		{P: 0.008, Logical: 0.080, Errors: 80, Shots: 1000},
+	}}
+	d5 := Curve{Distance: 5, Points: []Point{
+		{P: 0.002, Logical: 0.002, Errors: 2, Shots: 1000},
+		{P: 0.004, Logical: 0.020, Errors: 20, Shots: 1000},
+		{P: 0.008, Logical: 0.150, Errors: 150, Shots: 1000},
+	}}
+	p, ok := Crossing(d3, d5)
+	if !ok {
+		t.Fatal("no crossing found")
+	}
+	if p <= 0.004 || p >= 0.008 {
+		t.Errorf("crossing at %g, want within (0.004, 0.008)", p)
+	}
+}
+
+func TestCrossingAbsent(t *testing.T) {
+	d3 := Curve{Points: []Point{{P: 0.001, Logical: 0.01}, {P: 0.01, Logical: 0.1}}}
+	d5 := Curve{Points: []Point{{P: 0.001, Logical: 0.001}, {P: 0.01, Logical: 0.05}}}
+	if _, ok := Crossing(d3, d5); ok {
+		t.Error("found crossing in non-crossing curves")
+	}
+	if _, ok := Crossing(Curve{}, Curve{}); ok {
+		t.Error("empty curves crossed")
+	}
+}
+
+func TestCrossingAtExactPoint(t *testing.T) {
+	d3 := Curve{Points: []Point{{P: 0.001, Logical: 0.01}, {P: 0.01, Logical: 0.1}}}
+	d5 := Curve{Points: []Point{{P: 0.001, Logical: 0.01}, {P: 0.01, Logical: 0.2}}}
+	p, ok := Crossing(d3, d5)
+	if !ok || p != 0.001 {
+		t.Errorf("crossing = %g, %v; want 0.001, true", p, ok)
+	}
+}
+
+func TestReproducibleForFixedSeed(t *testing.T) {
+	prov, _ := memoryProvider(t, device.Square(6, 6), 3, synth.ModeFour, 2)
+	cfg := Config{Shots: 1000, Seed: 99}
+	a, err := EstimatePoint(prov, 0.01, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimatePoint(prov, 0.01, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Errors != b.Errors {
+		t.Errorf("not reproducible: %d vs %d errors", a.Errors, b.Errors)
+	}
+}
+
+func TestPerRoundRate(t *testing.T) {
+	// Composing k rounds of rate r gives total (1-(1-2r)^k)/2; inverting
+	// recovers r.
+	r := 0.01
+	k := 9
+	total := (1 - math.Pow(1-2*r, float64(k))) / 2
+	got := PerRoundRate(total, k)
+	if math.Abs(got-r) > 1e-12 {
+		t.Errorf("PerRoundRate = %g, want %g", got, r)
+	}
+	if PerRoundRate(0, 5) != 0 || PerRoundRate(0.6, 5) != 0.5 {
+		t.Error("edge cases broken")
+	}
+}
+
+func TestRoundScalingConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo in short mode")
+	}
+	s, err := synth.Synthesize(device.Square(6, 6), 3, synth.Options{Mode: synth.ModeFour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(rounds int) (CircuitProvider, error) {
+		m, err := experiment.NewMemory(s, rounds, experiment.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return Provider(m.Circuit, s.AllQubits()), nil
+	}
+	pts, err := RoundScaling(build, []int{3, 9}, 0.004, Config{Shots: 20000, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, r9 := pts[0].Logical, pts[1].Logical
+	t.Logf("per-round rates: 3 rounds %.5f, 9 rounds %.5f", r3, r9)
+	if r3 <= 0 || r9 <= 0 {
+		t.Fatal("zero per-round rates; raise shots")
+	}
+	// Boundary-time effects make short memories slightly optimistic; allow
+	// a factor-2 window.
+	if r3 > 2*r9 || r9 > 2*r3 {
+		t.Errorf("per-round rates inconsistent: %.5f vs %.5f", r3, r9)
+	}
+}

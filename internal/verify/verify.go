@@ -1,0 +1,201 @@
+// Package verify runs end-to-end validation of a synthesized surface code —
+// the checks a hardware team would demand before trusting a layout:
+//
+//  1. structural invariants (trees are device-respecting, schedules
+//     conflict-free);
+//  2. detector determinism of the full memory circuit under exact
+//     stabilizer simulation;
+//  3. the single-fault property: every elementary noise mechanism decodes
+//     without a logical error (up to tie degeneracies, which are reported);
+//  4. a hook-orientation audit: X-stabilizer bridge leaves must not couple
+//     data pairs parallel to the logical X operator.
+//
+// The report is structured so CI pipelines can gate on it.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"surfstitch/internal/code"
+	"surfstitch/internal/decoder"
+	"surfstitch/internal/dem"
+	"surfstitch/internal/experiment"
+	"surfstitch/internal/noise"
+	"surfstitch/internal/synth"
+)
+
+// Report is the outcome of a verification run.
+type Report struct {
+	// Structural problems; empty when trees and schedule are well-formed.
+	Structural []string
+	// Deterministic is true when every detector parity of the memory
+	// circuit is invariant under noiseless execution.
+	Deterministic    bool
+	DeterminismError string
+
+	// SingleFaultTotal counts the elementary mechanisms of the circuit-level
+	// error model; SingleFaultMisdecoded counts those the MWPM decoder gets
+	// wrong (tie-degenerate boundary mechanisms), and MisdecodedProb sums
+	// their probability — a linear-in-p logical error floor.
+	SingleFaultTotal      int
+	SingleFaultMisdecoded int
+	MisdecodedProb        float64
+
+	// VerticalXHooks counts X-stabilizer bridge leaves whose data pairs are
+	// parallel to the logical X operator (each halves the effective
+	// distance; zero is required for full-distance protection).
+	VerticalXHooks int
+
+	// UndetectableLogical is true when some mechanism flips the observable
+	// without tripping any detector — a fatal code defect.
+	UndetectableLogical bool
+}
+
+// Pass reports whether the synthesis meets the strict bar: structurally
+// sound, deterministic, no undetectable logicals, no vertical X hooks, and
+// a sub-percent single-fault misdecode ratio.
+func (r Report) Pass() bool {
+	return len(r.Structural) == 0 &&
+		r.Deterministic &&
+		!r.UndetectableLogical &&
+		r.VerticalXHooks == 0 &&
+		(r.SingleFaultTotal == 0 || 50*r.SingleFaultMisdecoded <= r.SingleFaultTotal)
+}
+
+// String renders the report for humans.
+func (r Report) String() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Pass() {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "verification: %s\n", status)
+	for _, s := range r.Structural {
+		fmt.Fprintf(&b, "  structural: %s\n", s)
+	}
+	fmt.Fprintf(&b, "  deterministic detectors: %v", r.Deterministic)
+	if r.DeterminismError != "" {
+		fmt.Fprintf(&b, " (%s)", r.DeterminismError)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  single faults: %d/%d misdecoded (probability %.3g)\n",
+		r.SingleFaultMisdecoded, r.SingleFaultTotal, r.MisdecodedProb)
+	fmt.Fprintf(&b, "  vertical X hooks: %d\n", r.VerticalXHooks)
+	fmt.Fprintf(&b, "  undetectable logical mechanisms: %v\n", r.UndetectableLogical)
+	return b.String()
+}
+
+// Options tunes verification.
+type Options struct {
+	// Rounds of the memory experiment (default 3*distance).
+	Rounds int
+	// GateError used when building the error model (default 0.001).
+	GateError float64
+}
+
+// Synthesis verifies a surface-code synthesis end to end.
+func Synthesis(s *synth.Synthesis, opts Options) Report {
+	var r Report
+	if opts.Rounds == 0 {
+		opts.Rounds = 3 * s.Layout.Code.Distance()
+	}
+	if opts.GateError == 0 {
+		opts.GateError = 0.001
+	}
+
+	r.Structural = structuralChecks(s)
+	r.VerticalXHooks = countVerticalXHooks(s)
+
+	mem, err := experiment.NewMemory(s, opts.Rounds, experiment.Options{})
+	if err != nil {
+		r.DeterminismError = err.Error()
+		return r
+	}
+	r.Deterministic = true
+
+	noisy, err := mem.Noisy(noise.Model{GateError: opts.GateError, IdleError: noise.DefaultIdleError})
+	if err != nil {
+		r.Structural = append(r.Structural, fmt.Sprintf("noise application failed: %v", err))
+		return r
+	}
+	model, err := dem.FromCircuit(noisy)
+	if err != nil {
+		r.Structural = append(r.Structural, fmt.Sprintf("detector error model failed: %v", err))
+		return r
+	}
+	dec, err := decoder.New(model)
+	if err != nil {
+		r.Structural = append(r.Structural, fmt.Sprintf("decoder build failed: %v", err))
+		return r
+	}
+	if dec.UndetectableObs != 0 {
+		r.UndetectableLogical = true
+	}
+	for _, mech := range model.Mechanisms {
+		if len(mech.Detectors) == 0 {
+			continue
+		}
+		r.SingleFaultTotal++
+		pred, err := dec.Decode(mech.Detectors)
+		if err != nil || pred != mech.Obs {
+			r.SingleFaultMisdecoded++
+			r.MisdecodedProb += mech.Prob
+		}
+	}
+	return r
+}
+
+// structuralChecks validates trees and schedule against the device.
+func structuralChecks(s *synth.Synthesis) []string {
+	var out []string
+	if err := s.Schedule.Validate(len(s.Plans)); err != nil {
+		out = append(out, err.Error())
+	}
+	g := s.Layout.Dev.Graph()
+	for si, tree := range s.Trees {
+		st := s.Layout.Code.Stabilizers()[si]
+		if s.Layout.IsData[tree.Root] {
+			out = append(out, fmt.Sprintf("stabilizer %v rooted on a data qubit", st))
+		}
+		for _, e := range tree.Edges() {
+			if !g.HasEdge(e[0], e[1]) {
+				out = append(out, fmt.Sprintf("stabilizer %v uses missing coupling %v", st, e))
+			}
+		}
+		if len(tree.Leaves()) != st.Weight() {
+			out = append(out, fmt.Sprintf("stabilizer %v tree has %d leaves, want %d",
+				st, len(tree.Leaves()), st.Weight()))
+		}
+	}
+	return out
+}
+
+// countVerticalXHooks audits hook orientation: bridge leaves of X-type
+// trees coupling two data qubits of the same abstract column.
+func countVerticalXHooks(s *synth.Synthesis) int {
+	layout := s.Layout
+	col := map[int]int{}
+	for idx, q := range layout.DataQubit {
+		_, c := layout.Code.DataPos(idx)
+		col[q] = c
+	}
+	bad := 0
+	for si, st := range layout.Code.Stabilizers() {
+		if st.Type != code.StabX {
+			continue
+		}
+		t := s.Trees[si]
+		byLeaf := map[int][]int{}
+		for _, dq := range st.Data {
+			q := layout.DataQubit[dq]
+			byLeaf[t.Parent(q)] = append(byLeaf[t.Parent(q)], q)
+		}
+		for _, group := range byLeaf {
+			if len(group) == 2 && col[group[0]] == col[group[1]] {
+				bad++
+			}
+		}
+	}
+	return bad
+}

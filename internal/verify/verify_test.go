@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"surfstitch/internal/device"
+	"surfstitch/internal/synth"
+)
+
+func TestAllStandardSynthesesPass(t *testing.T) {
+	cases := []struct {
+		name string
+		dev  *device.Device
+		mode synth.Mode
+	}{
+		{"square-4", device.Square(6, 6), synth.ModeFour},
+		{"heavy-square", device.HeavySquare(5, 4), synth.ModeDefault},
+	}
+	for _, c := range cases {
+		s, err := synth.Synthesize(c.dev, 3, synth.Options{Mode: c.mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := Synthesis(s, Options{})
+		if !rep.Pass() {
+			t.Errorf("%s failed verification:\n%s", c.name, rep)
+		}
+		if !strings.Contains(rep.String(), "PASS") {
+			t.Errorf("%s report missing PASS:\n%s", c.name, rep)
+		}
+	}
+}
+
+func TestVerticalHookLayoutFlagged(t *testing.T) {
+	// The transposed heavy-square device only admits the vertical-hook
+	// orientation at distance 5; verification must flag it.
+	layout, err := synth.Allocate(device.HeavySquare(4, 5), 5, synth.ModeDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := synth.SynthesizeOnLayout(layout, synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Synthesis(s, Options{Rounds: 3})
+	if rep.VerticalXHooks == 0 {
+		t.Error("vertical hooks not detected on the transposed layout")
+	}
+	if rep.Pass() {
+		t.Error("vertical-hook layout passed verification")
+	}
+	if !strings.Contains(rep.String(), "FAIL") {
+		t.Error("report missing FAIL")
+	}
+}
+
+func TestReportFieldsPopulated(t *testing.T) {
+	s, err := synth.Synthesize(device.Square(6, 6), 3, synth.Options{Mode: synth.ModeFour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Synthesis(s, Options{Rounds: 2, GateError: 0.002})
+	if rep.SingleFaultTotal == 0 {
+		t.Error("no single faults analyzed")
+	}
+	if !rep.Deterministic {
+		t.Error("determinism not established")
+	}
+	if rep.UndetectableLogical {
+		t.Error("unexpected undetectable logicals")
+	}
+	if len(rep.Structural) != 0 {
+		t.Errorf("structural problems: %v", rep.Structural)
+	}
+}
+
+func TestStructuralProblemsReported(t *testing.T) {
+	// Corrupt a synthesis: duplicate a plan in the schedule.
+	s, err := synth.Synthesize(device.Square(6, 6), 3, synth.Options{Mode: synth.ModeFour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule = append(s.Schedule, s.Schedule[0])
+	rep := Synthesis(s, Options{Rounds: 2})
+	if len(rep.Structural) == 0 {
+		t.Error("corrupted schedule not reported")
+	}
+	if rep.Pass() {
+		t.Error("corrupted synthesis passed")
+	}
+	if !strings.Contains(rep.String(), "structural") {
+		t.Error("report missing structural section")
+	}
+}

@@ -1,0 +1,262 @@
+// Package surfstitch is a Go implementation of Surf-Stitch, the surface code
+// synthesis framework of "A Synthesis Framework for Stitching Surface Code
+// with Superconducting Quantum Devices" (Wu et al., ISCA 2022).
+//
+// Surf-Stitch compiles the rotated surface code onto connectivity-
+// constrained superconducting architectures in three stages: data qubit
+// allocation via bridge rectangles, bridge tree construction (star-tree and
+// branching-tree heuristics), and stabilizer measurement scheduling
+// (iterative refinement). The library also contains every substrate needed
+// to evaluate the synthesized codes: the five architecture families of the
+// paper, a stabilizer (tableau) simulator, a bit-parallel Pauli-frame
+// sampler, detector error model extraction, and a minimum-weight
+// perfect-matching decoder built on a blossom-algorithm matcher.
+//
+// Quick start:
+//
+//	dev := surfstitch.NewDevice(surfstitch.HeavyHexagon, 4, 5)
+//	syn, err := surfstitch.Synthesize(dev, 3, surfstitch.Options{})
+//	if err != nil { ... }
+//	fmt.Println(syn.Describe(8))
+//	result, err := surfstitch.EstimateLogicalErrorRate(syn, 0.001, surfstitch.SimConfig{Shots: 10000})
+package surfstitch
+
+import (
+	"fmt"
+	"sort"
+
+	"surfstitch/internal/device"
+	"surfstitch/internal/experiment"
+	"surfstitch/internal/grid"
+	"surfstitch/internal/noise"
+	"surfstitch/internal/synth"
+	"surfstitch/internal/threshold"
+	"surfstitch/internal/verify"
+)
+
+// Architecture selects one of the superconducting architecture families of
+// the paper's Table 1.
+type Architecture int
+
+// The five parametric architecture families.
+const (
+	Square Architecture = iota
+	Hexagon
+	Octagon
+	HeavySquare
+	HeavyHexagon
+)
+
+// String names the architecture.
+func (a Architecture) String() string { return a.kind().String() }
+
+func (a Architecture) kind() device.Kind {
+	switch a {
+	case Square:
+		return device.KindSquare
+	case Hexagon:
+		return device.KindHexagon
+	case Octagon:
+		return device.KindOctagon
+	case HeavySquare:
+		return device.KindHeavySquare
+	case HeavyHexagon:
+		return device.KindHeavyHexagon
+	default:
+		panic(fmt.Sprintf("surfstitch: unknown architecture %d", a))
+	}
+}
+
+// Device is a superconducting quantum processor model: a coupling graph
+// embedded in a 2-D grid.
+type Device = device.Device
+
+// Coord is an integer grid coordinate.
+type Coord = grid.Coord
+
+// NewDevice builds a device of the given architecture family tiled w x h.
+func NewDevice(a Architecture, w, h int) *Device {
+	return device.ByKind(a.kind(), w, h)
+}
+
+// NewCustomDevice builds a device from explicit qubit coordinates and
+// couplings (pairs of coordinates).
+func NewCustomDevice(name string, qubits []Coord, couplings [][2]Coord) (*Device, error) {
+	return device.FromGraph(name, qubits, couplings)
+}
+
+// Mode selects the syndrome-rectangle induction strategy of the synthesis.
+type Mode = synth.Mode
+
+// Synthesis modes: ModeDefault induces syndrome rectangles from pairs of
+// three-degree qubits; ModeFour centers them on four-degree qubits (the
+// paper's "-4" code variants).
+const (
+	ModeDefault = synth.ModeDefault
+	ModeFour    = synth.ModeFour
+)
+
+// Options configures Synthesize.
+type Options = synth.Options
+
+// Synthesis is a fully synthesized surface code: layout, bridge trees,
+// measurement plans and schedule.
+type Synthesis = synth.Synthesis
+
+// Metrics are the per-code statistics of the paper's Table 2.
+type Metrics = synth.Metrics
+
+// Utilization is the qubit-utilization breakdown of the paper's Table 3.
+type Utilization = synth.Utilization
+
+// Synthesize runs the full Surf-Stitch pipeline: data qubit allocation,
+// bridge tree construction, and stabilizer measurement scheduling.
+func Synthesize(dev *Device, distance int, opts Options) (*Synthesis, error) {
+	return synth.Synthesize(dev, distance, opts)
+}
+
+// Memory is an assembled logical-memory experiment over a synthesis.
+type Memory = experiment.Memory
+
+// MemoryOptions configures memory-experiment assembly.
+type MemoryOptions = experiment.Options
+
+// NewMemory assembles a logical-memory experiment with the given number of
+// error-detection rounds (the paper uses 3d).
+func NewMemory(s *Synthesis, rounds int, opts MemoryOptions) (*Memory, error) {
+	return experiment.NewMemory(s, rounds, opts)
+}
+
+// Basis selects the protected logical state of a memory experiment.
+type Basis = experiment.Basis
+
+// Memory bases: BasisZ protects |0>_L against Pauli-X errors (the paper's
+// threshold setting); BasisX protects |+>_L against Pauli-Z errors.
+const (
+	BasisZ = experiment.BasisZ
+	BasisX = experiment.BasisX
+)
+
+// SimConfig controls Monte-Carlo logical error estimation.
+type SimConfig struct {
+	// Shots per estimate; defaults to 2000.
+	Shots int
+	// Rounds of error detection; defaults to 3*distance.
+	Rounds int
+	// IdleError per time step; defaults to the paper's 0.0002.
+	IdleError float64
+	// Seed for reproducible sampling.
+	Seed int64
+	// Basis selects the protected logical state (default BasisZ).
+	Basis Basis
+}
+
+// Result is a measured logical error rate.
+type Result struct {
+	PhysicalErrorRate float64
+	LogicalErrorRate  float64
+	Shots             int
+	Errors            int
+}
+
+// EstimateLogicalErrorRate assembles a memory experiment for the synthesis,
+// applies the paper's circuit-level error model at physical rate p, samples,
+// decodes with minimum-weight perfect matching, and reports the logical
+// error rate.
+func EstimateLogicalErrorRate(s *Synthesis, p float64, cfg SimConfig) (Result, error) {
+	rounds := cfg.Rounds
+	if rounds == 0 {
+		rounds = 3 * s.Layout.Code.Distance()
+	}
+	m, err := experiment.NewMemory(s, rounds, experiment.Options{Basis: cfg.Basis})
+	if err != nil {
+		return Result{}, err
+	}
+	pt, err := threshold.EstimatePoint(
+		threshold.Provider(m.Circuit, s.AllQubits()),
+		p,
+		threshold.Config{Shots: cfg.Shots, IdleError: cfg.IdleError, Seed: cfg.Seed},
+	)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{PhysicalErrorRate: pt.P, LogicalErrorRate: pt.Logical, Shots: pt.Shots, Errors: pt.Errors}, nil
+}
+
+// Curve is a measured logical-vs-physical error curve.
+type Curve = threshold.Curve
+
+// EstimateCurve sweeps physical error rates for the synthesis.
+func EstimateCurve(s *Synthesis, ps []float64, cfg SimConfig) (Curve, error) {
+	rounds := cfg.Rounds
+	if rounds == 0 {
+		rounds = 3 * s.Layout.Code.Distance()
+	}
+	m, err := experiment.NewMemory(s, rounds, experiment.Options{Basis: cfg.Basis})
+	if err != nil {
+		return Curve{}, err
+	}
+	return threshold.EstimateCurve(
+		fmt.Sprintf("%s-d%d", s.Layout.Dev.Name(), s.Layout.Code.Distance()),
+		s.Layout.Code.Distance(),
+		threshold.Provider(m.Circuit, s.AllQubits()),
+		ps,
+		threshold.Config{Shots: cfg.Shots, IdleError: cfg.IdleError, Seed: cfg.Seed},
+	)
+}
+
+// EstimateThreshold estimates the error threshold of codes produced by the
+// builder at distances 3 and 5: the physical error rate where the two
+// logical error curves cross (the paper's definition).
+func EstimateThreshold(build func(distance int) (*Synthesis, error), ps []float64, cfg SimConfig) (float64, error) {
+	var curves []Curve
+	for _, d := range []int{3, 5} {
+		s, err := build(d)
+		if err != nil {
+			return 0, fmt.Errorf("surfstitch: building distance-%d code: %w", d, err)
+		}
+		c := cfg
+		c.Rounds = 3 * d
+		curve, err := EstimateCurve(s, ps, c)
+		if err != nil {
+			return 0, err
+		}
+		curves = append(curves, curve)
+	}
+	th, ok := threshold.Crossing(curves[0], curves[1])
+	if !ok {
+		return 0, fmt.Errorf("surfstitch: curves do not cross within the sweep range")
+	}
+	return th, nil
+}
+
+// Sweep returns n log-spaced physical error rates in [lo, hi].
+func Sweep(lo, hi float64, n int) []float64 { return threshold.Sweep(lo, hi, n) }
+
+// DefaultIdleError is the paper's idle depolarizing probability per step.
+const DefaultIdleError = noise.DefaultIdleError
+
+// PresetDevice returns a chip-preset device modeled on a published
+// processor: "falcon-like-27q", "hummingbird-like-65q", "aspen-like-32q" or
+// "sycamore-like-54q".
+func PresetDevice(name string) (*Device, error) { return device.Preset(name) }
+
+// PresetNames lists the available chip presets.
+func PresetNames() []string {
+	var names []string
+	for name := range device.Presets() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// VerifyReport is the structured outcome of end-to-end verification.
+type VerifyReport = verify.Report
+
+// Verify runs end-to-end validation of a synthesis: structural invariants,
+// detector determinism under exact simulation, the single-fault property of
+// the decoder, and a hook-orientation audit. See the report's Pass method.
+func Verify(s *Synthesis) VerifyReport {
+	return verify.Synthesis(s, verify.Options{})
+}

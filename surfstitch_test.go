@@ -1,0 +1,160 @@
+package surfstitch
+
+import (
+	"testing"
+)
+
+func TestArchitectureNames(t *testing.T) {
+	want := map[Architecture]string{
+		Square: "square", Hexagon: "hexagon", Octagon: "octagon",
+		HeavySquare: "heavy-square", HeavyHexagon: "heavy-hexagon",
+	}
+	for a, name := range want {
+		if a.String() != name {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), name)
+		}
+	}
+}
+
+func TestNewDeviceAllFamilies(t *testing.T) {
+	for _, a := range []Architecture{Square, Hexagon, Octagon, HeavySquare, HeavyHexagon} {
+		dev := NewDevice(a, 2, 2)
+		if dev.Len() == 0 {
+			t.Errorf("%v: empty device", a)
+		}
+	}
+}
+
+func TestSynthesizePublicAPI(t *testing.T) {
+	dev := NewDevice(HeavySquare, 4, 3)
+	syn, err := Synthesize(dev, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := syn.Metrics()
+	if m.AvgBridgeQubits != 3 || m.AvgCNOTs != 8 {
+		t.Errorf("metrics = %+v", m)
+	}
+	u := syn.Utilization()
+	if u.DataQubits != 9 {
+		t.Errorf("data qubits = %d, want 9", u.DataQubits)
+	}
+}
+
+func TestCustomDevice(t *testing.T) {
+	qubits := []Coord{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	dev, err := NewCustomDevice("pair", qubits, [][2]Coord{{qubits[0], qubits[1]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Len() != 2 {
+		t.Error("custom device wrong size")
+	}
+}
+
+func TestEstimateLogicalErrorRate(t *testing.T) {
+	dev := NewDevice(Square, 6, 6)
+	syn, err := Synthesize(dev, 3, Options{Mode: ModeFour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EstimateLogicalErrorRate(syn, 0.002, SimConfig{Shots: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != 1000 || res.PhysicalErrorRate != 0.002 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.LogicalErrorRate < 0 || res.LogicalErrorRate > 0.5 {
+		t.Errorf("implausible logical rate %g", res.LogicalErrorRate)
+	}
+}
+
+func TestEstimateCurveAndMemory(t *testing.T) {
+	dev := NewDevice(Square, 6, 6)
+	syn, err := Synthesize(dev, 3, Options{Mode: ModeFour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := NewMemory(syn, 3, MemoryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.NumDetectors() == 0 {
+		t.Error("no detectors in memory experiment")
+	}
+	curve, err := EstimateCurve(syn, Sweep(0.001, 0.004, 2), SimConfig{Shots: 500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 2 || curve.Distance != 3 {
+		t.Errorf("curve = %+v", curve)
+	}
+}
+
+func TestEstimateThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("threshold estimation in short mode")
+	}
+	build := func(d int) (*Synthesis, error) {
+		return Synthesize(NewDevice(Square, 2*d, 2*d), d, Options{Mode: ModeFour})
+	}
+	th, err := EstimateThreshold(build, Sweep(0.002, 0.012, 4), SimConfig{Shots: 3000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ideal rotated code's circuit-level threshold should land in the
+	// right decade (paper: 0.70%).
+	if th < 0.001 || th > 0.02 {
+		t.Errorf("threshold = %.4f, expected a fraction of a percent", th)
+	}
+	t.Logf("square-4 threshold estimate: %.4f", th)
+}
+
+func TestDefaultIdleError(t *testing.T) {
+	if DefaultIdleError != 0.0002 {
+		t.Errorf("DefaultIdleError = %g", DefaultIdleError)
+	}
+}
+
+func TestEstimateXBasisRate(t *testing.T) {
+	dev := NewDevice(Square, 6, 6)
+	syn, err := Synthesize(dev, 3, Options{Mode: ModeFour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EstimateLogicalErrorRate(syn, 0.003, SimConfig{Shots: 1500, Seed: 8, Basis: BasisX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogicalErrorRate < 0 || res.LogicalErrorRate > 0.5 {
+		t.Errorf("implausible X-basis rate %g", res.LogicalErrorRate)
+	}
+}
+
+func TestPresetDeviceAPI(t *testing.T) {
+	names := PresetNames()
+	if len(names) != 4 {
+		t.Fatalf("presets = %v", names)
+	}
+	for _, n := range names {
+		d, err := PresetDevice(n)
+		if err != nil || d.Len() == 0 {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+	if _, err := PresetDevice("bogus"); err == nil {
+		t.Error("bogus preset accepted")
+	}
+}
+
+func TestVerifyPublicAPI(t *testing.T) {
+	syn, err := Synthesize(NewDevice(HeavySquare, 5, 4), 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Verify(syn)
+	if !rep.Pass() {
+		t.Errorf("standard synthesis failed verification:\n%s", rep)
+	}
+}
