@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the gate every change must pass.
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race pass keeps the concurrent Monte-Carlo engine (internal/mc) and
+# everything layered on it honest; internal/mc and internal/threshold are
+# the packages that actually spawn workers.
+race:
+	$(GO) test -race ./...
+
+race-core:
+	$(GO) test -race ./internal/mc/... ./internal/threshold/... ./internal/decoder/... ./internal/frame/...
+
+verify: vet race
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -9,9 +9,14 @@
 package surfstitch
 
 import (
+	"runtime"
 	"testing"
 
+	"surfstitch/internal/device"
+	"surfstitch/internal/experiment"
 	"surfstitch/internal/paper"
+	"surfstitch/internal/synth"
+	"surfstitch/internal/threshold"
 )
 
 func benchConfig() paper.Config {
@@ -166,6 +171,50 @@ func BenchmarkSynthesize(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchEstimatePoint measures one d=5 heavy-hexagon memory sweep point on
+// the internal/mc engine at the given worker count (0 = NumCPU). The DEM
+// build and decoder construction run once per iteration, as in a real sweep;
+// sampling and decoding dominate at this shot count.
+func benchEstimatePoint(b *testing.B, workers int) {
+	_, layout, err := synth.FitDevice(device.KindHeavyHexagon, 5, synth.ModeDefault)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := synth.SynthesizeOnLayout(layout, synth.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem, err := experiment.NewMemory(s, 15, experiment.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prov := threshold.Provider(mem.Circuit, s.AllQubits())
+	cfg := threshold.Config{Shots: 20000, Seed: 1, Workers: workers}
+	b.ResetTimer()
+	shots := 0
+	for i := 0; i < b.N; i++ {
+		pt, err := threshold.EstimatePoint(prov, 0.003, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shots += pt.Shots
+		b.ReportMetric(pt.Logical, "logical-rate")
+	}
+	b.ReportMetric(float64(shots)/b.Elapsed().Seconds(), "shots/s")
+}
+
+// BenchmarkEstimatePointSerial is the single-worker baseline of the d=5
+// heavy-hexagon memory point.
+func BenchmarkEstimatePointSerial(b *testing.B) { benchEstimatePoint(b, 1) }
+
+// BenchmarkEstimatePointParallel runs the same point on a NumCPU worker
+// pool; at 8+ cores the sharded engine is expected to be >= 3x faster than
+// the serial path, with bit-identical curve output for the fixed seed.
+func BenchmarkEstimatePointParallel(b *testing.B) {
+	b.Logf("workers = %d", runtime.NumCPU())
+	benchEstimatePoint(b, 0)
 }
 
 // BenchmarkEndToEnd measures the full memory-experiment pipeline (noise,

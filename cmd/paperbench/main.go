@@ -8,15 +8,22 @@
 //	paperbench -only table2      # one artifact
 //	paperbench -shots 20000      # heavier sampling
 //	paperbench -thresholds       # add threshold columns to Table 2 (slow)
+//	paperbench -workers 8 -progress            # parallel sampling, live progress
+//	paperbench -target-rse 0.1 -max-errors 200 # adaptive early stopping
+//
+// Monte-Carlo sampling runs on the internal/mc engine; a fixed -seed gives
+// bit-identical results at any -workers count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"surfstitch/internal/device"
+	"surfstitch/internal/mc"
 	"surfstitch/internal/paper"
 	"surfstitch/internal/synth"
 )
@@ -28,9 +35,30 @@ func main() {
 		seed       = flag.Int64("seed", 1, "sampling seed")
 		trials     = flag.Int("trials", 1000, "allocation study trials (paper: 100000)")
 		thresholds = flag.Bool("thresholds", false, "estimate Table 2 threshold column (slow)")
+		workers    = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = NumCPU)")
+		targRSE    = flag.Float64("target-rse", 0, "stop each sweep point once the Wilson interval's relative half-width reaches this (0 = fixed budget)")
+		maxErrs    = flag.Int("max-errors", 0, "stop each sweep point after this many logical errors (0 = fixed budget)")
+		progress   = flag.Bool("progress", false, "print live sampling progress to stderr")
 	)
 	flag.Parse()
-	cfg := paper.Config{Shots: *shots, Seed: *seed}
+	cfg := paper.Config{
+		Shots: *shots, Seed: *seed,
+		Workers: *workers, TargetRSE: *targRSE, MaxErrors: *maxErrs,
+	}
+	if *progress {
+		var mu sync.Mutex
+		var last time.Time
+		cfg.Progress = func(p float64, pr mc.Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			if time.Since(last) < 250*time.Millisecond && pr.Chunks != pr.TotalChunks {
+				return
+			}
+			last = time.Now()
+			fmt.Fprintf(os.Stderr, "  p=%-8.4g chunk %d/%d shots=%-8d errors=%-6d est=%.4g (%.0f shots/s)\n",
+				p, pr.Chunks, pr.TotalChunks, pr.Shots, pr.Errors, pr.Estimate, pr.ShotsPerSec)
+		}
+	}
 
 	run := func(name string, f func() error) {
 		if *only != "" && *only != name {

@@ -8,6 +8,14 @@
 //	threshold -fig 9a -shots 20000
 //	threshold -fig 9b
 //	threshold -arch square -mode four -shots 10000
+//	threshold -fig 9a -workers 8 -progress     # parallel sampling, live progress
+//	threshold -fig 9a -target-rse 0.1          # stop each point at ±10% (Wilson)
+//	threshold -fig 9a -max-errors 100          # or after 100 logical errors
+//
+// Sampling runs on the internal/mc engine: the shot budget is sharded into
+// chunks across -workers goroutines, and results are bit-identical for a
+// fixed -seed at any worker count. -target-rse and -max-errors enable
+// adaptive early stopping per sweep point; -shots remains the hard cap.
 package main
 
 import (
@@ -17,12 +25,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"surfstitch/internal/stats"
 
 	"surfstitch/internal/device"
 	"surfstitch/internal/experiment"
+	"surfstitch/internal/mc"
 	"surfstitch/internal/paper"
 	"surfstitch/internal/synth"
 	"surfstitch/internal/threshold"
@@ -36,8 +46,12 @@ func main() {
 		mode   = flag.String("mode", "default", "synthesis mode: default or four")
 		shots  = flag.Int("shots", 5000, "Monte-Carlo shots per sweep point (paper: 100000)")
 		seed   = flag.Int64("seed", 1, "sampling seed")
-		ps     = flag.String("p", "0.0005,0.001,0.002,0.004", "comma-separated physical error rates")
-		basis  = flag.String("basis", "Z", "memory basis for -arch sweeps: Z (X-error threshold, the paper's setting) or X")
+		ps       = flag.String("p", "0.0005,0.001,0.002,0.004", "comma-separated physical error rates")
+		basis    = flag.String("basis", "Z", "memory basis for -arch sweeps: Z (X-error threshold, the paper's setting) or X")
+		workers  = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = NumCPU)")
+		targRSE  = flag.Float64("target-rse", 0, "stop a sweep point once the Wilson interval's relative half-width reaches this (0 = fixed budget)")
+		maxErrs  = flag.Int("max-errors", 0, "stop a sweep point after this many logical errors (0 = fixed budget)")
+		progress = flag.Bool("progress", false, "print live sampling progress to stderr")
 	)
 	flag.Parse()
 
@@ -45,7 +59,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := paper.Config{Shots: *shots, Seed: *seed, Ps: sweep}
+	cfg := paper.Config{
+		Shots: *shots, Seed: *seed, Ps: sweep,
+		Workers: *workers, TargetRSE: *targRSE, MaxErrors: *maxErrs,
+	}
+	if *progress {
+		cfg.Progress = progressPrinter()
+	}
 	start := time.Now()
 
 	var pairs []paper.CurvePair
@@ -93,10 +113,30 @@ func main() {
 	fmt.Printf("\nelapsed: %.1fs\n", time.Since(start).Seconds())
 }
 
+// progressPrinter returns a rate-limited live progress hook: at most a few
+// lines per second to stderr, regardless of how many points sample at once.
+func progressPrinter() func(p float64, pr mc.Progress) {
+	var mu sync.Mutex
+	var last time.Time
+	return func(p float64, pr mc.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if time.Since(last) < 250*time.Millisecond && pr.Chunks != pr.TotalChunks {
+			return
+		}
+		last = time.Now()
+		fmt.Fprintf(os.Stderr, "  p=%-8.4g chunk %d/%d shots=%-8d errors=%-6d est=%.4g (%.0f shots/s)\n",
+			p, pr.Chunks, pr.TotalChunks, pr.Shots, pr.Errors, pr.Estimate, pr.ShotsPerSec)
+	}
+}
+
 func sweepArch(kind device.Kind, m synth.Mode, basis experiment.Basis, cfg paper.Config) (paper.CurvePair, error) {
 	var pair paper.CurvePair
 	pair.Name = kind.String()
-	tc := threshold.Config{Shots: cfg.Shots, Seed: cfg.Seed}
+	tc := threshold.Config{
+		Shots: cfg.Shots, Seed: cfg.Seed, Workers: cfg.Workers,
+		TargetRSE: cfg.TargetRSE, MaxErrors: cfg.MaxErrors, Progress: cfg.Progress,
+	}
 	for _, d := range []int{3, 5} {
 		_, layout, err := synth.FitDevice(kind, d, m)
 		if err != nil {

@@ -366,11 +366,41 @@ func (s Stats) LogicalErrorRate() float64 {
 	return float64(s.LogicalErrors) / float64(s.Shots)
 }
 
-// DecodeBatch decodes every shot of a sampled batch in parallel and compares
-// the predictions against the actual observable flips. The decoder's tables
-// are immutable after construction, so shots decode concurrently.
+// Merge returns the combined stats of s and o; per-range tallies combine in
+// any grouping, which is what lets the Monte-Carlo engine shard decoding.
+func (s Stats) Merge(o Stats) Stats {
+	return Stats{Shots: s.Shots + o.Shots, LogicalErrors: s.LogicalErrors + o.LogicalErrors}
+}
+
+// DecodeRange decodes shots [lo, hi) of a batch serially on the calling
+// goroutine and compares predictions against the actual observable flips.
+// The decoder's tables are immutable after construction, so disjoint ranges
+// decode concurrently; callers that shard a batch merge the per-range Stats.
+func (d *Decoder) DecodeRange(batch *frame.Batch, lo, hi int) (Stats, error) {
+	var stats Stats
+	for shot := lo; shot < hi; shot++ {
+		defects := batch.ShotDetectors(shot)
+		pred, err := d.Decode(defects)
+		if err != nil {
+			return stats, err
+		}
+		var actual uint64
+		for _, o := range batch.ShotObservables(shot) {
+			actual |= 1 << uint(o)
+		}
+		stats.Shots++
+		if pred != actual {
+			stats.LogicalErrors++
+		}
+	}
+	return stats, nil
+}
+
+// DecodeBatch decodes every shot of a sampled batch in parallel. The
+// Monte-Carlo engine prefers DecodeRange inside its own workers (one level
+// of parallelism, not two); DecodeBatch remains the convenient entry point
+// for one-off batches.
 func (d *Decoder) DecodeBatch(batch *frame.Batch) (Stats, error) {
-	stats := Stats{Shots: batch.Shots}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > batch.Shots {
 		workers = batch.Shots
@@ -382,7 +412,7 @@ func (d *Decoder) DecodeBatch(batch *frame.Batch) (Stats, error) {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
-		errors   int
+		total    Stats
 	)
 	chunk := (batch.Shots + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -396,35 +426,21 @@ func (d *Decoder) DecodeBatch(batch *frame.Batch) (Stats, error) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			local := 0
-			for shot := lo; shot < hi; shot++ {
-				defects := batch.ShotDetectors(shot)
-				pred, err := d.Decode(defects)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				var actual uint64
-				for _, o := range batch.ShotObservables(shot) {
-					actual |= 1 << uint(o)
-				}
-				if pred != actual {
-					local++
-				}
-			}
+			local, err := d.DecodeRange(batch, lo, hi)
 			mu.Lock()
-			errors += local
-			mu.Unlock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			total = total.Merge(local)
 		}(lo, hi)
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return stats, firstErr
+		return Stats{Shots: batch.Shots}, firstErr
 	}
-	stats.LogicalErrors = errors
-	return stats, nil
+	return total, nil
 }

@@ -95,7 +95,7 @@ func TestSingleDataErrorCorrected(t *testing.T) {
 		Noise: []circuit.Instruction{{Op: circuit.OpXError, Qubits: []int{1}, Arg: 1}},
 	})
 	inject.Moments = append(inject.Moments, base.Moments...)
-	s, _ := frame.NewSampler(inject, nil)
+	s, _ := frame.NewSampler(inject, rand.New(rand.NewSource(12345)))
 	batch := s.Sample(1)
 	defects := batch.ShotDetectors(0)
 	if len(defects) == 0 {
@@ -124,7 +124,7 @@ func TestBoundaryDataErrorCorrected(t *testing.T) {
 		Noise: []circuit.Instruction{{Op: circuit.OpXError, Qubits: []int{0}, Arg: 1}},
 	})
 	inject.Moments = append(inject.Moments, base.Moments...)
-	s, _ := frame.NewSampler(inject, nil)
+	s, _ := frame.NewSampler(inject, rand.New(rand.NewSource(12345)))
 	batch := s.Sample(1)
 	pred, err := dec.Decode(batch.ShotDetectors(0))
 	if err != nil {
@@ -232,5 +232,40 @@ func TestUndetectableObsTracked(t *testing.T) {
 	dec, _ := New(model)
 	if dec.UndetectableObs != 1 {
 		t.Errorf("UndetectableObs = %b, want 1", dec.UndetectableObs)
+	}
+}
+
+func TestDecodeRangeShardsMatchBatch(t *testing.T) {
+	// Sharded range decoding with merged stats must agree with DecodeBatch:
+	// the property the Monte-Carlo engine relies on.
+	c := noise.Uniform(0.02).MustApply(repetitionMemory(3, 3))
+	dec := buildDecoder(t, c)
+	s, _ := frame.NewSampler(c, rand.New(rand.NewSource(321)))
+	batch := s.Sample(1000)
+	whole, err := dec.DecodeBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged Stats
+	for lo := 0; lo < batch.Shots; lo += 170 {
+		hi := lo + 170
+		if hi > batch.Shots {
+			hi = batch.Shots
+		}
+		part, err := dec.DecodeRange(batch, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged = merged.Merge(part)
+	}
+	if merged != whole {
+		t.Errorf("merged range stats %+v != batch stats %+v", merged, whole)
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	got := Stats{Shots: 100, LogicalErrors: 3}.Merge(Stats{Shots: 50, LogicalErrors: 2})
+	if got != (Stats{Shots: 150, LogicalErrors: 5}) {
+		t.Errorf("Merge = %+v", got)
 	}
 }

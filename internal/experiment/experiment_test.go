@@ -141,7 +141,7 @@ func TestSingleXErrorAlwaysDetected(t *testing.T) {
 	at := len(m.Circuit.Moments) / 2
 	for _, dq := range s.Layout.DataQubit {
 		injected := insertXBefore(m.Circuit, dq, at)
-		sampler, err := frame.NewSampler(injected, nil)
+		sampler, err := frame.NewSampler(injected, rand.New(rand.NewSource(12345)))
 		if err != nil {
 			t.Fatal(err)
 		}

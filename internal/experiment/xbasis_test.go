@@ -33,7 +33,7 @@ func TestXBasisMemoryDetectsZErrors(t *testing.T) {
 			Noise: []circuit.Instruction{{Op: circuit.OpZError, Qubits: []int{dq}, Arg: 1}},
 		})
 		injected.Moments = append(injected.Moments, m.Circuit.Moments[at:]...)
-		sampler, err := frame.NewSampler(injected, nil)
+		sampler, err := frame.NewSampler(injected, rand.New(rand.NewSource(12345)))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package frame
 
 import (
+	"math/rand"
 	"testing"
 
 	"surfstitch/internal/circuit"
@@ -35,7 +36,7 @@ func benchCircuit(qubits, rounds int) *circuit.Circuit {
 // BenchmarkSample measures bit-parallel frame sampling throughput.
 func BenchmarkSample(b *testing.B) {
 	c := benchCircuit(64, 10)
-	s, err := NewSampler(c, nil)
+	s, err := NewSampler(c, rand.New(rand.NewSource(12345)))
 	if err != nil {
 		b.Fatal(err)
 	}

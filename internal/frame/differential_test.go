@@ -108,7 +108,7 @@ func TestFrameMatchesTableauOnRandomCircuits(t *testing.T) {
 						noiseInstrs = append(noiseInstrs, circuit.Instruction{Op: op, Qubits: []int{q}, Arg: 1})
 					}
 					noiseC := insertMoment(base, mi, circuit.Moment{Noise: noiseInstrs})
-					s, err := NewSampler(noiseC, nil)
+					s, err := NewSampler(noiseC, rand.New(rand.NewSource(12345)))
 					if err != nil {
 						t.Fatal(err)
 					}

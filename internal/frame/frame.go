@@ -79,26 +79,57 @@ type Sampler struct {
 }
 
 // NewSampler prepares a sampler for the circuit. The circuit should contain
-// noise channels; a noiseless circuit samples all-zero flips. A nil RNG
-// defaults to a fixed seed.
+// noise channels; a noiseless circuit samples all-zero flips. The RNG must
+// be non-nil: silently substituting a fixed seed (the old behavior) made
+// "forgot to seed" indistinguishable from a deliberate fixed-seed run.
 func NewSampler(c *circuit.Circuit, rng *rand.Rand) (*Sampler, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("frame: %w", err)
 	}
 	if rng == nil {
-		rng = rand.New(rand.NewSource(12345))
+		return nil, fmt.Errorf("frame: NewSampler requires a non-nil RNG (use rand.New(rand.NewSource(seed)))")
 	}
 	return &Sampler{c: c, rng: rng}, nil
 }
 
 // Sample runs the requested number of shots and returns the flip planes.
 func (s *Sampler) Sample(shots int) *Batch {
+	return sample(s.c, s.rng, shots)
+}
+
+// ChunkedSampler is the sharded sampling entry point used by the Monte-Carlo
+// engine: the circuit is validated once, then each chunk samples with its
+// own caller-provided RNG stream. The circuit is only read during sampling,
+// so one ChunkedSampler serves any number of workers concurrently as long
+// as each call gets a private RNG.
+type ChunkedSampler struct {
+	c *circuit.Circuit
+}
+
+// NewChunkedSampler validates the circuit and prepares it for concurrent
+// chunked sampling.
+func NewChunkedSampler(c *circuit.Circuit) (*ChunkedSampler, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("frame: %w", err)
+	}
+	return &ChunkedSampler{c: c}, nil
+}
+
+// SampleChunk runs one chunk of shots drawing from the given RNG stream.
+func (cs *ChunkedSampler) SampleChunk(rng *rand.Rand, shots int) *Batch {
+	if rng == nil {
+		panic("frame: SampleChunk requires a non-nil RNG")
+	}
+	return sample(cs.c, rng, shots)
+}
+
+func sample(c *circuit.Circuit, rng *rand.Rand, shots int) *Batch {
 	if shots <= 0 {
 		panic("frame: shots must be positive")
 	}
 	words := (shots + 63) / 64
-	st := newState(s.c.NumQubits, words, shots, s.rng)
-	for _, m := range s.c.Moments {
+	st := newState(c.NumQubits, words, shots, rng)
+	for _, m := range c.Moments {
 		for _, g := range m.Gates {
 			st.applyGate(g)
 		}
@@ -107,8 +138,8 @@ func (s *Sampler) Sample(shots int) *Batch {
 		}
 	}
 	batch := &Batch{Shots: shots, Words: words, RecordFlips: st.records}
-	batch.DetFlips = Combine(s.c.Detectors, st.records, words)
-	batch.ObsFlips = Combine(s.c.Observables, st.records, words)
+	batch.DetFlips = Combine(c.Detectors, st.records, words)
+	batch.ObsFlips = Combine(c.Observables, st.records, words)
 	return batch
 }
 

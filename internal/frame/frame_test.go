@@ -63,7 +63,7 @@ func addUniformNoise(c *circuit.Circuit, p float64) *circuit.Circuit {
 
 func TestNoiselessCircuitSamplesZeroFlips(t *testing.T) {
 	c := repCodeCircuit(t, 0)
-	s, err := NewSampler(c, nil)
+	s, err := NewSampler(c, rand.New(rand.NewSource(12345)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestDeterministicXErrorFlipsExpectedDetectors(t *testing.T) {
 		Noise: []circuit.Instruction{{Op: circuit.OpXError, Qubits: []int{1}, Arg: 1.0}},
 	})
 	c.Moments = append(c.Moments, base.Moments...)
-	s, _ := NewSampler(c, nil)
+	s, _ := NewSampler(c, rand.New(rand.NewSource(12345)))
 	batch := s.Sample(64)
 	flips := batch.ShotDetectors(17)
 	// Detectors 0,1 fire in round one; rounds two and final agree with round
@@ -111,7 +111,7 @@ func TestObservableFlipRequiresLogicalError(t *testing.T) {
 		Noise: []circuit.Instruction{{Op: circuit.OpXError, Qubits: []int{0, 1, 2}, Arg: 1.0}},
 	})
 	c.Moments = append(c.Moments, base.Moments...)
-	s, _ := NewSampler(c, nil)
+	s, _ := NewSampler(c, rand.New(rand.NewSource(12345)))
 	batch := s.Sample(10)
 	if flips := batch.ShotDetectors(3); len(flips) != 0 {
 		t.Fatalf("logical error tripped detectors: %v", flips)
@@ -157,7 +157,7 @@ func TestFrameMatchesTableauExhaustively(t *testing.T) {
 					noiseInstrs = append(noiseInstrs, circuit.Instruction{Op: op, Qubits: []int{q}, Arg: 1.0})
 				}
 				noiseC := insertMoment(base, mi, circuit.Moment{Noise: noiseInstrs})
-				s, _ := NewSampler(noiseC, nil)
+				s, _ := NewSampler(noiseC, rand.New(rand.NewSource(12345)))
 				batch := s.Sample(1)
 				gotFlips := batch.ShotDetectors(0)
 				if !equalInts(gotFlips, wantFlips) {
@@ -255,7 +255,7 @@ func TestResetClearsFrame(t *testing.T) {
 	rec := b.M(0)
 	b.Detector(rec[0])
 	c := b.MustBuild()
-	s, _ := NewSampler(c, nil)
+	s, _ := NewSampler(c, rand.New(rand.NewSource(12345)))
 	batch := s.Sample(64)
 	if CountFlips(batch.DetFlips, 64)[0] != 0 {
 		t.Error("reset did not clear the error frame")
@@ -271,7 +271,7 @@ func TestHConvertsZToX(t *testing.T) {
 	rec := b.M(0)
 	b.Detector(rec[0])
 	c := b.MustBuild()
-	s, _ := NewSampler(c, nil)
+	s, _ := NewSampler(c, rand.New(rand.NewSource(12345)))
 	batch := s.Sample(64)
 	if CountFlips(batch.DetFlips, 64)[0] != 64 {
 		t.Error("H did not convert Z frame to X frame")
@@ -288,7 +288,7 @@ func TestCXPropagatesFrames(t *testing.T) {
 	b.Detector(recs[0])
 	b.Detector(recs[1])
 	c := b.MustBuild()
-	s, _ := NewSampler(c, nil)
+	s, _ := NewSampler(c, rand.New(rand.NewSource(12345)))
 	batch := s.Sample(64)
 	counts := CountFlips(batch.DetFlips, 64)
 	if counts[0] != 64 || counts[1] != 64 {
@@ -298,14 +298,14 @@ func TestCXPropagatesFrames(t *testing.T) {
 
 func TestSamplerRejectsInvalidCircuit(t *testing.T) {
 	c := &circuit.Circuit{NumQubits: 1, Detectors: [][]int{{5}}}
-	if _, err := NewSampler(c, nil); err == nil {
+	if _, err := NewSampler(c, rand.New(rand.NewSource(12345))); err == nil {
 		t.Error("invalid circuit accepted")
 	}
 }
 
 func TestShotCountEdgeCases(t *testing.T) {
 	c := repCodeCircuit(t, 0.01)
-	s, _ := NewSampler(c, nil)
+	s, _ := NewSampler(c, rand.New(rand.NewSource(12345)))
 	for _, shots := range []int{1, 63, 64, 65, 127, 128} {
 		batch := s.Sample(shots)
 		if batch.Shots != shots {
@@ -315,6 +315,43 @@ func TestShotCountEdgeCases(t *testing.T) {
 		for _, n := range counts {
 			if n < 0 || n > shots {
 				t.Errorf("count %d out of range for %d shots", n, shots)
+			}
+		}
+	}
+}
+
+func TestNewSamplerRejectsNilRNG(t *testing.T) {
+	c := repCodeCircuit(t, 0.01)
+	if _, err := NewSampler(c, nil); err == nil {
+		t.Error("nil RNG accepted; the silent fixed-seed fallback is back")
+	}
+}
+
+func TestChunkedSamplerMatchesSampler(t *testing.T) {
+	// A chunk sampled with a given stream must equal a Sampler run with the
+	// same stream: SampleChunk is the same sampler, minus re-validation.
+	c := repCodeCircuit(t, 0.05)
+	s, err := NewSampler(c, rand.New(rand.NewSource(777)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.Sample(200)
+	cs, err := NewChunkedSampler(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cs.SampleChunk(rand.New(rand.NewSource(777)), 200)
+	for i := range want.DetFlips {
+		for w := range want.DetFlips[i] {
+			if got.DetFlips[i][w] != want.DetFlips[i][w] {
+				t.Fatalf("detector plane %d word %d differs", i, w)
+			}
+		}
+	}
+	for i := range want.ObsFlips {
+		for w := range want.ObsFlips[i] {
+			if got.ObsFlips[i][w] != want.ObsFlips[i][w] {
+				t.Fatalf("observable plane %d word %d differs", i, w)
 			}
 		}
 	}

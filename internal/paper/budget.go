@@ -30,25 +30,25 @@ func NoiseBudget(s *synth.Synthesis, p float64, cfg Config) ([]BudgetEntry, erro
 	}
 	prov := threshold.Provider(mem.Circuit, s.AllQubits())
 
-	rate := func(gate, idle float64) (float64, error) {
-		pt, err := threshold.EstimatePoint(prov, gate, threshold.Config{
-			Shots: cfg.Shots, Seed: cfg.Seed, IdleError: idle,
-		})
+	rate := func(gate float64, withoutIdle bool) (float64, error) {
+		tc := cfg.thresholdConfig()
+		tc.IdleError = noise.DefaultIdleError
+		tc.NoIdle = withoutIdle
+		pt, err := threshold.EstimatePoint(prov, gate, tc)
 		if err != nil {
 			return 0, err
 		}
 		return pt.Logical, nil
 	}
-	const offIdle = 1e-12 // EstimatePoint treats 0 as "use default"
-	full, err := rate(p, noise.DefaultIdleError)
+	full, err := rate(p, false)
 	if err != nil {
 		return nil, err
 	}
-	noGate, err := rate(0, noise.DefaultIdleError)
+	noGate, err := rate(0, false)
 	if err != nil {
 		return nil, err
 	}
-	noIdle, err := rate(p, offIdle)
+	noIdle, err := rate(p, true)
 	if err != nil {
 		return nil, err
 	}

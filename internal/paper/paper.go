@@ -14,6 +14,7 @@ import (
 	"surfstitch/internal/device"
 	"surfstitch/internal/experiment"
 	"surfstitch/internal/flagbridge"
+	"surfstitch/internal/mc"
 	"surfstitch/internal/synth"
 	"surfstitch/internal/threshold"
 )
@@ -25,6 +26,26 @@ type Config struct {
 	Seed  int64
 	// Ps overrides the sweep points for threshold experiments.
 	Ps []float64
+	// Workers sizes the Monte-Carlo engine's pool; zero means NumCPU.
+	Workers int
+	// TargetRSE and MaxErrors enable adaptive early stopping per sweep
+	// point (zero values keep the fixed shot budget, the paper's mode).
+	TargetRSE float64
+	MaxErrors int
+	// Progress, when non-nil, receives live per-point sampling progress.
+	Progress func(p float64, pr mc.Progress)
+}
+
+// thresholdConfig projects the paper config onto the threshold package.
+func (c Config) thresholdConfig() threshold.Config {
+	return threshold.Config{
+		Shots:     c.Shots,
+		Seed:      c.Seed,
+		Workers:   c.Workers,
+		TargetRSE: c.TargetRSE,
+		MaxErrors: c.MaxErrors,
+		Progress:  c.Progress,
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -92,7 +113,7 @@ type CurvePair struct {
 func curvePair(name string, build func(d int) (threshold.CircuitProvider, error), cfg Config) (CurvePair, error) {
 	cfg = cfg.withDefaults()
 	out := CurvePair{Name: name}
-	tc := threshold.Config{Shots: cfg.Shots, Seed: cfg.Seed}
+	tc := cfg.thresholdConfig()
 	for _, d := range []int{3, 5} {
 		prov, err := build(d)
 		if err != nil {
@@ -354,7 +375,7 @@ func Figure11a(cfg Config) (Figure11aResult, error) {
 		return out, err
 	}
 	routeProv := threshold.Provider(rc, sr.IdleQubits())
-	tc := threshold.Config{Shots: cfg.Shots, Seed: cfg.Seed}
+	tc := cfg.thresholdConfig()
 	for _, p := range cfg.Ps {
 		sp, err := threshold.EstimatePoint(surfProv, p, tc)
 		if err != nil {
@@ -410,7 +431,9 @@ func Figure11b(cfg Config, gateError float64, idles []float64) ([]Figure11bResul
 	}
 	var out []Figure11bResult
 	for _, idle := range idles {
-		tc := threshold.Config{Shots: cfg.Shots, Seed: cfg.Seed, IdleError: idle}
+		tc := cfg.thresholdConfig()
+		tc.IdleError = idle
+		tc.NoIdle = idle == 0 // idle = 0 now really means "no idle noise"
 		rp, err := threshold.EstimatePoint(refProv, gateError, tc)
 		if err != nil {
 			return nil, err

@@ -33,6 +33,19 @@ func WilsonInterval(k, n int, z float64) (lo, hi float64) {
 	return lo, hi
 }
 
+// WilsonRelHalfWidth returns the Wilson interval's half-width divided by the
+// point estimate k/n — the relative precision of a Monte-Carlo rate, used by
+// adaptive stopping rules ("sample until the rate is known to ±10%"). It
+// returns +Inf when the estimate is zero (k = 0 or n = 0), so a
+// threshold-style comparison never stops a run that has seen no events.
+func WilsonRelHalfWidth(k, n int, z float64) float64 {
+	if k <= 0 || n <= 0 {
+		return math.Inf(1)
+	}
+	lo, hi := WilsonInterval(k, n, z)
+	return (hi - lo) / 2 / (float64(k) / float64(n))
+}
+
 // LinearFit performs least-squares regression y = a + b*x and returns the
 // intercept, slope and the coefficient of determination R².
 func LinearFit(xs, ys []float64) (a, b, r2 float64, err error) {

@@ -99,3 +99,24 @@ func TestLambda(t *testing.T) {
 		t.Error("zero denominator accepted")
 	}
 }
+
+func TestWilsonRelHalfWidth(t *testing.T) {
+	// Zero events: no estimate to be relative to, so the stopping rule must
+	// never see a finite width.
+	if !math.IsInf(WilsonRelHalfWidth(0, 1000, 1.96), 1) {
+		t.Error("zero-error half-width should be +Inf")
+	}
+	if !math.IsInf(WilsonRelHalfWidth(5, 0, 1.96), 1) {
+		t.Error("zero-trial half-width should be +Inf")
+	}
+	// Consistency with the interval itself.
+	lo, hi := WilsonInterval(50, 1000, 1.96)
+	want := (hi - lo) / 2 / 0.05
+	if got := WilsonRelHalfWidth(50, 1000, 1.96); math.Abs(got-want) > 1e-12 {
+		t.Errorf("rel half-width = %g, want %g", got, want)
+	}
+	// More trials at the same rate tightens the relative width.
+	if WilsonRelHalfWidth(500, 10000, 1.96) >= WilsonRelHalfWidth(50, 1000, 1.96) {
+		t.Error("relative half-width did not shrink with sample size")
+	}
+}

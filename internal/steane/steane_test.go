@@ -272,7 +272,7 @@ func TestXErrorsDetected(t *testing.T) {
 			Noise: []circuit.Instruction{{Op: circuit.OpXError, Qubits: []int{dq}, Arg: 1}},
 		})
 		injected.Moments = append(injected.Moments, base.Moments[at:]...)
-		sampler, err := frame.NewSampler(injected, nil)
+		sampler, err := frame.NewSampler(injected, rand.New(rand.NewSource(12345)))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -6,14 +6,18 @@
 package threshold
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"surfstitch/internal/circuit"
 	"surfstitch/internal/decoder"
 	"surfstitch/internal/dem"
 	"surfstitch/internal/frame"
+	"surfstitch/internal/mc"
 	"surfstitch/internal/noise"
 )
 
@@ -43,23 +47,48 @@ type Curve struct {
 
 // Config controls curve estimation.
 type Config struct {
-	// Shots per sweep point (the paper uses 1e5; tests use fewer).
+	// Shots per sweep point (the paper uses 1e5; tests use fewer). In
+	// adaptive mode (TargetRSE or MaxErrors set) this is the hard cap.
 	Shots int
 	// IdleError overrides the idle error rate; zero means the paper default.
+	// To run with idle noise truly off, set NoIdle instead.
 	IdleError float64
-	// Seed drives sampling; curves are reproducible for a fixed seed.
+	// NoIdle disables idle noise entirely. The zero IdleError sentinel means
+	// "paper default", so without this flag an idle-noise-free sweep (the
+	// left edge of Fig. 11b's idle axis) would be inexpressible.
+	NoIdle bool
+	// Seed drives sampling; curves are reproducible for a fixed seed at any
+	// worker count.
 	Seed int64
+	// Workers sizes the Monte-Carlo worker pool; zero means NumCPU.
+	Workers int
+	// ChunkShots overrides the engine's shard size (rounded to a multiple
+	// of 64); zero means the engine default.
+	ChunkShots int
+	// TargetRSE, when positive, stops a point early once the Wilson
+	// interval's relative half-width reaches this value.
+	TargetRSE float64
+	// MaxErrors, when positive, stops a point early after this many logical
+	// errors.
+	MaxErrors int
+	// Progress, when non-nil, receives live per-point sampling progress.
+	Progress func(p float64, pr mc.Progress)
 }
 
 func (c Config) withDefaults() Config {
 	if c.Shots == 0 {
 		c.Shots = 2000
 	}
-	if c.IdleError == 0 {
+	if c.NoIdle {
+		c.IdleError = 0
+	} else if c.IdleError == 0 {
 		c.IdleError = noise.DefaultIdleError
 	}
 	if c.Seed == 0 {
 		c.Seed = 20220618 // ISCA'22 conference date
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
 	}
 	return c
 }
@@ -88,6 +117,15 @@ func Provider(c *circuit.Circuit, idleQubits []int) CircuitProvider {
 
 // EstimatePoint measures the logical error rate at one physical error rate.
 func EstimatePoint(prov CircuitProvider, p float64, cfg Config) (Point, error) {
+	return EstimatePointContext(context.Background(), prov, p, cfg)
+}
+
+// EstimatePointContext is EstimatePoint with cancellation. The detector
+// error model and decoder are built once and shared read-only across the
+// point's workers; sampling and decoding run sharded on the Monte-Carlo
+// engine, each chunk with its own frame sampler pass and splitmix64-derived
+// RNG stream.
+func EstimatePointContext(ctx context.Context, prov CircuitProvider, p float64, cfg Config) (Point, error) {
 	cfg = cfg.withDefaults()
 	model := noise.Model{GateError: p, IdleError: cfg.IdleError, IdleOnly: prov.IdleQubits()}
 	noisy, err := model.Apply(prov.ExperimentCircuit())
@@ -102,28 +140,89 @@ func EstimatePoint(prov CircuitProvider, p float64, cfg Config) (Point, error) {
 	if err != nil {
 		return Point{}, fmt.Errorf("threshold: %w", err)
 	}
-	seed := cfg.Seed ^ int64(math.Float64bits(p))
-	sampler, err := frame.NewSampler(noisy, rand.New(rand.NewSource(seed)))
+	sampler, err := frame.NewChunkedSampler(noisy)
 	if err != nil {
 		return Point{}, fmt.Errorf("threshold: %w", err)
 	}
-	stats, err := dec.DecodeBatch(sampler.Sample(cfg.Shots))
+	mcCfg := mc.Config{
+		Shots:      cfg.Shots,
+		ChunkShots: cfg.ChunkShots,
+		Workers:    cfg.Workers,
+		Seed:       mc.PointSeed(cfg.Seed, p),
+		TargetRSE:  cfg.TargetRSE,
+		MaxErrors:  cfg.MaxErrors,
+	}
+	if cfg.Progress != nil {
+		mcCfg.Progress = func(pr mc.Progress) { cfg.Progress(p, pr) }
+	}
+	res, err := mc.Run(ctx, mcCfg, func(_ int, rng *rand.Rand, shots int) (mc.Tally, error) {
+		st, err := dec.DecodeRange(sampler.SampleChunk(rng, shots), 0, shots)
+		return mc.Tally{Shots: st.Shots, Errors: st.LogicalErrors}, err
+	})
 	if err != nil {
 		return Point{}, fmt.Errorf("threshold: %w", err)
 	}
-	return Point{P: p, Shots: stats.Shots, Errors: stats.LogicalErrors, Logical: stats.LogicalErrorRate()}, nil
+	return Point{P: p, Shots: res.Shots, Errors: res.Errors, Logical: res.Rate()}, nil
 }
 
 // EstimateCurve sweeps the physical error rates and returns the curve.
 func EstimateCurve(label string, distance int, prov CircuitProvider, ps []float64, cfg Config) (Curve, error) {
+	return EstimateCurveContext(context.Background(), label, distance, prov, ps, cfg)
+}
+
+// EstimateCurveContext sweeps the physical error rates with cancellation.
+// Sweep points are independent jobs: they run concurrently, each building
+// its own detector error model and decoder, with the worker budget split
+// across in-flight points so total parallelism stays near cfg.Workers.
+// Results are deterministic for a fixed seed regardless of the split.
+func EstimateCurveContext(ctx context.Context, label string, distance int, prov CircuitProvider, ps []float64, cfg Config) (Curve, error) {
 	curve := Curve{Label: label, Distance: distance}
-	for _, p := range ps {
-		pt, err := EstimatePoint(prov, p, cfg)
+	if len(ps) == 0 {
+		return curve, nil
+	}
+	cfg = cfg.withDefaults()
+	pointConc := cfg.Workers
+	if pointConc > len(ps) {
+		pointConc = len(ps)
+	}
+	perPoint := cfg.Workers / pointConc
+	if perPoint < 1 {
+		perPoint = 1
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	pts := make([]Point, len(ps))
+	errs := make([]error, len(ps))
+	sem := make(chan struct{}, pointConc)
+	var wg sync.WaitGroup
+	for i, p := range ps {
+		wg.Add(1)
+		go func(i int, p float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if cctx.Err() != nil {
+				errs[i] = cctx.Err()
+				return
+			}
+			pc := cfg
+			pc.Workers = perPoint
+			pt, err := EstimatePointContext(cctx, prov, p, pc)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			pts[i] = pt
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return curve, err
 		}
-		curve.Points = append(curve.Points, pt)
 	}
+	curve.Points = pts
 	return curve, nil
 }
 

@@ -1,11 +1,15 @@
 package threshold
 
 import (
+	"context"
+	"errors"
 	"math"
+	"runtime"
 	"testing"
 
 	"surfstitch/internal/device"
 	"surfstitch/internal/experiment"
+	"surfstitch/internal/stats"
 	"surfstitch/internal/synth"
 )
 
@@ -54,16 +58,32 @@ func TestSweepPanicsOnBadRange(t *testing.T) {
 
 func TestEstimatePointZeroNoise(t *testing.T) {
 	prov, _ := memoryProvider(t, device.Square(6, 6), 3, synth.ModeFour, 2)
-	pt, err := EstimatePoint(prov, 0, Config{Shots: 500, IdleError: -1})
+	// NoIdle expresses a truly idle-noise-free run; the zero IdleError value
+	// alone means "paper default" for back compatibility.
+	pt, err := EstimatePoint(prov, 0, Config{Shots: 500, NoIdle: true})
 	if err != nil {
-		// IdleError=-1 is invalid; expected path: use tiny positive instead.
-		pt, err = EstimatePoint(prov, 0, Config{Shots: 500, IdleError: 1e-12})
-		if err != nil {
-			t.Fatal(err)
-		}
+		t.Fatal(err)
 	}
 	if pt.Errors != 0 {
 		t.Errorf("zero-noise logical errors = %d", pt.Errors)
+	}
+	if pt.Shots != 500 {
+		t.Errorf("shots = %d, want 500", pt.Shots)
+	}
+}
+
+func TestIdleErrorZeroStillMeansDefault(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.IdleError == 0 {
+		t.Fatal("zero IdleError should fall back to the paper default")
+	}
+	off := Config{NoIdle: true}.withDefaults()
+	if off.IdleError != 0 {
+		t.Fatalf("NoIdle config has IdleError = %g, want 0", off.IdleError)
+	}
+	// withDefaults must be idempotent: curve estimation re-applies it.
+	if again := off.withDefaults(); again.IdleError != 0 {
+		t.Fatal("NoIdle lost on second withDefaults")
 	}
 }
 
@@ -170,6 +190,57 @@ func TestReproducibleForFixedSeed(t *testing.T) {
 	}
 	if a.Errors != b.Errors {
 		t.Errorf("not reproducible: %d vs %d errors", a.Errors, b.Errors)
+	}
+}
+
+func TestCurveDeterministicAcrossWorkers(t *testing.T) {
+	prov, _ := memoryProvider(t, device.Square(6, 6), 3, synth.ModeFour, 2)
+	ps := []float64{0.002, 0.008}
+	var want Curve
+	for i, workers := range []int{1, 4, runtime.NumCPU()} {
+		cfg := Config{Shots: 1280, Seed: 42, Workers: workers, ChunkShots: 256}
+		got, err := EstimateCurve("det", 3, prov, ps, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		for j := range ps {
+			if got.Points[j] != want.Points[j] {
+				t.Errorf("workers=%d point %d = %+v, want %+v (workers=1)",
+					workers, j, got.Points[j], want.Points[j])
+			}
+		}
+	}
+}
+
+func TestAdaptiveStopHonorsWilsonTarget(t *testing.T) {
+	prov, _ := memoryProvider(t, device.Square(6, 6), 3, synth.ModeFour, 2)
+	const target = 0.25
+	cfg := Config{Shots: 200000, Seed: 9, ChunkShots: 256, TargetRSE: target}
+	pt, err := EstimatePoint(prov, 0.02, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Shots >= cfg.Shots {
+		t.Fatalf("adaptive run consumed the whole %d-shot budget", cfg.Shots)
+	}
+	if pt.Errors == 0 {
+		t.Fatal("no errors at p=0.02; the stop rule cannot have fired")
+	}
+	if rhw := stats.WilsonRelHalfWidth(pt.Errors, pt.Shots, 1.96); rhw > target {
+		t.Errorf("stopped at relative half-width %.3f > target %.3f", rhw, target)
+	}
+}
+
+func TestEstimatePointCancellation(t *testing.T) {
+	prov, _ := memoryProvider(t, device.Square(6, 6), 3, synth.ModeFour, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EstimatePointContext(ctx, prov, 0.002, Config{Shots: 1 << 22}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

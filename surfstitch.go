@@ -139,16 +139,42 @@ const (
 
 // SimConfig controls Monte-Carlo logical error estimation.
 type SimConfig struct {
-	// Shots per estimate; defaults to 2000.
+	// Shots per estimate; defaults to 2000. With TargetRSE or MaxErrors set
+	// this is the hard cap of the adaptive run.
 	Shots int
 	// Rounds of error detection; defaults to 3*distance.
 	Rounds int
-	// IdleError per time step; defaults to the paper's 0.0002.
+	// IdleError per time step; defaults to the paper's 0.0002. Set NoIdle to
+	// disable idle noise entirely (zero here means "use the default").
 	IdleError float64
-	// Seed for reproducible sampling.
+	// NoIdle turns idle noise off completely.
+	NoIdle bool
+	// Seed for reproducible sampling; results are bit-identical for a fixed
+	// seed at any worker count.
 	Seed int64
 	// Basis selects the protected logical state (default BasisZ).
 	Basis Basis
+	// Workers sizes the Monte-Carlo worker pool; zero means NumCPU.
+	Workers int
+	// TargetRSE stops sampling early once the Wilson interval's relative
+	// half-width reaches this value (zero disables).
+	TargetRSE float64
+	// MaxErrors stops sampling early after this many logical errors (zero
+	// disables).
+	MaxErrors int
+}
+
+// thresholdConfig projects SimConfig onto the threshold package.
+func (cfg SimConfig) thresholdConfig() threshold.Config {
+	return threshold.Config{
+		Shots:     cfg.Shots,
+		IdleError: cfg.IdleError,
+		NoIdle:    cfg.NoIdle,
+		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+		TargetRSE: cfg.TargetRSE,
+		MaxErrors: cfg.MaxErrors,
+	}
 }
 
 // Result is a measured logical error rate.
@@ -175,7 +201,7 @@ func EstimateLogicalErrorRate(s *Synthesis, p float64, cfg SimConfig) (Result, e
 	pt, err := threshold.EstimatePoint(
 		threshold.Provider(m.Circuit, s.AllQubits()),
 		p,
-		threshold.Config{Shots: cfg.Shots, IdleError: cfg.IdleError, Seed: cfg.Seed},
+		cfg.thresholdConfig(),
 	)
 	if err != nil {
 		return Result{}, err
@@ -201,7 +227,7 @@ func EstimateCurve(s *Synthesis, ps []float64, cfg SimConfig) (Curve, error) {
 		s.Layout.Code.Distance(),
 		threshold.Provider(m.Circuit, s.AllQubits()),
 		ps,
-		threshold.Config{Shots: cfg.Shots, IdleError: cfg.IdleError, Seed: cfg.Seed},
+		cfg.thresholdConfig(),
 	)
 }
 
