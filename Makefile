@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race race-core lint verify bench
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,14 @@ race:
 race-core:
 	$(GO) test -race ./internal/mc/... ./internal/threshold/... ./internal/decoder/... ./internal/frame/...
 
-verify: vet race
+# surflint: the domain-aware analyzer suite (rngstream, errdrop, lockcopy,
+# loopcapture, paniccheck). Zero findings is the merge bar; suppressions
+# require an inline justification. Run `go run ./cmd/surflint -list` for
+# the full contracts.
+lint: build
+	$(GO) run ./cmd/surflint ./...
+
+verify: vet race lint
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -41,6 +41,11 @@ func main() {
 		progress   = flag.Bool("progress", false, "print live sampling progress to stderr")
 	)
 	flag.Parse()
+	if err := validateFlags(*only, *shots, *workers, *targRSE, *maxErrs, *trials); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench: invalid flags:", err)
+		fmt.Fprintln(os.Stderr, "run with -h for usage")
+		os.Exit(2)
+	}
 	cfg := paper.Config{
 		Shots: *shots, Seed: *seed,
 		Workers: *workers, TargetRSE: *targRSE, MaxErrors: *maxErrs,
@@ -195,6 +200,34 @@ func main() {
 		}
 		return nil
 	})
+}
+
+// artifacts are the -only selector values, matching the run() calls below.
+var artifacts = map[string]bool{
+	"table2": true, "table3": true, "table4": true,
+	"fig9a": true, "fig9b": true, "fig10": true, "fig11a": true, "fig11b": true,
+	"ablations": true, "budget": true, "alloc": true,
+}
+
+// validateFlags rejects flag values that would otherwise degrade the run
+// silently: a typo'd -only previously matched nothing and exited 0 as if
+// every artifact had been produced.
+func validateFlags(only string, shots, workers int, targRSE float64, maxErrs, trials int) error {
+	switch {
+	case only != "" && !artifacts[only]:
+		return fmt.Errorf("-only %q is not a known artifact (table2|table3|table4|fig9a|fig9b|fig10|fig11a|fig11b|ablations|budget|alloc)", only)
+	case shots <= 0:
+		return fmt.Errorf("-shots must be positive, got %d", shots)
+	case workers < 0:
+		return fmt.Errorf("-workers must be >= 0 (0 = NumCPU), got %d", workers)
+	case targRSE < 0 || targRSE != targRSE:
+		return fmt.Errorf("-target-rse must be > 0 to enable adaptive stopping (0 = fixed budget), got %g", targRSE)
+	case maxErrs < 0:
+		return fmt.Errorf("-max-errors must be >= 0 (0 = fixed budget), got %d", maxErrs)
+	case trials <= 0:
+		return fmt.Errorf("-trials must be positive, got %d", trials)
+	}
+	return nil
 }
 
 func synthHeavySquare() (*synth.Synthesis, error) {

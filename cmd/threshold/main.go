@@ -40,12 +40,12 @@ import (
 
 func main() {
 	var (
-		csvOut = flag.String("csv", "", "also write the curves as CSV to this file")
-		fig    = flag.String("fig", "", "paper figure to reproduce: 9a or 9b (overrides -arch)")
-		arch   = flag.String("arch", "", "architecture to sweep: square, hexagon, octagon, heavy-square, heavy-hexagon")
-		mode   = flag.String("mode", "default", "synthesis mode: default or four")
-		shots  = flag.Int("shots", 5000, "Monte-Carlo shots per sweep point (paper: 100000)")
-		seed   = flag.Int64("seed", 1, "sampling seed")
+		csvOut   = flag.String("csv", "", "also write the curves as CSV to this file")
+		fig      = flag.String("fig", "", "paper figure to reproduce: 9a or 9b (overrides -arch)")
+		arch     = flag.String("arch", "", "architecture to sweep: square, hexagon, octagon, heavy-square, heavy-hexagon")
+		mode     = flag.String("mode", "default", "synthesis mode: default or four")
+		shots    = flag.Int("shots", 5000, "Monte-Carlo shots per sweep point (paper: 100000)")
+		seed     = flag.Int64("seed", 1, "sampling seed")
 		ps       = flag.String("p", "0.0005,0.001,0.002,0.004", "comma-separated physical error rates")
 		basis    = flag.String("basis", "Z", "memory basis for -arch sweeps: Z (X-error threshold, the paper's setting) or X")
 		workers  = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = NumCPU)")
@@ -54,6 +54,12 @@ func main() {
 		progress = flag.Bool("progress", false, "print live sampling progress to stderr")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*shots, *workers, *targRSE, *maxErrs, *fig, *arch, *mode, *basis); err != nil {
+		fmt.Fprintln(os.Stderr, "threshold: invalid flags:", err)
+		fmt.Fprintln(os.Stderr, "run with -h for usage")
+		os.Exit(2)
+	}
 
 	sweep, err := parsePs(*ps)
 	if err != nil {
@@ -90,8 +96,6 @@ func main() {
 		b := experiment.BasisZ
 		if *basis == "X" {
 			b = experiment.BasisX
-		} else if *basis != "Z" {
-			fatal(fmt.Errorf("unknown basis %q", *basis))
 		}
 		var pair paper.CurvePair
 		pair, err = sweepArch(kind, m, b, cfg)
@@ -258,6 +262,32 @@ func parseArch(s string) (device.Kind, error) {
 	default:
 		return 0, fmt.Errorf("unknown architecture %q", s)
 	}
+}
+
+// validateFlags rejects flag combinations that would otherwise run with
+// silently substituted defaults: a sweep with zero shots, a negative
+// worker pool, a disabled-by-typo stopping rule, or conflicting artifact
+// selectors.
+func validateFlags(shots, workers int, targRSE float64, maxErrs int, fig, arch, mode, basis string) error {
+	switch {
+	case shots <= 0:
+		return fmt.Errorf("-shots must be positive, got %d", shots)
+	case workers < 0:
+		return fmt.Errorf("-workers must be >= 0 (0 = NumCPU), got %d", workers)
+	case targRSE < 0 || targRSE != targRSE:
+		return fmt.Errorf("-target-rse must be > 0 to enable adaptive stopping (0 = fixed budget), got %g", targRSE)
+	case maxErrs < 0:
+		return fmt.Errorf("-max-errors must be >= 0 (0 = fixed budget), got %d", maxErrs)
+	case fig != "" && fig != "9a" && fig != "9b":
+		return fmt.Errorf("-fig must be 9a or 9b, got %q", fig)
+	case fig != "" && arch != "":
+		return fmt.Errorf("-fig %s and -arch %s are mutually exclusive", fig, arch)
+	case mode != "default" && mode != "four":
+		return fmt.Errorf("-mode must be default or four, got %q", mode)
+	case basis != "Z" && basis != "X":
+		return fmt.Errorf("-basis must be Z or X, got %q", basis)
+	}
+	return nil
 }
 
 func fatal(err error) {

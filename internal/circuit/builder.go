@@ -14,6 +14,7 @@ type Builder struct {
 // NewBuilder returns a builder for a circuit over n qubits.
 func NewBuilder(n int) *Builder {
 	if n < 0 {
+		//surflint:ignore paniccheck a negative count is a programmer error at a construction site, not runtime input; the fluent builder keeps its chainable signature
 		panic("circuit: negative qubit count")
 	}
 	return &Builder{c: &Circuit{NumQubits: n}}
@@ -36,6 +37,7 @@ func (b *Builder) cur() *Moment {
 // Gate appends a gate instruction to the current moment.
 func (b *Builder) Gate(op Op, qubits ...int) *Builder {
 	if op.IsNoise() {
+		//surflint:ignore paniccheck op kind mix-ups are compile-time-constant misuse; an error return would break every fluent b.Gate(...).Gate(...) chain
 		panic(fmt.Sprintf("circuit: %v is a noise channel, use Noise", op))
 	}
 	if len(qubits) == 0 {
@@ -52,6 +54,7 @@ func (b *Builder) Gate(op Op, qubits ...int) *Builder {
 // Noise appends a noise channel to the current moment.
 func (b *Builder) Noise(op Op, p float64, qubits ...int) *Builder {
 	if !op.IsNoise() {
+		//surflint:ignore paniccheck op kind mix-ups are compile-time-constant misuse; an error return would break every fluent chain
 		panic(fmt.Sprintf("circuit: %v is not a noise channel", op))
 	}
 	if len(qubits) == 0 || p == 0 {

@@ -146,6 +146,7 @@ func ByKind(k Kind, w, h int) *Device {
 	case KindHeavyHexagon:
 		return HeavyHexagon(w, h)
 	default:
+		//surflint:ignore paniccheck KindCustom has no parametric builder by definition; reaching here is a programmer error the device tests assert on
 		panic("device: ByKind requires a parametric architecture family")
 	}
 }

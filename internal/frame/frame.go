@@ -118,6 +118,7 @@ func NewChunkedSampler(c *circuit.Circuit) (*ChunkedSampler, error) {
 // SampleChunk runs one chunk of shots drawing from the given RNG stream.
 func (cs *ChunkedSampler) SampleChunk(rng *rand.Rand, shots int) *Batch {
 	if rng == nil {
+		//surflint:ignore paniccheck the mc hot loop calls this per chunk; RNG validity is established once by NewSampler/ChunkedSampler, so this is an invariant assertion, not input validation
 		panic("frame: SampleChunk requires a non-nil RNG")
 	}
 	return sample(cs.c, rng, shots)
@@ -195,6 +196,7 @@ func NewPropagator(numQubits, words int) *Propagator {
 // rejected: mechanisms are injected explicitly with InjectX/InjectZ.
 func (p *Propagator) ApplyGate(g circuit.Instruction) {
 	if g.Op.IsNoise() {
+		//surflint:ignore paniccheck op kind mix-ups are programmer error; the propagator sits in the dem enumeration hot path
 		panic("frame: Propagator.ApplyGate given a noise channel")
 	}
 	p.st.applyGate(g)

@@ -18,6 +18,7 @@ type Graph struct {
 // New returns a graph with n nodes and no edges.
 func New(n int) *Graph {
 	if n < 0 {
+		//surflint:ignore paniccheck negative node counts only arise from programmer error; mirrors make([]T, n) semantics
 		panic("graph: negative node count")
 	}
 	return &Graph{adj: make([][]int, n)}

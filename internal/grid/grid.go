@@ -58,6 +58,7 @@ type Rect struct {
 // has no meaningful bounds.
 func RectAround(pts ...Coord) Rect {
 	if len(pts) == 0 {
+		//surflint:ignore paniccheck documented contract (see doc comment): an empty rectangle has no meaningful bounds, and all call sites pass construction-guaranteed non-empty sets
 		panic("grid: RectAround needs at least one coordinate")
 	}
 	r := Rect{MinX: pts[0].X, MaxX: pts[0].X, MinY: pts[0].Y, MaxY: pts[0].Y}

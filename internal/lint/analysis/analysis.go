@@ -1,0 +1,71 @@
+// Package analysis defines the analyzer interface of the surflint suite.
+//
+// It deliberately mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) so the custom analyzers could be ported to
+// the official multichecker mechanically if the dependency ever becomes
+// available; the container this repo builds in is offline, so the driver
+// under internal/lint re-implements the small slice of the framework the
+// suite needs on top of go/ast and go/types alone.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, -only filters and
+	// surflint:ignore suppressions. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description: first line is a summary, the
+	// rest explains what the analyzer enforces and why.
+	Doc string
+	// Run applies the analyzer to one package. Findings are delivered via
+	// pass.Report; the error return is for analyzer-internal failures
+	// (which abort the whole lint run), not for findings.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Module is the import-path prefix of the module under analysis
+	// ("surfstitch" for this repo). Analyzers use it to distinguish
+	// first-party callees from stdlib. For fixture packages loaded by
+	// linttest it is the fixture's own package path, so same-package
+	// helpers count as first-party.
+	Module string
+
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf is a convenience formatter over Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// FirstParty reports whether pkg belongs to the module under analysis.
+func (p *Pass) FirstParty(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == p.Module || len(path) > len(p.Module) &&
+		path[:len(p.Module)] == p.Module && path[len(p.Module)] == '/'
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

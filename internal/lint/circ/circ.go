@@ -1,0 +1,156 @@
+// Package circ is the static analyzer for the circuit IR: a data-flow
+// walk over a circuit.Circuit that proves scheduling and device invariants
+// without running a single shot of simulation.
+//
+// It is the cheap front of the verification funnel. The stabilizer
+// simulation in internal/verify proves detector determinism but costs
+// O(qubits^2) per gate; the checks here are linear in the instruction
+// stream and catch the same class of synthesis bugs — conflicting
+// schedules, off-device couplings, measurements of dead qubits, malformed
+// detector annotations — seconds earlier and with a precise moment-level
+// position for each finding.
+package circ
+
+import (
+	"fmt"
+	"sort"
+
+	"surfstitch/internal/circuit"
+)
+
+// Coupler is the device view the checker needs: whether two physical
+// qubits share a coupling edge. *graph.Graph satisfies it.
+type Coupler interface {
+	HasEdge(a, b int) bool
+}
+
+// Rule identifies which invariant a finding violates.
+type Rule string
+
+const (
+	// RuleMomentConflict: a qubit is touched by two gates in one moment.
+	RuleMomentConflict Rule = "moment-conflict"
+	// RuleOffDevice: a two-qubit gate pairs qubits with no coupling edge.
+	RuleOffDevice Rule = "off-device-gate"
+	// RuleUnreset: a qubit is measured without a reset on any earlier
+	// moment — its pre-measurement state is undefined.
+	RuleUnreset Rule = "measure-before-reset"
+	// RuleDetector: a detector or observable annotation is empty,
+	// duplicated or references a record index outside the measurement
+	// record.
+	RuleDetector Rule = "detector-range"
+)
+
+// Finding is one statically proven invariant violation.
+type Finding struct {
+	Rule   Rule
+	Moment int // moment index, or -1 for record-level findings
+	Msg    string
+}
+
+func (f Finding) String() string {
+	if f.Moment >= 0 {
+		return fmt.Sprintf("%s at moment %d: %s", f.Rule, f.Moment, f.Msg)
+	}
+	return fmt.Sprintf("%s: %s", f.Rule, f.Msg)
+}
+
+// Check statically analyzes the circuit. A nil dev skips the coupling
+// check (rule off-device-gate) — useful for device-free unit circuits.
+// The returned findings are deterministic in order and content.
+func Check(c *circuit.Circuit, dev Coupler) []Finding {
+	var out []Finding
+	reset := make([]bool, c.NumQubits) // initialized-on-every-earlier-path
+
+	for mi, m := range c.Moments {
+		// (1) Same-moment disjointness over gate targets.
+		touched := map[int]int{} // qubit -> first gate index in moment
+		for gi, g := range m.Gates {
+			for _, q := range g.Qubits {
+				if q < 0 || q >= c.NumQubits {
+					out = append(out, Finding{RuleMomentConflict, mi,
+						fmt.Sprintf("%v targets qubit %d outside [0,%d)", g.Op, q, c.NumQubits)})
+					continue
+				}
+				if prev, dup := touched[q]; dup {
+					out = append(out, Finding{RuleMomentConflict, mi,
+						fmt.Sprintf("qubit %d touched by gate %d (%v) and gate %d (%v)",
+							q, prev, m.Gates[prev].Op, gi, g.Op)})
+					continue
+				}
+				touched[q] = gi
+			}
+
+			// (2) Two-qubit gates must lie on device couplings.
+			if dev != nil && g.Op.IsTwoQubit() {
+				for i := 0; i+1 < len(g.Qubits); i += 2 {
+					a, b := g.Qubits[i], g.Qubits[i+1]
+					if !inRange(a, c.NumQubits) || !inRange(b, c.NumQubits) {
+						continue // already reported above
+					}
+					if !dev.HasEdge(a, b) {
+						out = append(out, Finding{RuleOffDevice, mi,
+							fmt.Sprintf("%v pair (%d,%d) has no device coupling", g.Op, a, b)})
+					}
+				}
+			}
+
+			// (3) Measurement targets must have been reset earlier.
+			if g.Op == circuit.OpM {
+				for _, q := range g.Qubits {
+					if inRange(q, c.NumQubits) && !reset[q] {
+						out = append(out, Finding{RuleUnreset, mi,
+							fmt.Sprintf("qubit %d measured but never reset on any earlier moment", q)})
+					}
+				}
+			}
+		}
+		// Resets become visible to later moments only: a same-moment
+		// reset+measure is impossible anyway (disjointness), and gate
+		// order within a moment is simultaneous by definition.
+		for _, g := range m.Gates {
+			if g.Op == circuit.OpR {
+				for _, q := range g.Qubits {
+					if inRange(q, c.NumQubits) {
+						reset[q] = true
+					}
+				}
+			}
+		}
+	}
+
+	// (4) Detector and observable annotations over the record.
+	out = append(out, checkRecordRefs(c, "detector", c.Detectors)...)
+	out = append(out, checkRecordRefs(c, "observable", c.Observables)...)
+	return out
+}
+
+// checkRecordRefs validates record-index annotations: in-bounds,
+// non-empty and duplicate-free. Duplicate indices in one parity set cancel
+// and silently blind the decoder to that mechanism.
+func checkRecordRefs(c *circuit.Circuit, kind string, sets [][]int) []Finding {
+	nm := c.NumMeasurements()
+	var out []Finding
+	for si, set := range sets {
+		if len(set) == 0 {
+			out = append(out, Finding{RuleDetector, -1,
+				fmt.Sprintf("%s %d is empty: its parity is vacuously deterministic and detects nothing", kind, si)})
+			continue
+		}
+		sorted := append([]int(nil), set...)
+		sort.Ints(sorted)
+		for i, r := range sorted {
+			if r < 0 || r >= nm {
+				out = append(out, Finding{RuleDetector, -1,
+					fmt.Sprintf("%s %d references record %d outside [0,%d)", kind, si, r, nm)})
+			}
+			if i > 0 && sorted[i-1] == r {
+				out = append(out, Finding{RuleDetector, -1,
+					fmt.Sprintf("%s %d references record %d twice: the parity contributions cancel", kind, si, r)})
+			}
+		}
+	}
+	return out
+}
+
+func inRange(q, n int) bool { return q >= 0 && q < n }

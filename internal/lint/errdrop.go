@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"surfstitch/internal/lint/analysis"
+)
+
+// ErrDrop flags discarded error returns from first-party fallible
+// functions. A sampler whose construction error vanishes, a circuit whose
+// Build failure is ignored or a schedule validation that nobody reads all
+// degrade results silently — the pipeline keeps running on garbage.
+//
+// Two shapes are reported:
+//
+//  1. a call used as a bare expression statement whose callee is a
+//     first-party function returning an error anywhere in its results;
+//  2. an assignment that binds a first-party call's error result to the
+//     blank identifier (v, _ := pkg.New(...)).
+//
+// Third-party and stdlib callees are exempt (fmt.Println would drown the
+// signal); `defer f.Close()`-style drops are likewise left to reviewers.
+var ErrDrop = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "flag discarded error returns from the module's fallible " +
+		"constructors and validators; every first-party error must be " +
+		"handled or explicitly suppressed with a justification",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn, idx := firstPartyErrorFunc(pass, call); fn != nil {
+					_ = idx
+					pass.Reportf(call.Pos(), "error returned by %s is discarded; handle it or suppress with surflint:ignore and a reason", funcLabel(fn))
+				}
+			case *ast.AssignStmt:
+				checkBlankError(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankError reports assignments that bind a first-party error
+// result to _.
+func checkBlankError(pass *analysis.Pass, as *ast.AssignStmt) {
+	// Only the multi-value form `a, b := f()` can drop one result.
+	if len(as.Rhs) != 1 || len(as.Lhs) < 2 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, errIdx := firstPartyErrorFunc(pass, call)
+	if fn == nil || errIdx >= len(as.Lhs) {
+		return
+	}
+	if id, ok := as.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(as.Pos(), "error returned by %s is assigned to _; handle it or suppress with surflint:ignore and a reason", funcLabel(fn))
+	}
+}
+
+// firstPartyErrorFunc resolves the call's callee and, when it is a
+// first-party function with an error in its results, returns it together
+// with the error's result index.
+func firstPartyErrorFunc(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, int) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, -1
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return nil, -1
+	}
+	if !pass.FirstParty(fn.Pkg()) {
+		return nil, -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, -1
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return fn, i
+		}
+	}
+	return nil, -1
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}
+
+func funcLabel(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

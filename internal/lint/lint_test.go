@@ -1,0 +1,111 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"surfstitch/internal/lint"
+	"surfstitch/internal/lint/linttest"
+)
+
+// TestAnalyzerGoldens pins each analyzer's contract against its fixture:
+// every deliberate violation must be caught, with no extra findings.
+func TestAnalyzerGoldens(t *testing.T) {
+	for _, a := range lint.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			linttest.Run(t, filepath.Join("testdata", a.Name), a)
+		})
+	}
+}
+
+// TestRepoIsClean is the merge bar in test form: the full suite over the
+// full module must report nothing. It exercises the same loader and
+// driver as cmd/surflint.
+func TestRepoIsClean(t *testing.T) {
+	mod, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if mod.Path != "surfstitch" {
+		t.Fatalf("module path = %q, want surfstitch", mod.Path)
+	}
+	findings, err := lint.Run(mod, lint.All(), mod.Pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("finding: %s", f)
+	}
+}
+
+// TestSuppressionRequiresReason: a bare surflint:ignore marker is a hard
+// error, not a silent pass — every suppression must carry its why.
+func TestSuppressionRequiresReason(t *testing.T) {
+	mod, err := lint.LoadFixture(filepath.Join("testdata", "badsuppress"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	_, err = lint.Run(mod, lint.All(), mod.Pkgs)
+	if err == nil || !strings.Contains(err.Error(), "reason") {
+		t.Fatalf("reason-less suppression accepted (err = %v)", err)
+	}
+}
+
+// TestMatchPatterns covers the package selection used by the CLI.
+func TestMatchPatterns(t *testing.T) {
+	mod, err := lint.LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := mod.Match([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(mod.Pkgs) {
+		t.Errorf("./... selected %d of %d packages", len(all), len(mod.Pkgs))
+	}
+	sub, err := mod.Match([]string{"./internal/lint/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sub {
+		if !strings.Contains(p.Path, "internal/lint") {
+			t.Errorf("subtree pattern selected %s", p.Path)
+		}
+	}
+	if len(sub) < 3 { // lint, lint/analysis, lint/circ, lint/linttest
+		t.Errorf("subtree pattern selected only %d packages", len(sub))
+	}
+	one, err := mod.Match([]string{"./internal/mc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Path != "surfstitch/internal/mc" {
+		t.Errorf("plain pattern selected %v", pkgPaths(one))
+	}
+	if _, err := mod.Match([]string{"./no/such/dir"}); err == nil {
+		t.Error("unmatched pattern accepted")
+	}
+}
+
+// TestByName covers the -only selector.
+func TestByName(t *testing.T) {
+	as, err := lint.ByName([]string{"rngstream", "paniccheck"})
+	if err != nil || len(as) != 2 {
+		t.Fatalf("ByName = %v, %v", as, err)
+	}
+	if _, err := lint.ByName([]string{"nosuch"}); err == nil {
+		t.Error("unknown analyzer accepted")
+	}
+}
+
+func pkgPaths(pkgs []*lint.Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.Path)
+	}
+	return out
+}

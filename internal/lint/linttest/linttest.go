@@ -1,0 +1,120 @@
+// Package linttest is the golden-test harness for the surflint suite,
+// modeled on golang.org/x/tools/go/analysis/analysistest: a fixture
+// package under testdata carries the violations, and `// want "regexp"`
+// comments on the offending lines declare the expected findings. The
+// harness fails the test on any missing or unexpected diagnostic, so each
+// analyzer's contract is pinned line by line.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+
+	"surfstitch/internal/lint"
+	"surfstitch/internal/lint/analysis"
+)
+
+// wantRE extracts the expectation patterns from a comment: every "..." or
+// `...` group after the want keyword.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// expectation is one want pattern at one (file, line).
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture directory, applies the analyzer through the real
+// driver (including suppression filtering) and diffs the findings against
+// the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	mod, err := lint.LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings, err := lint.Run(mod, []*analysis.Analyzer{a}, mod.Pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants, err := collectWants(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, f := range findings {
+		key := posKey{f.Pos.Filename, f.Pos.Line}
+		hit := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(f.Message) {
+				w.matched = true
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected finding at %s:%d: [%s] %s",
+				f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected finding matching %q, got none",
+					key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+// collectWants scans every fixture comment for want declarations.
+func collectWants(mod *lint.Module) (map[posKey][]*expectation, error) {
+	out := map[posKey][]*expectation{}
+	for _, p := range mod.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := wantIndex(c.Text)
+					if idx < 0 {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					groups := wantRE.FindAllStringSubmatch(c.Text[idx:], -1)
+					if len(groups) == 0 {
+						return nil, fmt.Errorf("%s:%d: want comment without a quoted pattern", pos.Filename, pos.Line)
+					}
+					for _, g := range groups {
+						pat := g[1]
+						if pat == "" {
+							pat = g[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						key := posKey{pos.Filename, pos.Line}
+						out[key] = append(out[key], &expectation{re: re})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+var wantKeywordRE = regexp.MustCompile(`(?://|/\*)\s*want\s`)
+
+// wantIndex returns the offset of the want keyword in a comment, or -1.
+func wantIndex(text string) int {
+	loc := wantKeywordRE.FindStringIndex(text)
+	if loc == nil {
+		return -1
+	}
+	return loc[0]
+}

@@ -1,0 +1,346 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	Path  string // import path, e.g. "surfstitch/internal/mc"
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the fully loaded module: every non-test package, type-checked
+// in dependency order against a shared FileSet.
+type Module struct {
+	Path string // module path from go.mod
+	Root string // absolute module root
+	Fset *token.FileSet
+	Pkgs []*Package // dependency order
+}
+
+// LoadModule locates the enclosing go.mod from dir and loads every
+// non-test package beneath the module root (skipping testdata, vendor and
+// hidden directories). Test files are excluded: the suite lints shipping
+// code; fixtures and helpers are exercised through linttest instead.
+//
+// Standard-library imports are type-checked from GOROOT source via the
+// "source" importer, which keeps the loader functional without network
+// access or pre-built export data.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Path: modPath, Root: root, Fset: token.NewFileSet()}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	// Parse every package first so the import graph is known before any
+	// type checking starts.
+	type parsed struct {
+		path  string
+		dir   string
+		files []*ast.File
+		deps  []string // first-party imports only
+	}
+	byPath := map[string]*parsed{}
+	for _, d := range dirs {
+		files, err := parseDir(m.Fset, d)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p := &parsed{path: path, dir: d, files: files}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					p.deps = append(p.deps, ip)
+				}
+			}
+		}
+		byPath[path] = p
+	}
+
+	// Topological order over first-party imports.
+	order, err := topoSort(byPath, func(p *parsed) []string { return p.deps })
+	if err != nil {
+		return nil, err
+	}
+
+	imp := newModuleImporter(m.Fset, modPath)
+	for _, path := range order {
+		p := byPath[path]
+		pkg, info, err := typeCheck(m.Fset, path, p.files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+		}
+		imp.firstParty[path] = pkg
+		m.Pkgs = append(m.Pkgs, &Package{
+			Path: path, Dir: p.dir, Files: p.files, Types: pkg, Info: info,
+		})
+	}
+	return m, nil
+}
+
+// LoadFixture loads one directory as a standalone single-package module
+// rooted at the directory itself. linttest uses it to type-check testdata
+// packages carrying deliberate violations; the module path is the fixture
+// package's own name, so same-package helpers count as first-party for
+// analyzers that distinguish module code from stdlib.
+func LoadFixture(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: fixture %s has no Go files", dir)
+	}
+	path := files[0].Name.Name
+	imp := newModuleImporter(fset, path)
+	pkg, info, err := typeCheck(fset, path, files, imp)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %w", dir, err)
+	}
+	return &Module{
+		Path: path, Root: abs, Fset: fset,
+		Pkgs: []*Package{{Path: path, Dir: abs, Files: files, Types: pkg, Info: info}},
+	}, nil
+}
+
+// Match returns the loaded packages selected by the given patterns.
+// Supported patterns: "./..." (everything), "./x/..." (subtree), and plain
+// relative directories like "./internal/mc". An empty pattern list selects
+// everything.
+func (m *Module) Match(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		return m.Pkgs, nil
+	}
+	var out []*Package
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		matched := false
+		for _, p := range m.Pkgs {
+			ok, err := m.matchOne(pat, p)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				matched = true
+				if !seen[p.Path] {
+					seen[p.Path] = true
+					out = append(out, p)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+func (m *Module) matchOne(pat string, p *Package) (bool, error) {
+	pat = strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/")
+	rel, err := filepath.Rel(m.Root, p.Dir)
+	if err != nil {
+		return false, err
+	}
+	rel = filepath.ToSlash(rel)
+	switch {
+	case pat == "..." || pat == "." || pat == "":
+		return true, nil
+	case strings.HasSuffix(pat, "/..."):
+		base := strings.TrimSuffix(pat, "/...")
+		return rel == base || strings.HasPrefix(rel, base+"/"), nil
+	default:
+		return rel == pat, nil
+	}
+}
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+	}
+}
+
+// packageDirs lists candidate package directories under root.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses the non-test Go files of one directory.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// topoSort orders package paths so every dependency precedes its importers.
+func topoSort[T any](nodes map[string]T, deps func(T) []string) ([]string, error) {
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		n, ok := nodes[path]
+		if ok {
+			for _, d := range deps(n) {
+				if _, known := nodes[d]; known {
+					if err := visit(d); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[path] = 2
+		if ok {
+			order = append(order, path)
+		}
+		return nil
+	}
+	var paths []string
+	for p := range nodes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves first-party imports from the already-checked set
+// and everything else (the standard library) from GOROOT source.
+type moduleImporter struct {
+	modPath    string
+	firstParty map[string]*types.Package
+	std        types.Importer
+}
+
+func newModuleImporter(fset *token.FileSet, modPath string) *moduleImporter {
+	return &moduleImporter{
+		modPath:    modPath,
+		firstParty: map[string]*types.Package{},
+		std:        importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == mi.modPath || strings.HasPrefix(path, mi.modPath+"/") {
+		if pkg, ok := mi.firstParty[path]; ok {
+			return pkg, nil
+		}
+		return nil, fmt.Errorf("first-party package %s not loaded (import cycle or parse failure?)", path)
+	}
+	return mi.std.Import(path)
+}
+
+// typeCheck runs the types checker over one package with full use/def info.
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	cfg := &types.Config{Importer: imp}
+	pkg, err := cfg.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"surfstitch/internal/lint/analysis"
+)
+
+// LockCopy flags by-value copies of lock-bearing values: structs that
+// transitively contain a sync.Mutex, sync.RWMutex, sync.WaitGroup,
+// sync.Once or sync.Cond. The Monte-Carlo tallies and decoder stats carry
+// mutexes; a copied tally splits the lock from the counts it guards, and
+// the race only surfaces under production worker counts.
+//
+// Reported shapes: assignments whose right-hand side copies an existing
+// lock-bearing value (composite literals and new values from calls are
+// fine — they are born unlocked and unshared), by-value function
+// parameters and results of lock-bearing type, and range statements whose
+// value variable copies lock-bearing elements.
+var LockCopy = &analysis.Analyzer{
+	Name: "lockcopy",
+	Doc: "flag by-value copies of mutex-bearing structs (mc tallies, " +
+		"decoder stats): a copied value shares state with the original but " +
+		"not the lock guarding it",
+	Run: runLockCopy,
+}
+
+func runLockCopy(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if copiesLock(pass, rhs) {
+						_ = i
+						pass.Reportf(rhs.Pos(), "assignment copies lock-bearing value of type %s; use a pointer", typeLabel(pass, rhs))
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if copiesLock(pass, v) {
+						pass.Reportf(v.Pos(), "declaration copies lock-bearing value of type %s; use a pointer", typeLabel(pass, v))
+					}
+				}
+			case *ast.FuncDecl:
+				checkFuncSig(pass, n.Type, n.Recv)
+			case *ast.FuncLit:
+				checkFuncSig(pass, n.Type, nil)
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := exprOrDefType(pass, n.Value); t != nil && containsLock(t, nil) {
+						pass.Reportf(n.Value.Pos(), "range value copies lock-bearing elements of type %s; iterate by index or over pointers", t.String())
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if copiesLock(pass, arg) {
+						pass.Reportf(arg.Pos(), "call passes lock-bearing value of type %s by value; pass a pointer", typeLabel(pass, arg))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncSig flags by-value lock-bearing parameters, results and
+// receivers in a function signature.
+func checkFuncSig(pass *analysis.Pass, ft *ast.FuncType, recv *ast.FieldList) {
+	report := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypesInfo.Types[field.Type].Type
+			if t == nil || !containsLock(t, nil) {
+				continue
+			}
+			pass.Reportf(field.Type.Pos(), "%s of lock-bearing type %s passed by value; use a pointer", kind, t.String())
+		}
+	}
+	report(recv, "receiver")
+	report(ft.Params, "parameter")
+	report(ft.Results, "result")
+}
+
+// copiesLock reports whether evaluating e produces a by-value copy of an
+// existing lock-bearing value. Fresh values — composite literals, call
+// results — are exempt: they are unlocked and unshared at birth, which is
+// how constructors legitimately return such types.
+func copiesLock(pass *analysis.Pass, e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit:
+		return false
+	case *ast.UnaryExpr, *ast.BasicLit:
+		return false
+	}
+	t := pass.TypesInfo.Types[e].Type
+	return t != nil && containsLock(t, nil)
+}
+
+// containsLock reports whether t transitively embeds a sync lock type.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if isSyncLock(named) {
+			return true
+		}
+		return containsLock(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+var syncLockNames = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+func isSyncLock(named *types.Named) bool {
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockNames[obj.Name()]
+}
+
+// exprOrDefType resolves an expression's type, falling back to the
+// defined object for `:=`-bound range variables (which live in Defs, not
+// Types).
+func exprOrDefType(pass *analysis.Pass, e ast.Expr) types.Type {
+	if t := pass.TypesInfo.Types[e].Type; t != nil {
+		return t
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func typeLabel(pass *analysis.Pass, e ast.Expr) string {
+	if t := pass.TypesInfo.Types[e].Type; t != nil {
+		return t.String()
+	}
+	return fmt.Sprintf("%T", e)
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"surfstitch/internal/lint/analysis"
+)
+
+// LoopCapture flags goroutine and defer closures inside loops that
+// capture the loop variable instead of receiving it as an argument. Since
+// Go 1.22 each iteration gets a fresh variable, so this is no longer the
+// classic every-goroutine-sees-the-last-value bug — but the worker-pool
+// fan-outs in mc and threshold are exactly where a future refactor to a
+// shared variable (hoisting, pooling) silently reintroduces it. The suite
+// enforces explicit parameter passing, which is robust under refactoring
+// and makes the per-iteration binding visible at the spawn site.
+var LoopCapture = &analysis.Analyzer{
+	Name: "loopcapture",
+	Doc: "flag go/defer closures in loops that capture the loop variable; " +
+		"pass it as an argument so the per-iteration binding is explicit " +
+		"and survives refactors",
+	Run: runLoopCapture,
+}
+
+func runLoopCapture(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var vars []types.Object
+			switch loop := n.(type) {
+			case *ast.RangeStmt:
+				body = loop.Body
+				vars = loopVars(pass, loop.Key, loop.Value)
+			case *ast.ForStmt:
+				body = loop.Body
+				if init, ok := loop.Init.(*ast.AssignStmt); ok {
+					vars = loopVars(pass, init.Lhs...)
+				}
+			default:
+				return true
+			}
+			if len(vars) == 0 {
+				return true
+			}
+			checkLoopBody(pass, body, vars)
+			return true
+		})
+	}
+	return nil
+}
+
+// loopVars resolves the objects declared by the loop's binding exprs.
+func loopVars(pass *analysis.Pass, exprs ...ast.Expr) []types.Object {
+	var out []types.Object
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+// checkLoopBody walks one loop body looking for go/defer func literals
+// that reference the loop variables.
+func checkLoopBody(pass *analysis.Pass, body *ast.BlockStmt, vars []types.Object) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var lit *ast.FuncLit
+		var kind string
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			lit, _ = s.Call.Fun.(*ast.FuncLit)
+			kind = "goroutine"
+		case *ast.DeferStmt:
+			lit, _ = s.Call.Fun.(*ast.FuncLit)
+			kind = "defer"
+		default:
+			return true
+		}
+		if lit == nil {
+			return true
+		}
+		for _, v := range vars {
+			if pos, ok := usesObject(pass, lit.Body, v); ok {
+				pass.Reportf(pos, "%s closure captures loop variable %s; pass it as an argument (go func(%s %s) {...}(%s))",
+					kind, v.Name(), v.Name(), v.Type().String(), v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// usesObject reports whether the node references obj, returning the first
+// use position.
+func usesObject(pass *analysis.Pass, n ast.Node, obj types.Object) (pos token.Pos, found bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			pos, found = id.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"surfstitch/internal/lint/analysis"
+)
+
+// PanicCheck flags panic calls on the exported API surface of library
+// (non-main) packages. A panic that escapes internal/* takes down a whole
+// sampling run instead of failing one synthesis attempt; exported
+// functions must return errors.
+//
+// Exemptions, in the spirit of the standard library:
+//
+//   - main packages (cmd/*, examples/*): a CLI may panic or Fatal freely;
+//   - functions named Must* / must*: their documented contract is
+//     panic-on-error, mirroring regexp.MustCompile;
+//   - unexported functions and methods: panics there are internal
+//     invariant assertions on states the package itself guarantees
+//     unreachable, not error reporting to callers.
+//
+// Exported panics that guard against API misuse (programmer error, not
+// runtime input) may be kept with an explicit surflint:ignore marker that
+// records the justification.
+var PanicCheck = &analysis.Analyzer{
+	Name: "paniccheck",
+	Doc: "flag panic on the exported API of library packages; library " +
+		"errors must be returned, not thrown",
+	Run: runPanicCheck,
+}
+
+func runPanicCheck(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if !ast.IsExported(name) || strings.HasPrefix(name, "Must") {
+				continue
+			}
+			checkPanics(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkPanics reports direct panic calls in the function body. Panics
+// inside nested function literals still count: a closure returned from an
+// exported function is part of its API surface.
+func checkPanics(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		// Only the builtin: a local function named panic would resolve to
+		// a non-nil Uses entry with a package.
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Pkg() != nil {
+			return true
+		}
+		pass.Reportf(call.Pos(), "panic in exported %s of library package %s; return an error (or document the contract and suppress with surflint:ignore)",
+			fd.Name.Name, pass.Pkg.Name())
+		return true
+	})
+}

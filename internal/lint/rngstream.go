@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"surfstitch/internal/lint/analysis"
+)
+
+// mcPkgPath is the one package allowed to implement seed mixing itself:
+// it owns the splitmix64 mixer every other package must go through.
+const mcPkgPath = "surfstitch/internal/mc"
+
+// RNGStream forbids the three RNG patterns that break bit-identical
+// parallel Monte-Carlo runs:
+//
+//  1. math/rand package-level functions (rand.Intn, rand.Float64, ...) —
+//     they share a global, lock-contended, unseeded-by-us source, so
+//     results depend on whatever else touched it;
+//  2. wall-clock seeding (rand.NewSource(time.Now()...), rand.New with a
+//     time-derived seed) — irreproducible by construction;
+//  3. ad-hoc seed mixing with ^ outside internal/mc — xor of structured
+//     values (seed ^ chunkIndex, seed ^ Float64bits(p)) yields heavily
+//     correlated streams; mc.ChunkSeed / mc.PointSeed exist for this.
+var RNGStream = &analysis.Analyzer{
+	Name: "rngstream",
+	Doc: "forbid global math/rand functions, wall-clock seeding and ad-hoc " +
+		"seed xor-mixing outside internal/mc; all stream derivation must go " +
+		"through the splitmix64 mixer so parallel runs stay bit-identical",
+	Run: runRNGStream,
+}
+
+func runRNGStream(pass *analysis.Pass) error {
+	inMC := pass.Pkg.Path() == mcPkgPath
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkRandCall(pass, n)
+			case *ast.BinaryExpr:
+				if !inMC && n.Op == token.XOR {
+					checkSeedXor(pass, n)
+				}
+			case *ast.AssignStmt:
+				if !inMC && n.Tok == token.XOR_ASSIGN {
+					if looksLikeSeed(n.Lhs[0]) || looksLikeSeed(n.Rhs[0]) {
+						pass.Reportf(n.Pos(), "ad-hoc seed mixing with ^=: derive streams with mc.ChunkSeed/mc.PointSeed (splitmix64) instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// globalRandFuncs are the math/rand package-level helpers that draw from
+// the shared global source. Constructors (New, NewSource, NewZipf) and
+// types are fine — the offence is the hidden global stream.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+	// math/rand/v2 extras.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint64N": true, "N": true,
+}
+
+func checkRandCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Path() != "math/rand" && fn.Pkg().Path() != "math/rand/v2" {
+		return
+	}
+	// Methods on *rand.Rand instances are fine; only package-level
+	// functions touch the global source.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	name := fn.Name()
+	switch {
+	case globalRandFuncs[name]:
+		pass.Reportf(call.Pos(), "math/rand global %s() draws from the shared global source; use an explicit *rand.Rand seeded via mc.ChunkSeed/mc.PointSeed", name)
+	case name == "NewSource" || name == "New":
+		if argUsesWallClock(pass, call) {
+			pass.Reportf(call.Pos(), "wall-clock RNG seeding is irreproducible; accept a caller seed and derive streams with mc.ChunkSeed/mc.PointSeed")
+		}
+	}
+}
+
+// argUsesWallClock reports whether any argument expression calls time.Now.
+func argUsesWallClock(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := inner.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// checkSeedXor flags integer xor expressions where either side names a
+// seed: the signature of hand-rolled stream derivation.
+func checkSeedXor(pass *analysis.Pass, bin *ast.BinaryExpr) {
+	if !isIntegerExpr(pass, bin.X) || !isIntegerExpr(pass, bin.Y) {
+		return
+	}
+	if looksLikeSeed(bin.X) || looksLikeSeed(bin.Y) {
+		pass.Reportf(bin.Pos(), "ad-hoc seed mixing with ^: xor of structured values yields correlated streams; use mc.ChunkSeed/mc.PointSeed (splitmix64)")
+	}
+}
+
+func isIntegerExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// looksLikeSeed reports whether the expression mentions an identifier or
+// selector whose name contains "seed".
+func looksLikeSeed(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "seed") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

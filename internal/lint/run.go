@@ -1,0 +1,136 @@
+// Package lint is the surflint driver: it loads the module, runs the
+// domain-aware analyzer suite over every package and reports findings.
+//
+// The suite enforces the invariants the synthesis pipeline depends on but
+// the compiler cannot check: reproducible RNG stream derivation, no
+// silently dropped errors from fallible constructors, no copied locks or
+// leaked loop captures in the worker-pool fan-outs, and no panics escaping
+// library APIs. See the individual analyzer files for the full contracts.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"surfstitch/internal/lint/analysis"
+)
+
+// Finding is one reported diagnostic, positioned and attributed.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run applies the analyzers to the packages and returns the surviving
+// findings sorted by position. Findings carrying an explicit
+//
+//	//surflint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// marker on the same line or the line directly above are dropped; the
+// reason text is mandatory, so every suppression documents why the code is
+// allowed to break the rule.
+func Run(m *Module, analyzers []*analysis.Analyzer, pkgs []*Package) ([]Finding, error) {
+	var out []Finding
+	for _, p := range pkgs {
+		supp, err := suppressions(m.Fset, p.Files)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      m.Fset,
+				Files:     p.Files,
+				Pkg:       p.Types,
+				TypesInfo: p.Info,
+				Module:    m.Path,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := m.Fset.Position(d.Pos)
+				if supp.covers(name, pos) {
+					return
+				}
+				out = append(out, Finding{Pos: pos, Analyzer: name, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, p.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// suppressionSet records which (file, line) pairs are ignored per analyzer.
+type suppressionSet map[string]map[int][]string // file -> line -> analyzer names
+
+const ignorePrefix = "surflint:ignore"
+
+// suppressions scans comments for surflint:ignore markers. A marker on
+// line N silences matching findings on lines N and N+1, so it can sit
+// either at the end of the offending line or on its own line above.
+func suppressions(fset *token.FileSet, files []*ast.File) (suppressionSet, error) {
+	set := suppressionSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					return nil, fmt.Errorf("%s:%d: surflint:ignore needs an analyzer name and a reason", pos.Filename, pos.Line)
+				}
+				names := strings.Split(fields[0], ",")
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					set[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+			}
+		}
+	}
+	return set, nil
+}
+
+func (s suppressionSet) covers(analyzer string, pos token.Position) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

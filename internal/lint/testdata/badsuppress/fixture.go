@@ -1,0 +1,9 @@
+// Package fixture carries a reason-less suppression marker; the driver
+// must reject it instead of silently honoring it.
+package fixture
+
+// Bad keeps a panic behind a bare marker with no justification.
+func Bad() {
+	//surflint:ignore paniccheck
+	panic("fixture: undocumented suppression")
+}

@@ -1,0 +1,56 @@
+// Package fixture seeds deliberate errdrop violations for the golden
+// tests.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder mimics the repo's fallible constructors.
+type Builder struct{ n int }
+
+// Build fails for odd sizes.
+func (b *Builder) Build() (int, error) {
+	if b.n%2 == 1 {
+		return 0, errors.New("fixture: odd")
+	}
+	return b.n, nil
+}
+
+// NewSampler mimics frame.NewSampler's (value, error) shape.
+func NewSampler(n int) (*Builder, error) {
+	if n < 0 {
+		return nil, errors.New("fixture: negative")
+	}
+	return &Builder{n: n}, nil
+}
+
+// validate mimics a schedule validator returning only an error.
+func validate() error { return nil }
+
+func drops() {
+	validate() // want `error returned by fixture.validate is discarded`
+
+	b := &Builder{n: 3}
+	b.Build() // want `error returned by Builder.Build is discarded`
+
+	s, _ := NewSampler(-1) // want `error returned by fixture.NewSampler is assigned to _`
+	use(s)
+}
+
+func handled() error {
+	if err := validate(); err != nil {
+		return err
+	}
+	s, err := NewSampler(2)
+	if err != nil {
+		return err
+	}
+	use(s)
+	// Stdlib drops are out of scope: flagging fmt would drown the signal.
+	fmt.Println("ok")
+	return nil
+}
+
+func use(*Builder) {}

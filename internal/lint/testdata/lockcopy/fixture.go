@@ -1,0 +1,44 @@
+// Package fixture seeds deliberate lockcopy violations for the golden
+// tests.
+package fixture
+
+import "sync"
+
+// Tally mimics the mc worker tallies: a mutex guarding counts.
+type Tally struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Stats embeds a lock transitively.
+type Stats struct{ t Tally }
+
+func sink(*Tally)   {}
+func sinkS(*Stats)  {}
+func byValue(Tally) {} // want `parameter of lock-bearing type`
+
+func copies(src *Tally) {
+	cp := *src // want `assignment copies lock-bearing`
+	sink(&cp)
+
+	var s Stats
+	s2 := s // want `assignment copies lock-bearing`
+	sinkS(&s2)
+
+	byValue(cp) // want `call passes lock-bearing value`
+}
+
+func rangeCopy(ts []Tally) {
+	for i := range ts { // index iteration is the approved pattern
+		ts[i].n++
+	}
+	for _, t := range ts { // want `range value copies lock-bearing`
+		sink(&t)
+	}
+}
+
+// fresh values are exempt: composite literals are born unlocked.
+func fresh() *Tally {
+	t := Tally{}
+	return &t
+}

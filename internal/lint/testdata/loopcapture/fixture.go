@@ -1,0 +1,50 @@
+// Package fixture seeds deliberate loopcapture violations for the golden
+// tests.
+package fixture
+
+import "sync"
+
+func process(int) {}
+
+// fanOut captures the range variable in a spawned goroutine.
+func fanOut(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(it) // want `goroutine closure captures loop variable it`
+		}()
+	}
+	wg.Wait()
+}
+
+// deferred captures a three-clause loop variable in a defer.
+func deferred(n int) {
+	for i := 0; i < n; i++ {
+		defer func() {
+			process(i) // want `defer closure captures loop variable i`
+		}()
+	}
+}
+
+// explicit passes the loop variable as an argument: the approved pattern.
+func explicit(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			process(v)
+		}(it)
+	}
+	wg.Wait()
+}
+
+// synchronous closures may capture freely: they run before the next
+// iteration.
+func synchronous(items []int) {
+	for _, it := range items {
+		func() { process(it) }()
+	}
+}

@@ -1,0 +1,51 @@
+// Package fixture seeds deliberate paniccheck violations for the golden
+// tests.
+package fixture
+
+import "errors"
+
+// Exported panics on its API surface: flagged.
+func Exported(n int) int {
+	if n < 0 {
+		panic("fixture: negative") // want `panic in exported Exported`
+	}
+	return n
+}
+
+// MakeStep returns a closure that panics: still the exported surface.
+func MakeStep() func() {
+	return func() {
+		panic("fixture: step") // want `panic in exported MakeStep`
+	}
+}
+
+// MustParse follows the Must* contract: exempt.
+func MustParse(n int) int {
+	if n < 0 {
+		panic("fixture: negative")
+	}
+	return n
+}
+
+// internalAssert is an unexported invariant assertion: exempt.
+func internalAssert(ok bool) {
+	if !ok {
+		panic("fixture: broken invariant")
+	}
+}
+
+// Suppressed documents why its panic stays: the marker silences the
+// finding through the real driver path.
+func Suppressed() {
+	//surflint:ignore paniccheck fixture demonstrating a justified suppression
+	panic("fixture: documented contract")
+}
+
+// Clean returns its failure like a library should.
+func Clean(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("fixture: negative")
+	}
+	internalAssert(n >= 0)
+	return n, nil
+}

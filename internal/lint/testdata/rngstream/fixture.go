@@ -1,0 +1,42 @@
+// Package fixture seeds deliberate rngstream violations for the golden
+// tests; every flagged line carries a want declaration.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalDraw uses the shared global source.
+func globalDraw() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `math/rand global Shuffle`
+	return rand.Intn(10)               // want `math/rand global Intn`
+}
+
+// wallClock seeds from the wall clock: irreproducible.
+func wallClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `wall-clock RNG seeding`
+}
+
+// xorMix hand-rolls stream derivation.
+func xorMix(seed int64, chunk int) int64 {
+	return seed ^ int64(chunk) // want `ad-hoc seed mixing`
+}
+
+// xorAssign mutates a seed in place.
+func xorAssign(seed int64, bits int64) int64 {
+	seed ^= bits // want `ad-hoc seed mixing`
+	return seed
+}
+
+// explicitStream is the approved pattern: caller-provided seed, explicit
+// source, methods on the instance.
+func explicitStream(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// plainXor of non-seed integers is untouched.
+func plainXor(a, b uint64) uint64 {
+	return a ^ b
+}

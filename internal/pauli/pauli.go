@@ -107,6 +107,7 @@ func (s String) Get(q int) Op {
 // Set assigns the operator on qubit q, deleting the entry for identity.
 func (s String) Set(q int, op Op) {
 	if s.ops == nil {
+		//surflint:ignore paniccheck use-before-New is programmer error equivalent to a nil-map write, which would panic anyway with a worse message
 		panic("pauli: Set on uninitialized String; use New")
 	}
 	if op == I {

@@ -31,6 +31,7 @@ type Simulator struct {
 // seed so noiseless runs are reproducible.
 func New(n int, rng *rand.Rand) *Simulator {
 	if n <= 0 {
+		//surflint:ignore paniccheck qubit counts come from circuit.NumQubits, validated at circuit build time; this is an invariant assertion
 		panic("tableau: need at least one qubit")
 	}
 	if rng == nil {
@@ -102,6 +103,7 @@ func (s *Simulator) CX(a, b int) {
 	s.check(a)
 	s.check(b)
 	if a == b {
+		//surflint:ignore paniccheck degenerate pairs are rejected by circuit.Validate before any simulation; this guards the raw gate API against programmer error
 		panic("tableau: CX with identical control and target")
 	}
 	wa, ma := a/64, uint64(1)<<(a%64)
@@ -262,6 +264,7 @@ func (s *Simulator) Measure(q int) (outcome int, random bool) {
 		}
 	}
 	if exp != 0 && exp != 2 {
+		//surflint:ignore paniccheck an odd phase means the tableau state itself is corrupted; no error return could be acted on, and continuing would emit wrong measurement outcomes
 		panic("tableau: odd phase in deterministic measurement")
 	}
 	return exp / 2, false

@@ -262,16 +262,18 @@ func Crossing(low, high Curve) (float64, bool) {
 }
 
 // Sweep is a convenience range builder: n log-spaced points in [lo, hi].
-func Sweep(lo, hi float64, n int) []float64 {
+// It rejects degenerate ranges (n < 2, non-positive lo, hi <= lo), which
+// would otherwise silently produce NaN error rates downstream.
+func Sweep(lo, hi float64, n int) ([]float64, error) {
 	if n < 2 || lo <= 0 || hi <= lo {
-		panic("threshold: invalid sweep range")
+		return nil, fmt.Errorf("threshold: invalid sweep range [%g, %g] with %d points", lo, hi, n)
 	}
 	out := make([]float64, n)
 	for i := 0; i < n; i++ {
 		t := float64(i) / float64(n-1)
 		out[i] = math.Exp(math.Log(lo) + t*(math.Log(hi)-math.Log(lo)))
 	}
-	return out
+	return out, nil
 }
 
 // PerRoundRate converts a whole-experiment logical error probability into a

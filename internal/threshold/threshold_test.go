@@ -27,7 +27,10 @@ func memoryProvider(t *testing.T, dev *device.Device, d int, mode synth.Mode, ro
 }
 
 func TestSweepLogSpaced(t *testing.T) {
-	ps := Sweep(0.001, 0.01, 5)
+	ps, err := Sweep(0.001, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ps) != 5 {
 		t.Fatalf("len = %d", len(ps))
 	}
@@ -47,13 +50,19 @@ func TestSweepLogSpaced(t *testing.T) {
 	}
 }
 
-func TestSweepPanicsOnBadRange(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("bad sweep accepted")
+func TestSweepRejectsBadRange(t *testing.T) {
+	for _, bad := range []struct {
+		lo, hi float64
+		n      int
+	}{
+		{0.01, 0.001, 5}, // inverted range
+		{0, 0.01, 5},     // non-positive lo
+		{0.001, 0.01, 1}, // too few points
+	} {
+		if _, err := Sweep(bad.lo, bad.hi, bad.n); err == nil {
+			t.Errorf("Sweep(%g, %g, %d) accepted a degenerate range", bad.lo, bad.hi, bad.n)
 		}
-	}()
-	Sweep(0.01, 0.001, 5)
+	}
 }
 
 func TestEstimatePointZeroNoise(t *testing.T) {

@@ -21,14 +21,22 @@ import (
 	"surfstitch/internal/decoder"
 	"surfstitch/internal/dem"
 	"surfstitch/internal/experiment"
+	"surfstitch/internal/lint/circ"
 	"surfstitch/internal/noise"
 	"surfstitch/internal/synth"
+	"surfstitch/internal/tableau"
 )
 
 // Report is the outcome of a verification run.
 type Report struct {
 	// Structural problems; empty when trees and schedule are well-formed.
 	Structural []string
+	// Static problems found by the circuit-IR checker (internal/lint/circ)
+	// on the assembled memory circuit: same-moment qubit conflicts,
+	// off-device couplings, unreset measurement targets, malformed
+	// detector annotations. Populated before — and gating — the expensive
+	// stabilizer-simulation stages.
+	Static []string
 	// Deterministic is true when every detector parity of the memory
 	// circuit is invariant under noiseless execution.
 	Deterministic    bool
@@ -57,6 +65,7 @@ type Report struct {
 // a sub-percent single-fault misdecode ratio.
 func (r Report) Pass() bool {
 	return len(r.Structural) == 0 &&
+		len(r.Static) == 0 &&
 		r.Deterministic &&
 		!r.UndetectableLogical &&
 		r.VerticalXHooks == 0 &&
@@ -73,6 +82,9 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "verification: %s\n", status)
 	for _, s := range r.Structural {
 		fmt.Fprintf(&b, "  structural: %s\n", s)
+	}
+	for _, s := range r.Static {
+		fmt.Fprintf(&b, "  static: %s\n", s)
 	}
 	fmt.Fprintf(&b, "  deterministic detectors: %v", r.Deterministic)
 	if r.DeterminismError != "" {
@@ -107,8 +119,29 @@ func Synthesis(s *synth.Synthesis, opts Options) Report {
 	r.Structural = structuralChecks(s)
 	r.VerticalXHooks = countVerticalXHooks(s)
 
-	mem, err := experiment.NewMemory(s, opts.Rounds, experiment.Options{})
+	// Assemble the memory circuit without the built-in determinism check:
+	// the static circuit-IR pass below gates the expensive simulation
+	// stages, so a malformed circuit is rejected in linear time with a
+	// moment-level finding instead of a stabilizer-sim failure.
+	mem, err := experiment.NewMemory(s, opts.Rounds, experiment.Options{SkipVerify: true})
 	if err != nil {
+		r.DeterminismError = err.Error()
+		return r
+	}
+
+	// Fast static pre-gate: O(instructions) data-flow checks against the
+	// device coupling graph. Any finding makes the later simulation
+	// results meaningless, so bail out before paying for them.
+	for _, f := range circ.Check(mem.Circuit, s.Layout.Dev.Graph()) {
+		r.Static = append(r.Static, f.String())
+	}
+	if len(r.Static) > 0 {
+		return r
+	}
+
+	// Expensive detector-determinism check under exact stabilizer
+	// simulation (previously run inside NewMemory).
+	if _, _, err := tableau.Reference(mem.Circuit, 3); err != nil {
 		r.DeterminismError = err.Error()
 		return r
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"surfstitch/internal/device"
+	"surfstitch/internal/grid"
 	"surfstitch/internal/synth"
 )
 
@@ -72,6 +73,52 @@ func TestReportFieldsPopulated(t *testing.T) {
 	}
 	if len(rep.Structural) != 0 {
 		t.Errorf("structural problems: %v", rep.Structural)
+	}
+}
+
+func TestStaticPreGateRejectsOffDeviceCoupling(t *testing.T) {
+	// Synthesize on the full square device, then swap in a replacement
+	// device missing one coupling the bridge trees use. The static
+	// circuit-IR pre-gate must catch the off-device CNOTs and bail before
+	// the stabilizer-simulation stages run.
+	s, err := synth.Synthesize(device.Square(6, 6), 3, synth.Options{Mode: synth.ModeFour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := s.Layout.Dev
+	drop := s.Trees[0].Edges()[0]
+	var coords []grid.Coord
+	for q := 0; q < dev.Len(); q++ {
+		coords = append(coords, dev.Coord(q))
+	}
+	var couplings [][2]grid.Coord
+	for _, e := range dev.Graph().Edges() {
+		if (e[0] == drop[0] && e[1] == drop[1]) || (e[0] == drop[1] && e[1] == drop[0]) {
+			continue
+		}
+		couplings = append(couplings, [2]grid.Coord{dev.Coord(e[0]), dev.Coord(e[1])})
+	}
+	smaller, err := device.FromGraph("square-minus-one", coords, couplings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Layout.Dev = smaller
+
+	rep := Synthesis(s, Options{Rounds: 2})
+	if len(rep.Static) == 0 {
+		t.Fatal("missing coupling not caught by the static pre-gate")
+	}
+	if !strings.Contains(strings.Join(rep.Static, "\n"), "off-device-gate") {
+		t.Errorf("static findings lack the off-device rule: %v", rep.Static)
+	}
+	if rep.Deterministic {
+		t.Error("expensive determinism stage ran despite static findings")
+	}
+	if rep.Pass() {
+		t.Error("off-device synthesis passed verification")
+	}
+	if !strings.Contains(rep.String(), "static:") {
+		t.Error("report missing static section")
 	}
 }
 

@@ -256,8 +256,9 @@ func EstimateThreshold(build func(distance int) (*Synthesis, error), ps []float6
 	return th, nil
 }
 
-// Sweep returns n log-spaced physical error rates in [lo, hi].
-func Sweep(lo, hi float64, n int) []float64 { return threshold.Sweep(lo, hi, n) }
+// Sweep returns n log-spaced physical error rates in [lo, hi]. It rejects
+// degenerate ranges with an error.
+func Sweep(lo, hi float64, n int) ([]float64, error) { return threshold.Sweep(lo, hi, n) }
 
 // DefaultIdleError is the paper's idle depolarizing probability per step.
 const DefaultIdleError = noise.DefaultIdleError

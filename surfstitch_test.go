@@ -83,7 +83,11 @@ func TestEstimateCurveAndMemory(t *testing.T) {
 	if mem.NumDetectors() == 0 {
 		t.Error("no detectors in memory experiment")
 	}
-	curve, err := EstimateCurve(syn, Sweep(0.001, 0.004, 2), SimConfig{Shots: 500, Seed: 4})
+	ps, err := Sweep(0.001, 0.004, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := EstimateCurve(syn, ps, SimConfig{Shots: 500, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +103,11 @@ func TestEstimateThreshold(t *testing.T) {
 	build := func(d int) (*Synthesis, error) {
 		return Synthesize(NewDevice(Square, 2*d, 2*d), d, Options{Mode: ModeFour})
 	}
-	th, err := EstimateThreshold(build, Sweep(0.002, 0.012, 4), SimConfig{Shots: 3000, Seed: 11})
+	ps, err := Sweep(0.002, 0.012, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := EstimateThreshold(build, ps, SimConfig{Shots: 3000, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
