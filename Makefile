@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-core lint verify bench
+.PHONY: build test vet race race-core lint chaos verify bench
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,14 @@ race-core:
 lint: build
 	$(GO) run ./cmd/surflint ./...
 
-verify: vet race lint
+# Chaos: the fault-injection sweep (internal/chaos). -short trims each
+# tiling to a smoke sweep; drop it for the full 1000-scenarios-per-tiling
+# acceptance run. The fuzz target hands scenario parameters to go-fuzz.
+chaos:
+	$(GO) test ./internal/chaos -run Chaos -short -count=1
+	$(GO) test ./internal/chaos -run=^$$ -fuzz FuzzChaos -fuzztime 30s
+
+verify: vet race lint chaos
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -8,12 +8,23 @@
 //	surfstitch -arch heavy-hexagon -w 4 -h 5 -d 3
 //	surfstitch -arch square -d 3 -mode four -ascii
 //	surfstitch -arch heavy-square -d 5 -fit
+//	surfstitch -arch square -w 8 -h 4 -d 3 -defects random:0.03
+//	surfstitch -arch square -w 8 -h 4 -d 3 -defects faults.json -json
+//
+// SIGINT/SIGTERM cancel the run context: the synthesis search stops at the
+// next budget check and the command exits with status 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 
 	"surfstitch/internal/circuit"
 	"surfstitch/internal/device"
@@ -40,8 +51,18 @@ func main() {
 		doVerify = flag.Bool("verify", false, "run end-to-end verification (determinism, single-fault property, hook audit)")
 		circOut  = flag.String("circuit", "", "write the memory-experiment circuit (stim-flavoured text) to this file")
 		rounds   = flag.Int("rounds", 0, "error-detection rounds for -circuit (default 3*d)")
+		defects  = flag.String("defects", "", "impose device defects: a DefectSet JSON file, or <generator>:<density>[:<seed>] with generator random, clustered or edge (e.g. random:0.03)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// With -json, stdout carries only the report; commentary goes to stderr.
+	info := os.Stdout
+	if *asJSON {
+		info = os.Stderr
+	}
 
 	m := synth.ModeDefault
 	if *mode == "four" {
@@ -67,7 +88,7 @@ func main() {
 			fatal(err)
 		}
 		dev = fd
-		fmt.Printf("smallest supporting device: %v\n", dev)
+		fmt.Fprintf(info, "smallest supporting device: %v\n", dev)
 	} else {
 		kind, err := parseArch(*arch)
 		if err != nil {
@@ -75,13 +96,43 @@ func main() {
 		}
 		dev = device.ByKind(kind, *w, *h)
 	}
+
+	degraded := false
+	if *defects != "" {
+		ds, err := loadDefects(dev, *defects)
+		if err != nil {
+			fatal(err)
+		}
+		dd, err := dev.WithDefects(ds)
+		if err != nil {
+			fatal(err)
+		}
+		dead, broken, derated := ds.Counts()
+		fmt.Fprintf(info, "defects: %d dead qubits, %d broken couplers, %d derated elements -> %v\n",
+			dead, broken, derated, dd)
+		dev = dd
+		degraded = true
+	}
 	if *ascii {
 		fmt.Println(dev.ASCII())
 	}
 
-	s, err := synth.Synthesize(dev, *d, synth.Options{Mode: m, NoRefine: *noRef})
+	opts := synth.Options{Mode: m, NoRefine: *noRef}
+	var s *synth.Synthesis
+	var err error
+	if degraded {
+		s, err = synth.SynthesizeDegraded(ctx, dev, *d, opts)
+	} else {
+		s, err = synth.Synthesize(ctx, dev, *d, opts)
+	}
 	if err != nil {
+		if errors.Is(err, synth.ErrBudgetExceeded) {
+			interrupted(err)
+		}
 		fatal(err)
+	}
+	if dg := s.Degradation; dg != nil {
+		fmt.Fprintln(info, dg)
 	}
 	if *svgOut != "" {
 		if err := os.WriteFile(*svgOut, []byte(render.Synthesis(s)), 0o644); err != nil {
@@ -129,6 +180,44 @@ func main() {
 		u.UnusedQubits, u.UnusedPercent(), u.TotalQubits)
 }
 
+// loadDefects parses the -defects argument: either a generator spec
+// "<name>:<density>[:<seed>]" or a path to a DefectSet JSON file.
+func loadDefects(dev *device.Device, arg string) (device.DefectSet, error) {
+	if name, rest, ok := strings.Cut(arg, ":"); ok && isGenerator(name) {
+		densityStr, seedStr, hasSeed := strings.Cut(rest, ":")
+		density, err := strconv.ParseFloat(densityStr, 64)
+		if err != nil {
+			return device.DefectSet{}, fmt.Errorf("bad defect density %q: %v", densityStr, err)
+		}
+		seed := int64(1)
+		if hasSeed {
+			seed, err = strconv.ParseInt(seedStr, 10, 64)
+			if err != nil {
+				return device.DefectSet{}, fmt.Errorf("bad defect seed %q: %v", seedStr, err)
+			}
+		}
+		return device.GenerateDefects(dev, name, density, seed)
+	}
+	blob, err := os.ReadFile(arg)
+	if err != nil {
+		return device.DefectSet{}, err
+	}
+	var ds device.DefectSet
+	if err := ds.UnmarshalJSON(blob); err != nil {
+		return device.DefectSet{}, err
+	}
+	return ds, nil
+}
+
+func isGenerator(name string) bool {
+	for _, g := range device.GeneratorNames() {
+		if g == name {
+			return true
+		}
+	}
+	return false
+}
+
 func parseArch(s string) (device.Kind, error) {
 	switch s {
 	case "square":
@@ -149,4 +238,11 @@ func parseArch(s string) (device.Kind, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "surfstitch:", err)
 	os.Exit(1)
+}
+
+// interrupted reports a canceled run and exits with the conventional
+// 128+SIGINT status.
+func interrupted(err error) {
+	fmt.Fprintln(os.Stderr, "surfstitch: interrupted:", err)
+	os.Exit(130)
 }

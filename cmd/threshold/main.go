@@ -19,13 +19,17 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"surfstitch/internal/stats"
@@ -65,7 +69,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// SIGINT/SIGTERM cancel the sweep between Monte-Carlo chunks; whatever
+	// points finished are flushed below before exiting with code 130.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	cfg := paper.Config{
+		Ctx:   ctx,
 		Shots: *shots, Seed: *seed, Ps: sweep,
 		Workers: *workers, TargetRSE: *targRSE, MaxErrors: *maxErrs,
 	}
@@ -98,14 +107,19 @@ func main() {
 			b = experiment.BasisX
 		}
 		var pair paper.CurvePair
-		pair, err = sweepArch(kind, m, b, cfg)
+		pair, err = sweepArch(ctx, kind, m, b, cfg)
 		pairs = []paper.CurvePair{pair}
 		title = fmt.Sprintf("threshold sweep: %s (mode %v)", *arch, m)
 	default:
 		fatal(fmt.Errorf("specify -fig 9a|9b or -arch <name>"))
 	}
-	if err != nil {
+	interrupted := err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, synth.ErrBudgetExceeded))
+	if err != nil && !interrupted {
 		fatal(err)
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "threshold: interrupted — flushing partial results")
 	}
 	printPairs(title, pairs)
 	if *csvOut != "" {
@@ -115,6 +129,9 @@ func main() {
 		fmt.Printf("wrote %s\n", *csvOut)
 	}
 	fmt.Printf("\nelapsed: %.1fs\n", time.Since(start).Seconds())
+	if interrupted {
+		os.Exit(130)
+	}
 }
 
 // progressPrinter returns a rate-limited live progress hook: at most a few
@@ -134,7 +151,7 @@ func progressPrinter() func(p float64, pr mc.Progress) {
 	}
 }
 
-func sweepArch(kind device.Kind, m synth.Mode, basis experiment.Basis, cfg paper.Config) (paper.CurvePair, error) {
+func sweepArch(ctx context.Context, kind device.Kind, m synth.Mode, basis experiment.Basis, cfg paper.Config) (paper.CurvePair, error) {
 	var pair paper.CurvePair
 	pair.Name = kind.String()
 	tc := threshold.Config{
@@ -154,15 +171,17 @@ func sweepArch(kind device.Kind, m synth.Mode, basis experiment.Basis, cfg paper
 		if err != nil {
 			return pair, err
 		}
-		curve, err := threshold.EstimateCurve(fmt.Sprintf("%v d=%d", kind, d), d,
+		curve, err := threshold.EstimateCurveContext(ctx, fmt.Sprintf("%v d=%d", kind, d), d,
 			threshold.Provider(mem.Circuit, s.AllQubits()), cfg.Ps, tc)
-		if err != nil {
-			return pair, err
-		}
+		// Keep whatever points finished: an interrupt mid-curve still
+		// produces a printable partial sweep.
 		if d == 3 {
 			pair.D3 = curve
 		} else {
 			pair.D5 = curve
+		}
+		if err != nil {
+			return pair, err
 		}
 	}
 	if th, ok := threshold.Crossing(pair.D3, pair.D5); ok {
@@ -177,15 +196,21 @@ func printPairs(title string, pairs []paper.CurvePair) {
 		fmt.Printf("\n%s\n", pair.Name)
 		fmt.Printf("  %-10s %-20s %-20s %-8s\n", "p", "d=3 logical [95%CI]", "d=5 logical [95%CI]", "lambda")
 		for i := range pair.D3.Points {
-			p3, p5 := pair.D3.Points[i], pair.D5.Points[i]
+			p3 := pair.D3.Points[i]
 			lo3, hi3 := stats.WilsonInterval(p3.Errors, p3.Shots, 1.96)
-			lo5, hi5 := stats.WilsonInterval(p5.Errors, p5.Shots, 1.96)
-			lambda := "-"
-			if l, err := stats.Lambda(p3.Logical, p5.Logical); err == nil {
-				lambda = fmt.Sprintf("%.2f", l)
+			// An interrupted sweep can leave the d=5 curve short; print the
+			// d=3 rows that finished and dash out the missing cells.
+			d5cell, lambda := "-", "-"
+			if i < len(pair.D5.Points) {
+				p5 := pair.D5.Points[i]
+				lo5, hi5 := stats.WilsonInterval(p5.Errors, p5.Shots, 1.96)
+				d5cell = fmt.Sprintf("%.4f[%.4f,%.4f]", p5.Logical, lo5, hi5)
+				if l, err := stats.Lambda(p3.Logical, p5.Logical); err == nil {
+					lambda = fmt.Sprintf("%.2f", l)
+				}
 			}
-			fmt.Printf("  %-10.4g %.4f[%.4f,%.4f] %.4f[%.4f,%.4f] %-8s\n",
-				p3.P, p3.Logical, lo3, hi3, p5.Logical, lo5, hi5, lambda)
+			fmt.Printf("  %-10.4g %.4f[%.4f,%.4f] %-20s %-8s\n",
+				p3.P, p3.Logical, lo3, hi3, d5cell, lambda)
 		}
 		var xs3, ys3 []float64
 		for _, pt := range pair.D3.Points {

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"surfstitch/internal/device"
@@ -93,7 +94,7 @@ func TestHeavyHexWorseThanSurfStitch(t *testing.T) {
 	shots := 4000
 	rounds := 15
 
-	s, err := synth.Synthesize(dev, 5, synth.Options{})
+	s, err := synth.Synthesize(context.Background(), dev, 5, synth.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestSabreRoutedMemoryDecodes(t *testing.T) {
 	shots := 3000
 	routedRate := logicalRate(t, c, sr.IdleQubits(), p, shots)
 
-	s, err := synth.Synthesize(dev, 3, synth.Options{})
+	s, err := synth.Synthesize(context.Background(), dev, 3, synth.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

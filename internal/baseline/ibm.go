@@ -6,6 +6,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"surfstitch/internal/circuit"
@@ -26,7 +27,7 @@ func IBMHeavySquare(dev *device.Device, distance int) (*synth.Synthesis, error) 
 	if dev.Kind() != device.KindHeavySquare {
 		return nil, fmt.Errorf("baseline: IBM heavy-square code needs a heavy-square device, got %v", dev.Kind())
 	}
-	return synth.Synthesize(dev, distance, synth.Options{})
+	return synth.Synthesize(context.Background(), dev, distance, synth.Options{})
 }
 
 // HeavyHexCode models IBM's heavy-hexagon hybrid surface/Bacon-Shor code
@@ -51,7 +52,7 @@ func NewHeavyHexCode(dev *device.Device, distance int) (*HeavyHexCode, error) {
 	if dev.Kind() != device.KindHeavyHexagon {
 		return nil, fmt.Errorf("baseline: heavy-hexagon code needs a heavy-hexagon device, got %v", dev.Kind())
 	}
-	s, err := synth.Synthesize(dev, distance, synth.Options{})
+	s, err := synth.Synthesize(context.Background(), dev, distance, synth.Options{})
 	if err != nil {
 		return nil, err
 	}

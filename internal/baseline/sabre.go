@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -31,7 +32,7 @@ type SabreRouted struct {
 // (data allocation and scheduling held fixed, per §5.4: "keeping other
 // optimization steps fixed").
 func NewSabreRouted(dev *device.Device, distance int) (*SabreRouted, error) {
-	s, err := synth.Synthesize(dev, distance, synth.Options{})
+	s, err := synth.Synthesize(context.Background(), dev, distance, synth.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +302,7 @@ func NoiseAdaptiveAllocator(dev *device.Device, distance, trials int, seed int64
 // deterministic, so validity is all-or-nothing).
 func SurfStitchAllocator(dev *device.Device, distance, trials int) AllocationResult {
 	res := AllocationResult{Name: "surf-stitch", Trials: trials}
-	layout, err := synth.Allocate(dev, distance, synth.ModeDefault)
+	layout, err := synth.Allocate(context.Background(), dev, distance, synth.ModeDefault)
 	if err != nil {
 		return res
 	}

@@ -1,0 +1,184 @@
+// Package chaos is a fault-injection harness for the synthesis pipeline.
+// It sweeps randomized device defect scenarios — every architecture, defect
+// generator, and densities up to 10% — and asserts the robustness contract
+// of the degradation ladder:
+//
+//	every scenario either fails with a typed synthesis/device error or
+//	produces a structurally valid (possibly degraded) circuit; it never
+//	panics and never leaks an untyped failure.
+//
+// Scenario seeds derive from a single base seed through the splitmix64
+// mixing of internal/mc, so any violation reproduces from its printed
+// Scenario alone.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"surfstitch/internal/device"
+	"surfstitch/internal/mc"
+	"surfstitch/internal/synth"
+	"surfstitch/internal/verify"
+)
+
+// minimalTilings records the smallest tiling of each architecture that
+// supports a distance-3 synthesis (Table 3 methodology). Chaos scenarios
+// deliberately run at the minimum: with no placement slack, injected
+// defects actually bite, exercising every rung of the degradation ladder
+// rather than being absorbed by spare qubits.
+var minimalTilings = map[device.Kind][2]int{
+	device.KindSquare:       {4, 2},
+	device.KindHexagon:      {3, 2},
+	device.KindOctagon:      {3, 3},
+	device.KindHeavySquare:  {3, 2},
+	device.KindHeavyHexagon: {3, 2},
+}
+
+// Scenario is one reproducible fault-injection trial.
+type Scenario struct {
+	Kind      device.Kind
+	Distance  int
+	Generator string  // one of device.GeneratorNames()
+	Density   float64 // defect density handed to the generator
+	Seed      int64
+}
+
+// String renders the scenario compactly enough to paste into a reproducer.
+func (sc Scenario) String() string {
+	return fmt.Sprintf("%v d=%d %s:%g seed=%d", sc.Kind, sc.Distance, sc.Generator, sc.Density, sc.Seed)
+}
+
+// Result is the outcome of one trial. Exactly one of Err and Synth is set:
+// a typed failure or a synthesis that passed the structural checks.
+type Result struct {
+	Scenario Scenario
+	Err      error // typed error; nil on success
+	Synth    *synth.Synthesis
+}
+
+// Degraded reports whether the trial succeeded by dropping stabilizers.
+func (r Result) Degraded() bool {
+	return r.Synth != nil && r.Synth.Degradation != nil
+}
+
+// Violation records a broken robustness contract: a panic, an untyped
+// error, or a structurally inconsistent success.
+type Violation struct {
+	Scenario Scenario
+	Msg      string
+}
+
+// Error makes a Violation usable as an error value in test plumbing.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("chaos: %v: %s", v.Scenario, v.Msg)
+}
+
+// Seed derives the scenario seed for (tiling, index) from the sweep's base
+// seed. Two splitmix64 mixes keep per-tiling streams independent, matching
+// the internal/mc sharding discipline.
+func Seed(base int64, tiling, index int) int64 {
+	return mc.ChunkSeed(mc.ChunkSeed(base, tiling), index)
+}
+
+// Run executes one scenario end to end — build tiling, generate defects,
+// apply them, synthesize with the degradation ladder — and checks the
+// contract. The returned Violation is nil when the contract holds; panics
+// anywhere in the pipeline are caught and reported as violations.
+func Run(ctx context.Context, sc Scenario) (res Result, v *Violation) {
+	res.Scenario = sc
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Scenario: sc}
+			v = &Violation{sc, fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+
+	wh, ok := minimalTilings[sc.Kind]
+	if !ok || sc.Distance != 3 {
+		return res, &Violation{sc, fmt.Sprintf("no recorded tiling for %v at distance %d", sc.Kind, sc.Distance)}
+	}
+	dev := device.ByKind(sc.Kind, wh[0], wh[1])
+
+	ds, err := device.GenerateDefects(dev, sc.Generator, sc.Density, sc.Seed)
+	if err != nil {
+		// Out-of-range densities and unknown generators must surface as
+		// typed device errors, never as raw failures.
+		if !device.IsTyped(err) {
+			return res, &Violation{sc, fmt.Sprintf("untyped generator error: %v", err)}
+		}
+		res.Err = err
+		return res, nil
+	}
+	damaged, err := dev.WithDefects(ds)
+	if err != nil {
+		// A generated set always references existing elements; any rejection
+		// here is a generator/device contract break.
+		return res, &Violation{sc, fmt.Sprintf("generated defect set rejected: %v", err)}
+	}
+
+	s, err := synth.SynthesizeDegraded(ctx, damaged, sc.Distance, synth.Options{})
+	if err != nil {
+		if !synth.IsTyped(err) {
+			return res, &Violation{sc, fmt.Sprintf("untyped synthesis error: %v", err)}
+		}
+		res.Err = err
+		return res, nil
+	}
+	if problems := verify.Structural(s); len(problems) != 0 {
+		return res, &Violation{sc, "structural: " + strings.Join(problems, "; ")}
+	}
+	res.Synth = s
+	return res, nil
+}
+
+// Sweep runs `count` scenarios for one tiling, cycling through every defect
+// generator and the density ladder, and returns the first violation (nil if
+// the contract held throughout) together with outcome tallies.
+type Tally struct {
+	OK       int // clean full-distance syntheses
+	Degraded int // syntheses that dropped stabilizers
+	Failed   int // typed failures
+}
+
+// Densities is the sweep ladder: up to 10% defects, per the robustness
+// acceptance bar.
+func Densities() []float64 {
+	return []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.08, 0.10}
+}
+
+// Sweep executes count scenarios against the tiling at the given distance.
+// onResult, when non-nil, observes every successful result (for subsampled
+// deeper verification).
+func Sweep(ctx context.Context, base int64, tiling int, kind device.Kind, distance, count int,
+	onResult func(int, Result)) (Tally, *Violation) {
+	var tally Tally
+	gens := device.GeneratorNames()
+	dens := Densities()
+	for i := 0; i < count; i++ {
+		sc := Scenario{
+			Kind:      kind,
+			Distance:  distance,
+			Generator: gens[(i/len(dens))%len(gens)],
+			Density:   dens[i%len(dens)],
+			Seed:      Seed(base, tiling, i),
+		}
+		res, v := Run(ctx, sc)
+		if v != nil {
+			return tally, v
+		}
+		switch {
+		case res.Err != nil:
+			tally.Failed++
+		case res.Degraded():
+			tally.Degraded++
+		default:
+			tally.OK++
+		}
+		if onResult != nil {
+			onResult(i, res)
+		}
+	}
+	return tally, nil
+}

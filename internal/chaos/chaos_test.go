@@ -1,0 +1,120 @@
+package chaos_test
+
+import (
+	"context"
+	"testing"
+
+	"surfstitch/internal/chaos"
+	"surfstitch/internal/device"
+	"surfstitch/internal/verify"
+)
+
+// baseSeed anchors every sweep; any reported violation reproduces from its
+// Scenario string alone.
+const baseSeed = 0x5eed_c0de
+
+// TestChaos sweeps defect scenarios across all five architectures and
+// asserts the robustness contract: no panics, only typed errors, only
+// structurally valid circuits. The full run covers 1000 scenarios per
+// tiling (the acceptance bar); -short trims to 120 for CI smoke.
+func TestChaos(t *testing.T) {
+	perTiling := 1000
+	deepEvery := 250 // full simulation-level verification cadence
+	if testing.Short() {
+		perTiling = 120
+		deepEvery = 60
+	}
+	for ti, kind := range device.AllKinds() {
+		ti, kind := ti, kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			tally, v := chaos.Sweep(context.Background(), baseSeed, ti, kind, 3, perTiling,
+				func(i int, res chaos.Result) {
+					if res.Synth == nil || i%deepEvery != 0 {
+						return
+					}
+					// Subsampled deep check: the degraded circuit must still
+					// assemble, pass the static IR checker, and measure
+					// deterministically. Fault-distance metrics are allowed
+					// to degrade (dropping checks costs distance), so only
+					// the structural/static/determinism gates are binding.
+					r := verify.Synthesis(res.Synth, verify.Options{Rounds: 2})
+					if len(r.Structural) != 0 || len(r.Static) != 0 || !r.Deterministic {
+						t.Errorf("%v: deep verify failed:\n%v", res.Scenario, r)
+					}
+				})
+			if v != nil {
+				t.Fatal(v)
+			}
+			if tally.OK+tally.Degraded+tally.Failed != perTiling {
+				t.Fatalf("tally %+v does not cover %d scenarios", tally, perTiling)
+			}
+			if tally.OK == 0 {
+				t.Errorf("no scenario synthesized cleanly — densities or tiling sizes are off: %+v", tally)
+			}
+			t.Logf("%d scenarios: %d clean, %d degraded, %d typed failures",
+				perTiling, tally.OK, tally.Degraded, tally.Failed)
+		})
+	}
+}
+
+// TestChaosRejectsBadInput covers the generator-level edges of the
+// contract: hostile densities and unknown generators must come back as
+// typed errors through the same Run path the sweep uses.
+func TestChaosRejectsBadInput(t *testing.T) {
+	nan := 0.0
+	nan /= nan // NaN without importing math
+	cases := []chaos.Scenario{
+		{Kind: device.KindSquare, Distance: 3, Generator: "random", Density: -0.5, Seed: 1},
+		{Kind: device.KindSquare, Distance: 3, Generator: "random", Density: 1.5, Seed: 1},
+		{Kind: device.KindSquare, Distance: 3, Generator: "random", Density: nan, Seed: 1},
+		{Kind: device.KindSquare, Distance: 3, Generator: "cosmic-rays", Density: 0.05, Seed: 1},
+	}
+	for _, sc := range cases {
+		res, v := chaos.Run(context.Background(), sc)
+		if v != nil {
+			t.Fatalf("%v: contract violation: %v", sc, v)
+		}
+		if res.Err == nil {
+			t.Fatalf("%v: hostile input accepted", sc)
+		}
+	}
+}
+
+// TestChaosHonorsContext: cancellation mid-sweep must surface as a typed
+// budget error, not a violation.
+func TestChaosHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := chaos.Scenario{Kind: device.KindSquare, Distance: 3, Generator: "random", Density: 0.02, Seed: 7}
+	res, v := chaos.Run(ctx, sc)
+	if v != nil {
+		t.Fatalf("canceled context raised a violation: %v", v)
+	}
+	if res.Err == nil {
+		t.Fatal("canceled context did not abort the scenario")
+	}
+}
+
+// FuzzChaos lets the fuzzer drive scenario parameters directly. Any input
+// that panics or produces an untyped error is a crasher.
+func FuzzChaos(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), 0.05)
+	f.Add(int64(42), uint8(3), uint8(1), 0.10)
+	f.Add(int64(-7), uint8(4), uint8(2), 0.0)
+	f.Add(int64(99), uint8(2), uint8(0), 1.0)
+	f.Fuzz(func(t *testing.T, seed int64, kindSel, genSel uint8, density float64) {
+		kinds := device.AllKinds()
+		gens := device.GeneratorNames()
+		sc := chaos.Scenario{
+			Kind:      kinds[int(kindSel)%len(kinds)],
+			Distance:  3,
+			Generator: gens[int(genSel)%len(gens)],
+			Density:   density, // raw: out-of-range and NaN must reject typed
+			Seed:      seed,
+		}
+		if _, v := chaos.Run(context.Background(), sc); v != nil {
+			t.Fatal(v)
+		}
+	})
+}

@@ -1,0 +1,314 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"surfstitch/internal/grid"
+)
+
+// DefectSet models fabrication and calibration defects of a real chip:
+// qubits that are dead, couplers that are broken, and elements that work
+// but with degraded fidelity. Defects are expressed in grid coordinates —
+// the currency a hardware team's calibration export speaks — so a set is
+// meaningful independent of qubit numbering.
+type DefectSet struct {
+	// DeadQubits are removed from the device along with every coupling
+	// touching them.
+	DeadQubits []grid.Coord
+	// BrokenCouplers are removed; their endpoint qubits survive.
+	BrokenCouplers [][2]grid.Coord
+	// QubitErrors derate working qubits with a calibration error rate in
+	// [0, 1]; the synthesis steers bridge trees away from them.
+	QubitErrors []QubitError
+	// CouplerErrors derate working couplers likewise.
+	CouplerErrors []CouplerError
+}
+
+// QubitError is a per-qubit calibration error-rate override.
+type QubitError struct {
+	At   grid.Coord
+	Rate float64
+}
+
+// CouplerError is a per-coupler calibration error-rate override.
+type CouplerError struct {
+	Between [2]grid.Coord
+	Rate    float64
+}
+
+// IsZero reports whether the set contains no defects at all.
+func (ds DefectSet) IsZero() bool {
+	return len(ds.DeadQubits) == 0 && len(ds.BrokenCouplers) == 0 &&
+		len(ds.QubitErrors) == 0 && len(ds.CouplerErrors) == 0
+}
+
+// Counts summarizes the set for reports.
+func (ds DefectSet) Counts() (dead, broken, derated int) {
+	return len(ds.DeadQubits), len(ds.BrokenCouplers), len(ds.QubitErrors) + len(ds.CouplerErrors)
+}
+
+// WithDefects derives a new device with the defect set applied: dead qubits
+// and broken couplers are removed, error-rate overrides are attached to the
+// survivors. Qubit ids are renumbered (freeze order), so callers must use
+// the returned device's numbering throughout. Validation is strict — every
+// defect must reference an existing element — with one exception: an
+// error-rate override on an element that the same set kills is dropped
+// silently, so a calibration export can be applied verbatim.
+func (d *Device) WithDefects(ds DefectSet) (*Device, error) {
+	if ds.IsZero() {
+		return d, nil
+	}
+	dead := make(map[grid.Coord]bool, len(ds.DeadQubits))
+	for _, c := range ds.DeadQubits {
+		if _, ok := d.byCoord[c]; !ok {
+			return nil, fmt.Errorf("device: dead qubit lists %w %v", ErrUnknownQubit, c)
+		}
+		dead[c] = true
+	}
+	broken := make(map[[2]grid.Coord]bool, len(ds.BrokenCouplers))
+	for _, e := range ds.BrokenCouplers {
+		if err := d.checkCoupling(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("device: broken coupler: %w", err)
+		}
+		broken[normalizeCouplingKey(e[0], e[1])] = true
+	}
+
+	b := newBuilder()
+	for _, c := range d.coords {
+		if !dead[c] {
+			b.qubit(c)
+		}
+	}
+	for _, e := range d.g.Edges() {
+		ca, cb := d.coords[e[0]], d.coords[e[1]]
+		if dead[ca] || dead[cb] || broken[normalizeCouplingKey(ca, cb)] {
+			continue
+		}
+		b.edges = append(b.edges, [2]grid.Coord{ca, cb})
+	}
+	out := b.freeze(d.name+"+defects", d.kind)
+
+	for _, qe := range ds.QubitErrors {
+		if qe.Rate < 0 || qe.Rate > 1 {
+			return nil, fmt.Errorf("device: %w: qubit %v error rate %g outside [0,1]", ErrBadDefect, qe.At, qe.Rate)
+		}
+		if _, ok := d.byCoord[qe.At]; !ok {
+			return nil, fmt.Errorf("device: qubit error override lists %w %v", ErrUnknownQubit, qe.At)
+		}
+		q, ok := out.byCoord[qe.At]
+		if !ok {
+			continue // override on a dead qubit: moot
+		}
+		if out.qerr == nil {
+			out.qerr = map[int]float64{}
+		}
+		out.qerr[q] = qe.Rate
+	}
+	for _, ce := range ds.CouplerErrors {
+		if ce.Rate < 0 || ce.Rate > 1 {
+			return nil, fmt.Errorf("device: %w: coupler %v-%v error rate %g outside [0,1]",
+				ErrBadDefect, ce.Between[0], ce.Between[1], ce.Rate)
+		}
+		if err := d.checkCoupling(ce.Between[0], ce.Between[1]); err != nil {
+			return nil, fmt.Errorf("device: coupler error override: %w", err)
+		}
+		a, aok := out.byCoord[ce.Between[0]]
+		bq, bok := out.byCoord[ce.Between[1]]
+		if !aok || !bok || !out.g.HasEdge(a, bq) {
+			continue // override on a removed coupler: moot
+		}
+		if a > bq {
+			a, bq = bq, a
+		}
+		if out.cerr == nil {
+			out.cerr = map[[2]int]float64{}
+		}
+		out.cerr[[2]int{a, bq}] = ce.Rate
+	}
+	return out, nil
+}
+
+// checkCoupling validates that the coupling between the two coordinates
+// exists on the device.
+func (d *Device) checkCoupling(a, b grid.Coord) error {
+	qa, ok := d.byCoord[a]
+	if !ok {
+		return fmt.Errorf("%w %v", ErrUnknownQubit, a)
+	}
+	qb, ok := d.byCoord[b]
+	if !ok {
+		return fmt.Errorf("%w %v", ErrUnknownQubit, b)
+	}
+	if !d.g.HasEdge(qa, qb) {
+		return fmt.Errorf("%w %v-%v", ErrUnknownCoupling, a, b)
+	}
+	return nil
+}
+
+// Defect generator presets. Each produces a reproducible DefectSet for the
+// device from a density in [0, 1] and a seed: the density is split between
+// dead qubits (density/2 of the qubits), broken couplers (density/2 of the
+// couplers) and derated couplers (density/2 of the couplers, rates in
+// [0.005, 0.05]). The three spatial profiles match how real chips fail:
+// uniformly random fab defects, clustered blobs (a bad TLS region or a
+// damaged flip-chip bond), and edge-biased losses (dicing and wirebond
+// damage concentrate at the perimeter).
+
+// GeneratorNames lists the preset defect generators accepted by
+// GenerateDefects (and the surfstitch -defects preset syntax).
+func GeneratorNames() []string { return []string{"random", "clustered", "edge"} }
+
+// GenerateDefects runs the named preset generator.
+func GenerateDefects(d *Device, name string, density float64, seed int64) (DefectSet, error) {
+	// NaN fails both ordered comparisons, so test for containment rather
+	// than exclusion: a NaN density must not reach the sampler (it would
+	// turn the int conversion of the sample budget into garbage).
+	if !(density >= 0 && density <= 1) {
+		return DefectSet{}, fmt.Errorf("device: %w: defect density %g outside [0,1]", ErrBadDefect, density)
+	}
+	switch name {
+	case "random":
+		return UniformDefects(d, density, seed), nil
+	case "clustered":
+		return ClusteredDefects(d, density, seed), nil
+	case "edge":
+		return EdgeDefects(d, density, seed), nil
+	default:
+		return DefectSet{}, fmt.Errorf("device: %w: unknown defect generator %q", ErrBadDefect, name)
+	}
+}
+
+// UniformDefects kills qubits and couplers uniformly at random.
+func UniformDefects(d *Device, density float64, seed int64) DefectSet {
+	rng := rand.New(rand.NewSource(seed))
+	return sampleDefects(d, density, rng, func(grid.Coord) float64 { return 1 })
+}
+
+// ClusteredDefects kills qubits and couplers with probability decaying with
+// distance from a few random blob centers — the clustered fab-defect
+// profile.
+func ClusteredDefects(d *Device, density float64, seed int64) DefectSet {
+	rng := rand.New(rand.NewSource(seed))
+	bounds := d.Bounds()
+	nCenters := 1 + d.Len()/48
+	centers := make([]grid.Coord, 0, nCenters)
+	for i := 0; i < nCenters && d.Len() > 0; i++ {
+		centers = append(centers, d.coords[rng.Intn(d.Len())])
+	}
+	radius := float64(max(bounds.Width(), bounds.Height())) / 4
+	if radius < 1 {
+		radius = 1
+	}
+	return sampleDefects(d, density, rng, func(c grid.Coord) float64 {
+		best := 1 << 30
+		for _, ctr := range centers {
+			if m := c.Manhattan(ctr); m < best {
+				best = m
+			}
+		}
+		// Weight 1 at a center, ~0 beyond one radius.
+		w := 1 - float64(best)/radius
+		if w < 0.02 {
+			w = 0.02
+		}
+		return w
+	})
+}
+
+// EdgeDefects biases defects toward the device perimeter.
+func EdgeDefects(d *Device, density float64, seed int64) DefectSet {
+	rng := rand.New(rand.NewSource(seed))
+	bounds := d.Bounds()
+	return sampleDefects(d, density, rng, func(c grid.Coord) float64 {
+		ring := min(c.X-bounds.MinX, bounds.MaxX-c.X, c.Y-bounds.MinY, bounds.MaxY-c.Y)
+		// Weight 1 on the boundary, decaying geometrically inward.
+		w := 1.0
+		for i := 0; i < ring; i++ {
+			w *= 0.45
+		}
+		return w
+	})
+}
+
+// sampleDefects draws the split budget (dead qubits, broken couplers,
+// derated couplers) by weighted sampling without replacement. The weight
+// function scores a coordinate's defect propensity; coupler weight is the
+// mean of its endpoints.
+func sampleDefects(d *Device, density float64, rng *rand.Rand, weight func(grid.Coord) float64) DefectSet {
+	var ds DefectSet
+	nDead := int(density / 2 * float64(d.Len()))
+	nBroken := int(density / 2 * float64(d.g.EdgeCount()))
+	nDerated := int(density / 2 * float64(d.g.EdgeCount()))
+
+	qw := make([]float64, d.Len())
+	for q, c := range d.coords {
+		qw[q] = weight(c)
+	}
+	for _, q := range weightedSample(rng, qw, nDead) {
+		ds.DeadQubits = append(ds.DeadQubits, d.coords[q])
+	}
+
+	edges := d.g.Edges()
+	ew := make([]float64, len(edges))
+	for i, e := range edges {
+		ew[i] = (weight(d.coords[e[0]]) + weight(d.coords[e[1]])) / 2
+	}
+	brokenIdx := weightedSample(rng, ew, nBroken)
+	brokenSet := map[int]bool{}
+	for _, i := range brokenIdx {
+		brokenSet[i] = true
+		ds.BrokenCouplers = append(ds.BrokenCouplers,
+			[2]grid.Coord{d.coords[edges[i][0]], d.coords[edges[i][1]]})
+	}
+	// Derate surviving couplers (skip the broken ones so the override list
+	// stays meaningful rather than moot).
+	ew2 := append([]float64(nil), ew...)
+	for i := range ew2 {
+		if brokenSet[i] {
+			ew2[i] = 0
+		}
+	}
+	for _, i := range weightedSample(rng, ew2, nDerated) {
+		ds.CouplerErrors = append(ds.CouplerErrors, CouplerError{
+			Between: [2]grid.Coord{d.coords[edges[i][0]], d.coords[edges[i][1]]},
+			Rate:    0.005 + 0.045*rng.Float64(),
+		})
+	}
+	return ds
+}
+
+// weightedSample draws up to n distinct indices with probability
+// proportional to the weights, deterministically for a fixed rng state.
+func weightedSample(rng *rand.Rand, weights []float64, n int) []int {
+	type item struct {
+		idx int
+		key float64
+	}
+	// Efraimidis–Spirakis: key = U^(1/w); top-n keys form the sample.
+	var items []item
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		u := rng.Float64()
+		items = append(items, item{i, math.Pow(u, 1/w)})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].key != items[j].key {
+			return items[i].key > items[j].key
+		}
+		return items[i].idx < items[j].idx
+	})
+	if n > len(items) {
+		n = len(items)
+	}
+	out := make([]int, 0, n)
+	for _, it := range items[:n] {
+		out = append(out, it.idx)
+	}
+	sort.Ints(out)
+	return out
+}

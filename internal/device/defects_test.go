@@ -1,0 +1,262 @@
+package device
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"surfstitch/internal/grid"
+)
+
+func TestFromGraphRejectsMalformedInputs(t *testing.T) {
+	q := []grid.Coord{grid.C(0, 0), grid.C(1, 0), grid.C(0, 1)}
+	cases := []struct {
+		name      string
+		coords    []grid.Coord
+		couplings [][2]grid.Coord
+		want      error
+	}{
+		{"duplicate qubit", append(q, grid.C(0, 0)), nil, ErrDuplicateQubit},
+		{"self-loop", q, [][2]grid.Coord{{q[0], q[0]}}, ErrSelfLoop},
+		{"duplicate coupling", q, [][2]grid.Coord{{q[0], q[1]}, {q[0], q[1]}}, ErrDuplicateCoupling},
+		{"reversed duplicate coupling", q, [][2]grid.Coord{{q[0], q[1]}, {q[1], q[0]}}, ErrDuplicateCoupling},
+		{"unknown endpoint", q, [][2]grid.Coord{{q[0], grid.C(9, 9)}}, ErrUnknownQubit},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FromGraph("bad", tc.coords, tc.couplings)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("FromGraph error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	if _, err := FromGraph("ok", q, [][2]grid.Coord{{q[0], q[1]}, {q[0], q[2]}}); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+}
+
+func TestWithDefectsRemovesDeadAndBroken(t *testing.T) {
+	dev := Square(3, 3) // 16 qubits, 24 couplings
+	ds := DefectSet{
+		DeadQubits:     []grid.Coord{grid.C(1, 1)},
+		BrokenCouplers: [][2]grid.Coord{{grid.C(2, 2), grid.C(3, 2)}},
+	}
+	dd, err := dev.WithDefects(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.Len() != dev.Len()-1 {
+		t.Fatalf("dead qubit not removed: %d qubits, want %d", dd.Len(), dev.Len()-1)
+	}
+	if _, ok := dd.QubitAt(grid.C(1, 1)); ok {
+		t.Fatal("dead qubit still present")
+	}
+	// (1,1) had degree 4, plus the one explicitly broken coupler.
+	if got, want := dd.Graph().EdgeCount(), dev.Graph().EdgeCount()-5; got != want {
+		t.Fatalf("edge count = %d, want %d", got, want)
+	}
+	a, _ := dd.QubitAt(grid.C(2, 2))
+	b, _ := dd.QubitAt(grid.C(3, 2))
+	if dd.Graph().HasEdge(a, b) {
+		t.Fatal("broken coupler still present")
+	}
+	// The original device is untouched.
+	if dev.Len() != 16 {
+		t.Fatal("WithDefects mutated the source device")
+	}
+}
+
+func TestWithDefectsValidation(t *testing.T) {
+	dev := Square(2, 2)
+	cases := []struct {
+		name string
+		ds   DefectSet
+		want error
+	}{
+		{"unknown dead qubit", DefectSet{DeadQubits: []grid.Coord{grid.C(9, 9)}}, ErrUnknownQubit},
+		{"unknown broken coupler", DefectSet{BrokenCouplers: [][2]grid.Coord{{grid.C(0, 0), grid.C(1, 1)}}}, ErrUnknownCoupling},
+		{"broken coupler unknown endpoint", DefectSet{BrokenCouplers: [][2]grid.Coord{{grid.C(0, 0), grid.C(9, 9)}}}, ErrUnknownQubit},
+		{"rate out of range", DefectSet{QubitErrors: []QubitError{{At: grid.C(0, 0), Rate: 1.5}}}, ErrBadDefect},
+		{"coupler rate on missing coupler", DefectSet{CouplerErrors: []CouplerError{{Between: [2]grid.Coord{grid.C(0, 0), grid.C(1, 1)}, Rate: 0.1}}}, ErrUnknownCoupling},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := dev.WithDefects(tc.ds)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("WithDefects error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWithDefectsErrorOverrides(t *testing.T) {
+	dev := Square(2, 2)
+	ds := DefectSet{
+		QubitErrors:   []QubitError{{At: grid.C(1, 1), Rate: 0.02}},
+		CouplerErrors: []CouplerError{{Between: [2]grid.Coord{grid.C(0, 0), grid.C(1, 0)}, Rate: 0.03}},
+	}
+	dd, err := dev.WithDefects(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dd.HasErrorOverrides() {
+		t.Fatal("overrides not recorded")
+	}
+	q, _ := dd.QubitAt(grid.C(1, 1))
+	if r, ok := dd.QubitErrorRate(q); !ok || r != 0.02 {
+		t.Fatalf("qubit rate = %v,%v want 0.02,true", r, ok)
+	}
+	a, _ := dd.QubitAt(grid.C(0, 0))
+	b, _ := dd.QubitAt(grid.C(1, 0))
+	if r, ok := dd.CouplerErrorRate(b, a); !ok || r != 0.03 { // reversed order works
+		t.Fatalf("coupler rate = %v,%v want 0.03,true", r, ok)
+	}
+	if dev.HasErrorOverrides() {
+		t.Fatal("source device gained overrides")
+	}
+	// An override on a qubit the same set kills is dropped, not an error.
+	dd2, err := dev.WithDefects(DefectSet{
+		DeadQubits:  []grid.Coord{grid.C(1, 1)},
+		QubitErrors: []QubitError{{At: grid.C(1, 1), Rate: 0.02}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd2.HasErrorOverrides() {
+		t.Fatal("override on a dead qubit should be dropped")
+	}
+}
+
+func TestWithDefectsZeroSetIsIdentity(t *testing.T) {
+	dev := Hexagon(2, 2)
+	dd, err := dev.WithDefects(DefectSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd != dev {
+		t.Fatal("zero defect set should return the device unchanged")
+	}
+}
+
+func TestDefectGeneratorsAreReproducibleAndBounded(t *testing.T) {
+	dev := HeavyHexagon(3, 3)
+	for _, name := range GeneratorNames() {
+		t.Run(name, func(t *testing.T) {
+			a, err := GenerateDefects(dev, name, 0.10, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := GenerateDefects(dev, name, 0.10, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aj, _ := json.Marshal(a)
+			bj, _ := json.Marshal(b)
+			if string(aj) != string(bj) {
+				t.Fatal("same seed produced different defect sets")
+			}
+			if len(a.DeadQubits) > dev.Len()/10 {
+				t.Fatalf("too many dead qubits: %d of %d", len(a.DeadQubits), dev.Len())
+			}
+			// Every generated set must apply cleanly.
+			if _, err := dev.WithDefects(a); err != nil {
+				t.Fatalf("generated set does not apply: %v", err)
+			}
+			c, err := GenerateDefects(dev, name, 0.10, 43)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cj, _ := json.Marshal(c)
+			if string(aj) == string(cj) {
+				t.Fatal("different seeds produced identical defect sets")
+			}
+		})
+	}
+	if _, err := GenerateDefects(dev, "bogus", 0.1, 1); !errors.Is(err, ErrBadDefect) {
+		t.Fatalf("unknown generator error = %v, want ErrBadDefect", err)
+	}
+	if _, err := GenerateDefects(dev, "random", 1.5, 1); !errors.Is(err, ErrBadDefect) {
+		t.Fatalf("bad density error = %v, want ErrBadDefect", err)
+	}
+}
+
+func TestDefectSetJSONRoundTrip(t *testing.T) {
+	dev := Square(3, 3)
+	ds, err := GenerateDefects(dev, "clustered", 0.12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DefectSet
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatalf("round trip changed the set:\n%s\nvs\n%s", blob, blob2)
+	}
+}
+
+func TestDeviceJSONRoundTripWithOverrides(t *testing.T) {
+	dev := Square(2, 2)
+	dd, err := dev.WithDefects(DefectSet{
+		DeadQubits:    []grid.Coord{grid.C(2, 2)},
+		QubitErrors:   []QubitError{{At: grid.C(1, 1), Rate: 0.02}},
+		CouplerErrors: []CouplerError{{Between: [2]grid.Coord{grid.C(0, 0), grid.C(1, 0)}, Rate: 0.03}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := ToJSON(dd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != dd.Len() || back.Graph().EdgeCount() != dd.Graph().EdgeCount() {
+		t.Fatalf("structure changed: %v vs %v", back, dd)
+	}
+	if back.Name() != dd.Name() {
+		t.Fatalf("name changed: %q vs %q", back.Name(), dd.Name())
+	}
+	q, _ := back.QubitAt(grid.C(1, 1))
+	if r, ok := back.QubitErrorRate(q); !ok || r != 0.02 {
+		t.Fatalf("qubit override lost: %v,%v", r, ok)
+	}
+	a, _ := back.QubitAt(grid.C(0, 0))
+	b, _ := back.QubitAt(grid.C(1, 0))
+	if r, ok := back.CouplerErrorRate(a, b); !ok || r != 0.03 {
+		t.Fatalf("coupler override lost: %v,%v", r, ok)
+	}
+}
+
+func TestGenerateDefectsRejectsHostileDensity(t *testing.T) {
+	dev := Square(4, 4)
+	nan := 0.0
+	nan /= nan
+	for _, density := range []float64{-0.1, 1.1, nan} {
+		if _, err := GenerateDefects(dev, "random", density, 1); !errors.Is(err, ErrBadDefect) {
+			t.Errorf("density %g: got %v, want ErrBadDefect", density, err)
+		}
+	}
+	if _, err := GenerateDefects(dev, "cosmic-rays", 0.05, 1); !errors.Is(err, ErrBadDefect) {
+		t.Errorf("unknown generator: got %v, want ErrBadDefect", err)
+	}
+}
+
+func TestDefectSetJSONRejectsUnknownFields(t *testing.T) {
+	var ds DefectSet
+	// A misspelled key must not silently parse to an empty (no-op) set.
+	err := json.Unmarshal([]byte(`{"dead_qubits":[[0,0]]}`), &ds)
+	if !errors.Is(err, ErrBadDefect) {
+		t.Fatalf("unknown field accepted: %v", err)
+	}
+}

@@ -11,6 +11,7 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,6 +19,41 @@ import (
 	"surfstitch/internal/graph"
 	"surfstitch/internal/grid"
 )
+
+// Typed construction and defect errors. Callers branch on these with
+// errors.Is; the wrapping message carries the offending coordinates.
+var (
+	// ErrDuplicateQubit: two qubits declared at the same coordinate.
+	ErrDuplicateQubit = errors.New("duplicate qubit coordinate")
+	// ErrDuplicateCoupling: the same coupling declared twice (in either
+	// orientation).
+	ErrDuplicateCoupling = errors.New("duplicate coupling")
+	// ErrSelfLoop: a coupling from a qubit to itself.
+	ErrSelfLoop = errors.New("self-loop coupling")
+	// ErrUnknownQubit: a coupling or defect references a coordinate with no
+	// qubit.
+	ErrUnknownQubit = errors.New("unknown qubit")
+	// ErrUnknownCoupling: a defect references a coupling that does not exist.
+	ErrUnknownCoupling = errors.New("unknown coupling")
+	// ErrBadDefect: a defect entry is malformed (e.g. an error rate outside
+	// [0, 1]).
+	ErrBadDefect = errors.New("invalid defect")
+)
+
+// IsTyped reports whether the error chain reaches one of the package's
+// sentinel errors — the contract every device construction and defect
+// failure must satisfy (the chaos harness enforces it).
+func IsTyped(err error) bool {
+	for _, sentinel := range []error{
+		ErrDuplicateQubit, ErrDuplicateCoupling, ErrSelfLoop,
+		ErrUnknownQubit, ErrUnknownCoupling, ErrBadDefect,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
 
 // Kind identifies an architecture family.
 type Kind int
@@ -58,6 +94,12 @@ type Device struct {
 	g       *graph.Graph
 	coords  []grid.Coord
 	byCoord map[grid.Coord]int
+
+	// Calibration overrides from a DefectSet: per-qubit and per-coupler
+	// error rates for elements that work but work badly. Nil maps mean a
+	// pristine device. Coupler keys are sorted qubit-id pairs.
+	qerr map[int]float64
+	cerr map[[2]int]float64
 }
 
 // builder accumulates qubits and couplings before freezing into a Device.
@@ -107,26 +149,46 @@ func (b *builder) freeze(name string, kind Kind) *Device {
 }
 
 // FromGraph builds a custom device from explicit qubit coordinates and
-// couplings (given as coordinate pairs). It returns an error on duplicate
-// coordinates or couplings referencing unknown coordinates.
+// couplings (given as coordinate pairs). It rejects malformed inputs with
+// typed errors: ErrDuplicateQubit, ErrSelfLoop, ErrDuplicateCoupling and
+// ErrUnknownQubit. Silently collapsing such inputs (as the internal builder
+// does for the parametric tilings) would mask corrupt calibration exports.
 func FromGraph(name string, coords []grid.Coord, couplings [][2]grid.Coord) (*Device, error) {
 	b := newBuilder()
 	for _, c := range coords {
 		if _, dup := b.byCoord[c]; dup {
-			return nil, fmt.Errorf("device: duplicate qubit coordinate %v", c)
+			return nil, fmt.Errorf("device: %w: %v", ErrDuplicateQubit, c)
 		}
 		b.qubit(c)
 	}
+	seen := make(map[[2]grid.Coord]bool, len(couplings))
 	for _, e := range couplings {
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("device: %w at %v", ErrSelfLoop, e[0])
+		}
 		if _, ok := b.byCoord[e[0]]; !ok {
-			return nil, fmt.Errorf("device: coupling references unknown qubit %v", e[0])
+			return nil, fmt.Errorf("device: coupling references %w %v", ErrUnknownQubit, e[0])
 		}
 		if _, ok := b.byCoord[e[1]]; !ok {
-			return nil, fmt.Errorf("device: coupling references unknown qubit %v", e[1])
+			return nil, fmt.Errorf("device: coupling references %w %v", ErrUnknownQubit, e[1])
 		}
+		key := normalizeCouplingKey(e[0], e[1])
+		if seen[key] {
+			return nil, fmt.Errorf("device: %w: %v-%v", ErrDuplicateCoupling, e[0], e[1])
+		}
+		seen[key] = true
 		b.edges = append(b.edges, e)
 	}
 	return b.freeze(name, KindCustom), nil
+}
+
+// normalizeCouplingKey orders a coordinate pair deterministically so that a
+// coupling and its reverse share one map key.
+func normalizeCouplingKey(a, b grid.Coord) [2]grid.Coord {
+	if b.Less(a) {
+		a, b = b, a
+	}
+	return [2]grid.Coord{a, b}
 }
 
 // Name returns the device's display name.
@@ -153,6 +215,28 @@ func (d *Device) QubitAt(c grid.Coord) (int, bool) {
 
 // Degree returns the coupling degree of qubit q.
 func (d *Device) Degree(q int) int { return d.g.Degree(q) }
+
+// HasErrorOverrides reports whether the device carries calibration
+// overrides from a DefectSet; when true the synthesis routes bridge trees
+// with defect-weighted searches instead of plain BFS.
+func (d *Device) HasErrorOverrides() bool { return len(d.qerr) > 0 || len(d.cerr) > 0 }
+
+// QubitErrorRate returns the calibration error-rate override of qubit q, if
+// one was set.
+func (d *Device) QubitErrorRate(q int) (float64, bool) {
+	r, ok := d.qerr[q]
+	return r, ok
+}
+
+// CouplerErrorRate returns the calibration error-rate override of the
+// coupler {a, b}, if one was set.
+func (d *Device) CouplerErrorRate(a, b int) (float64, bool) {
+	if a > b {
+		a, b = b, a
+	}
+	r, ok := d.cerr[[2]int{a, b}]
+	return r, ok
+}
 
 // Bounds returns the minimal rectangle containing all qubits.
 func (d *Device) Bounds() grid.Rect {

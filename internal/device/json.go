@@ -1,6 +1,7 @@
 package device
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 
@@ -8,22 +9,44 @@ import (
 )
 
 // jsonDevice is the interchange schema for coupling maps: the format a
-// hardware team would export from their calibration stack.
+// hardware team would export from their calibration stack. The optional
+// error-rate lists carry DefectSet calibration overrides so a derived
+// (defective) device round-trips.
 type jsonDevice struct {
-	Name      string   `json:"name"`
-	Qubits    [][2]int `json:"qubits"`    // grid coordinates
-	Couplings [][2]int `json:"couplings"` // pairs of qubit indices
+	Name          string             `json:"name"`
+	Qubits        [][2]int           `json:"qubits"`    // grid coordinates
+	Couplings     [][2]int           `json:"couplings"` // pairs of qubit indices
+	QubitErrors   []jsonQubitError   `json:"qubitErrors,omitempty"`
+	CouplerErrors []jsonCouplerError `json:"couplerErrors,omitempty"`
 }
 
-// ToJSON serializes a device's coupling map.
+// jsonQubitError is one per-qubit calibration override (index into qubits).
+type jsonQubitError struct {
+	Qubit int     `json:"qubit"`
+	Rate  float64 `json:"rate"`
+}
+
+// jsonCouplerError is one per-coupler calibration override (qubit indices).
+type jsonCouplerError struct {
+	Coupler [2]int  `json:"coupler"`
+	Rate    float64 `json:"rate"`
+}
+
+// ToJSON serializes a device's coupling map and calibration overrides.
 func ToJSON(d *Device) ([]byte, error) {
 	out := jsonDevice{Name: d.Name()}
 	for q := 0; q < d.Len(); q++ {
 		c := d.Coord(q)
 		out.Qubits = append(out.Qubits, [2]int{c.X, c.Y})
+		if r, ok := d.QubitErrorRate(q); ok {
+			out.QubitErrors = append(out.QubitErrors, jsonQubitError{Qubit: q, Rate: r})
+		}
 	}
 	for _, e := range d.Graph().Edges() {
 		out.Couplings = append(out.Couplings, [2]int{e[0], e[1]})
+		if r, ok := d.CouplerErrorRate(e[0], e[1]); ok {
+			out.CouplerErrors = append(out.CouplerErrors, jsonCouplerError{Coupler: [2]int{e[0], e[1]}, Rate: r})
+		}
 	}
 	return json.MarshalIndent(out, "", "  ")
 }
@@ -49,5 +72,110 @@ func FromJSON(data []byte) (*Device, error) {
 		}
 		couplings = append(couplings, [2]grid.Coord{coords[e[0]], coords[e[1]]})
 	}
-	return FromGraph(in.Name, coords, couplings)
+	d, err := FromGraph(in.Name, coords, couplings)
+	if err != nil {
+		return nil, err
+	}
+	if len(in.QubitErrors) == 0 && len(in.CouplerErrors) == 0 {
+		return d, nil
+	}
+	// Restore calibration overrides via the DefectSet path so validation
+	// (range checks, existence) stays in one place.
+	var ds DefectSet
+	for _, qe := range in.QubitErrors {
+		if qe.Qubit < 0 || qe.Qubit >= len(coords) {
+			return nil, fmt.Errorf("device: qubit error %d references missing qubit", qe.Qubit)
+		}
+		ds.QubitErrors = append(ds.QubitErrors, QubitError{At: coords[qe.Qubit], Rate: qe.Rate})
+	}
+	for _, ce := range in.CouplerErrors {
+		if ce.Coupler[0] < 0 || ce.Coupler[0] >= len(coords) || ce.Coupler[1] < 0 || ce.Coupler[1] >= len(coords) {
+			return nil, fmt.Errorf("device: coupler error %v references missing qubit", ce.Coupler)
+		}
+		ds.CouplerErrors = append(ds.CouplerErrors,
+			CouplerError{Between: [2]grid.Coord{coords[ce.Coupler[0]], coords[ce.Coupler[1]]}, Rate: ce.Rate})
+	}
+	derived, err := d.WithDefects(ds)
+	if err != nil {
+		return nil, err
+	}
+	// WithDefects tags the name with "+defects"; a deserialized device keeps
+	// its exported name verbatim. The device is freshly built, so the rename
+	// does not violate immutability.
+	derived.name = in.Name
+	return derived, nil
+}
+
+// jsonDefectSet is the interchange schema of a DefectSet: coordinates as
+// [x, y] pairs, matching the device schema above.
+type jsonDefectSet struct {
+	DeadQubits     [][2]int           `json:"deadQubits,omitempty"`
+	BrokenCouplers [][2][2]int        `json:"brokenCouplers,omitempty"`
+	QubitErrors    []jsonCoordRate    `json:"qubitErrors,omitempty"`
+	CouplerErrors  []jsonCoupRateCoor `json:"couplerErrors,omitempty"`
+}
+
+type jsonCoordRate struct {
+	At   [2]int  `json:"at"`
+	Rate float64 `json:"rate"`
+}
+
+type jsonCoupRateCoor struct {
+	Between [2][2]int `json:"between"`
+	Rate    float64   `json:"rate"`
+}
+
+// MarshalJSON renders the defect set in the coordinate-pair schema.
+func (ds DefectSet) MarshalJSON() ([]byte, error) {
+	var out jsonDefectSet
+	for _, c := range ds.DeadQubits {
+		out.DeadQubits = append(out.DeadQubits, [2]int{c.X, c.Y})
+	}
+	for _, e := range ds.BrokenCouplers {
+		out.BrokenCouplers = append(out.BrokenCouplers,
+			[2][2]int{{e[0].X, e[0].Y}, {e[1].X, e[1].Y}})
+	}
+	for _, qe := range ds.QubitErrors {
+		out.QubitErrors = append(out.QubitErrors, jsonCoordRate{At: [2]int{qe.At.X, qe.At.Y}, Rate: qe.Rate})
+	}
+	for _, ce := range ds.CouplerErrors {
+		out.CouplerErrors = append(out.CouplerErrors, jsonCoupRateCoor{
+			Between: [2][2]int{{ce.Between[0].X, ce.Between[0].Y}, {ce.Between[1].X, ce.Between[1].Y}},
+			Rate:    ce.Rate,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON parses the coordinate-pair schema. Unknown fields are
+// rejected (ErrBadDefect): a misspelled key in a calibration export would
+// otherwise silently apply zero defects.
+func (ds *DefectSet) UnmarshalJSON(data []byte) error {
+	var in jsonDefectSet
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return fmt.Errorf("device: defect set: %w: %v", ErrBadDefect, err)
+	}
+	*ds = DefectSet{}
+	for _, c := range in.DeadQubits {
+		ds.DeadQubits = append(ds.DeadQubits, grid.C(c[0], c[1]))
+	}
+	for _, e := range in.BrokenCouplers {
+		ds.BrokenCouplers = append(ds.BrokenCouplers,
+			[2]grid.Coord{grid.C(e[0][0], e[0][1]), grid.C(e[1][0], e[1][1])})
+	}
+	for _, qe := range in.QubitErrors {
+		ds.QubitErrors = append(ds.QubitErrors, QubitError{At: grid.C(qe.At[0], qe.At[1]), Rate: qe.Rate})
+	}
+	for _, ce := range in.CouplerErrors {
+		ds.CouplerErrors = append(ds.CouplerErrors, CouplerError{
+			Between: [2]grid.Coord{
+				grid.C(ce.Between[0][0], ce.Between[0][1]),
+				grid.C(ce.Between[1][0], ce.Between[1][1]),
+			},
+			Rate: ce.Rate,
+		})
+	}
+	return nil
 }

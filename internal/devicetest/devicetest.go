@@ -1,0 +1,91 @@
+// Package devicetest provides shared helpers for building defective devices
+// in tests. Damage is always expressed through device.DefectSet so tests
+// exercise the same code path the CLI and the chaos harness use, and every
+// helper is deterministic in its seed.
+package devicetest
+
+import (
+	"math/rand"
+	"testing"
+
+	"surfstitch/internal/device"
+	"surfstitch/internal/grid"
+)
+
+type wh struct{ w, h int }
+
+// sizes records, per distance and architecture, a small tiling that supports
+// the synthesis with a little slack for defects (the Table 3 methodology),
+// hardcoded so tests and the chaos harness do not pay for FitDevice.
+var sizes = map[int]map[device.Kind]wh{
+	3: {
+		device.KindSquare:       {4, 4},
+		device.KindHexagon:      {4, 6},
+		device.KindOctagon:      {4, 4},
+		device.KindHeavySquare:  {4, 3},
+		device.KindHeavyHexagon: {4, 5},
+	},
+	5: {
+		device.KindSquare:       {8, 4},
+		device.KindHexagon:      {6, 4},
+		device.KindOctagon:      {5, 5},
+		device.KindHeavySquare:  {5, 4},
+		device.KindHeavyHexagon: {5, 4},
+	},
+}
+
+// Sizes returns the recorded tiling dimensions for a distance-d synthesis on
+// the architecture, or ok=false when none is recorded.
+func Sizes(kind device.Kind, d int) (w, h int, ok bool) {
+	s, ok := sizes[d][kind]
+	return s.w, s.h, ok
+}
+
+// ForDistance returns the recorded smallest tiling of the architecture that
+// supports a distance-d synthesis, failing the test when none is known.
+func ForDistance(tb testing.TB, kind device.Kind, d int) *device.Device {
+	tb.Helper()
+	w, h, ok := Sizes(kind, d)
+	if !ok {
+		tb.Fatalf("devicetest: no known tiling for %v at distance %d", kind, d)
+	}
+	return device.ByKind(kind, w, h)
+}
+
+// Damaged applies a generated defect set to the device: generator is one of
+// device.GeneratorNames(), density the defect fraction. The same seed always
+// yields the same damaged device.
+func Damaged(tb testing.TB, dev *device.Device, generator string, density float64, seed int64) *device.Device {
+	tb.Helper()
+	ds, err := device.GenerateDefects(dev, generator, density, seed)
+	if err != nil {
+		tb.Fatalf("devicetest: generating defects: %v", err)
+	}
+	dd, err := dev.WithDefects(ds)
+	if err != nil {
+		tb.Fatalf("devicetest: applying defects: %v", err)
+	}
+	return dd
+}
+
+// KillCouplers breaks `kill` uniformly random couplers of the device — the
+// fabrication-defect model the synthesis robustness tests sweep.
+func KillCouplers(tb testing.TB, dev *device.Device, seed int64, kill int) *device.Device {
+	tb.Helper()
+	edges := dev.Graph().Edges()
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	if kill > len(edges) {
+		kill = len(edges)
+	}
+	var ds device.DefectSet
+	for _, e := range edges[:kill] {
+		ds.BrokenCouplers = append(ds.BrokenCouplers,
+			[2]grid.Coord{dev.Coord(e[0]), dev.Coord(e[1])})
+	}
+	dd, err := dev.WithDefects(ds)
+	if err != nil {
+		tb.Fatalf("devicetest: killing couplers: %v", err)
+	}
+	return dd
+}

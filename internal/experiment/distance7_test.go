@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -24,7 +25,7 @@ func TestDistance7EndToEnd(t *testing.T) {
 	p := 0.004
 	rates := map[int]float64{}
 	for _, d := range []int{5, 7} {
-		s, err := synth.Synthesize(device.Square(2*d, 2*d), d, synth.Options{Mode: synth.ModeFour})
+		s, err := synth.Synthesize(context.Background(), device.Square(2*d, 2*d), d, synth.Options{Mode: synth.ModeFour})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -90,7 +90,9 @@ func NewMemory(s *synth.Synthesis, rounds int, opts Options) (*Memory, error) {
 	stabs := s.Layout.Code.Stabilizers()
 	planOf := map[*flagbridge.Plan]int{}
 	for si, p := range s.Plans {
-		planOf[p] = si
+		if p != nil { // dropped stabilizers (graceful degradation) have no plan
+			planOf[p] = si
+		}
 	}
 
 	// syndrome[si] holds the record index of stabilizer si per round.
@@ -117,6 +119,9 @@ func NewMemory(s *synth.Synthesis, rounds int, opts Options) (*Memory, error) {
 				continue
 			}
 			recs := syndrome[si]
+			if len(recs) == 0 {
+				continue // dropped stabilizer: never measured, no detectors
+			}
 			switch {
 			case r == 0 && st.Type == detType:
 				// First-round outcomes of the protected type are
@@ -144,7 +149,7 @@ func NewMemory(s *synth.Synthesis, rounds int, opts Options) (*Memory, error) {
 	// Closing detectors: last syndrome vs the product of the final data
 	// measurements in the stabilizer's support.
 	for si, st := range stabs {
-		if st.Type != detType {
+		if st.Type != detType || len(syndrome[si]) == 0 {
 			continue
 		}
 		set := []int{syndrome[si][rounds-1]}

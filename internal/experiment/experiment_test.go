@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -15,7 +16,7 @@ import (
 
 func synthOn(t *testing.T, dev *device.Device, d int, mode synth.Mode) *synth.Synthesis {
 	t.Helper()
-	s, err := synth.Synthesize(dev, d, synth.Options{Mode: mode})
+	s, err := synth.Synthesize(context.Background(), dev, d, synth.Options{Mode: mode})
 	if err != nil {
 		t.Fatalf("synthesize: %v", err)
 	}

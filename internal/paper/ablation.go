@@ -1,6 +1,7 @@
 package paper
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -63,7 +64,7 @@ func AblationHookOrientation(cfg Config) (AblationResult, error) {
 	cfg = cfg.withDefaults()
 	res := AblationResult{Name: "hook orientation", Unit: "logical error rate @ p=0.002"}
 	rate := func(dev *device.Device) (float64, error) {
-		layout, err := synth.Allocate(dev, 5, synth.ModeDefault)
+		layout, err := synth.Allocate(context.Background(), dev, 5, synth.ModeDefault)
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,7 @@
 package paper
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 )
 
 func TestNoiseBudget(t *testing.T) {
-	s, err := synth.Synthesize(device.HeavySquare(5, 4), 3, synth.Options{})
+	s, err := synth.Synthesize(context.Background(), device.HeavySquare(5, 4), 3, synth.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package paper
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,6 +35,18 @@ type Config struct {
 	MaxErrors int
 	// Progress, when non-nil, receives live per-point sampling progress.
 	Progress func(p float64, pr mc.Progress)
+	// Ctx bounds the experiment; nil means context.Background(). Canceling
+	// it stops sampling early — experiment functions then return whatever
+	// partial results completed alongside the context's error.
+	Ctx context.Context
+}
+
+// ctx returns the run context, defaulting to context.Background().
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // thresholdConfig projects the paper config onto the threshold package.
@@ -119,14 +132,14 @@ func curvePair(name string, build func(d int) (threshold.CircuitProvider, error)
 		if err != nil {
 			return out, err
 		}
-		curve, err := threshold.EstimateCurve(fmt.Sprintf("%s d=%d", name, d), d, prov, cfg.Ps, tc)
-		if err != nil {
-			return out, err
-		}
+		curve, err := threshold.EstimateCurveContext(cfg.ctx(), fmt.Sprintf("%s d=%d", name, d), d, prov, cfg.Ps, tc)
 		if d == 3 {
 			out.D3 = curve
 		} else {
 			out.D5 = curve
+		}
+		if err != nil {
+			return out, err
 		}
 	}
 	if th, ok := threshold.Crossing(out.D3, out.D5); ok {
@@ -147,7 +160,7 @@ func Figure9a(cfg Config) ([]CurvePair, error) {
 		return memoryProvider(s)
 	}, cfg)
 	if err != nil {
-		return nil, err
+		return []CurvePair{surf}, err
 	}
 	ibm, err := curvePair("IBM Heavy Hexagon", func(d int) (threshold.CircuitProvider, error) {
 		dev, _, err := synth.FitDevice(device.KindHeavyHexagon, d, synth.ModeDefault)
@@ -165,7 +178,7 @@ func Figure9a(cfg Config) ([]CurvePair, error) {
 		return threshold.Provider(c, hh.IdleQubits()), nil
 	}, cfg)
 	if err != nil {
-		return nil, err
+		return []CurvePair{surf, ibm}, err
 	}
 	return []CurvePair{surf, ibm}, nil
 }
@@ -184,7 +197,7 @@ func Figure9b(cfg Config) ([]CurvePair, error) {
 	}
 	surf, err := curvePair("Surf-Stitch Heavy Square", build, cfg)
 	if err != nil {
-		return nil, err
+		return []CurvePair{surf}, err
 	}
 	ibm := surf
 	ibm.Name = "IBM Heavy Square"
@@ -353,7 +366,7 @@ func Figure11a(cfg Config) (Figure11aResult, error) {
 	if err != nil {
 		return out, err
 	}
-	s, err := synth.Synthesize(dev, 3, synth.Options{})
+	s, err := synth.Synthesize(cfg.ctx(), dev, 3, synth.Options{})
 	if err != nil {
 		return out, err
 	}
@@ -377,11 +390,11 @@ func Figure11a(cfg Config) (Figure11aResult, error) {
 	routeProv := threshold.Provider(rc, sr.IdleQubits())
 	tc := cfg.thresholdConfig()
 	for _, p := range cfg.Ps {
-		sp, err := threshold.EstimatePoint(surfProv, p, tc)
+		sp, err := threshold.EstimatePointContext(cfg.ctx(), surfProv, p, tc)
 		if err != nil {
 			return out, err
 		}
-		rp, err := threshold.EstimatePoint(routeProv, p, tc)
+		rp, err := threshold.EstimatePointContext(cfg.ctx(), routeProv, p, tc)
 		if err != nil {
 			return out, err
 		}
@@ -413,11 +426,11 @@ func Figure11b(cfg Config, gateError float64, idles []float64) ([]Figure11bResul
 	if err != nil {
 		return nil, err
 	}
-	refined, err := synth.Synthesize(dev, 3, synth.Options{Mode: synth.ModeFour})
+	refined, err := synth.Synthesize(cfg.ctx(), dev, 3, synth.Options{Mode: synth.ModeFour})
 	if err != nil {
 		return nil, err
 	}
-	twoStage, err := synth.Synthesize(dev, 3, synth.Options{Mode: synth.ModeFour, NoRefine: true})
+	twoStage, err := synth.Synthesize(cfg.ctx(), dev, 3, synth.Options{Mode: synth.ModeFour, NoRefine: true})
 	if err != nil {
 		return nil, err
 	}
@@ -434,13 +447,13 @@ func Figure11b(cfg Config, gateError float64, idles []float64) ([]Figure11bResul
 		tc := cfg.thresholdConfig()
 		tc.IdleError = idle
 		tc.NoIdle = idle == 0 // idle = 0 now really means "no idle noise"
-		rp, err := threshold.EstimatePoint(refProv, gateError, tc)
+		rp, err := threshold.EstimatePointContext(cfg.ctx(), refProv, gateError, tc)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		tp, err := threshold.EstimatePoint(twoProv, gateError, tc)
+		tp, err := threshold.EstimatePointContext(cfg.ctx(), twoProv, gateError, tc)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		out = append(out, Figure11bResult{IdleError: idle, RefinedLogical: rp.Logical, TwoStageLogical: tp.Logical})
 	}

@@ -114,7 +114,9 @@ func Synthesis(s *synth.Synthesis) string {
 	}
 	planIdx := map[interface{}]int{}
 	for si, p := range s.Plans {
-		planIdx[p] = si
+		if p != nil { // dropped stabilizers (graceful degradation) have no plan
+			planIdx[p] = si
+		}
 	}
 	for setID, set := range s.Schedule {
 		for _, p := range set {
@@ -122,6 +124,9 @@ func Synthesis(s *synth.Synthesis) string {
 		}
 	}
 	for si, tree := range s.Trees {
+		if tree == nil || setOf[si] < 0 {
+			continue
+		}
 		color := palette[setOf[si]%len(palette)]
 		for _, e := range tree.Edges() {
 			x1, y1 := toPx(e[0])
@@ -133,6 +138,9 @@ func Synthesis(s *synth.Synthesis) string {
 	roots := map[int]int{} // qubit -> set id
 	bridges := map[int]int{}
 	for si, p := range s.Plans {
+		if p == nil || setOf[si] < 0 {
+			continue
+		}
 		for _, b := range p.Bridges() {
 			bridges[b] = setOf[si]
 		}

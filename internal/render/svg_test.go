@@ -1,6 +1,7 @@
 package render
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestDeviceSVG(t *testing.T) {
 }
 
 func TestSynthesisSVG(t *testing.T) {
-	s, err := synth.Synthesize(device.HeavySquare(4, 3), 3, synth.Options{})
+	s, err := synth.Synthesize(context.Background(), device.HeavySquare(4, 3), 3, synth.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

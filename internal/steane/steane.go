@@ -14,6 +14,7 @@
 package steane
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -105,7 +106,7 @@ func Synthesize(dev *device.Device, trials int, seed int64) (*Synthesis, error) 
 	// Structured placements first: the surface-code allocator's distance-3
 	// lattice gives nine well-spaced data positions with guaranteed bridge
 	// room; every 7-subset is a strong Steane candidate.
-	if layout, err := synth.Allocate(dev, 3, synth.ModeDefault); err == nil {
+	if layout, err := synth.Allocate(context.Background(), dev, 3, synth.ModeDefault); err == nil {
 		nine := layout.DataQubit
 		for i := 0; i < 9; i++ {
 			for j := i + 1; j < 9; j++ {

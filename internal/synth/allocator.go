@@ -13,6 +13,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -192,24 +193,161 @@ func latticeCandidates(mode Mode, maxPeriod int) [][2]grid.Coord {
 	return out
 }
 
+// maxAnchorRetries bounds stage 1 of the degradation ladder: how many
+// alternative bridge-rectangle anchors the allocator tries after the
+// canonical top-left anchor fails (defects near the top-left corner
+// otherwise doom the whole allocation).
+const maxAnchorRetries = 12
+
 // Allocate runs data qubit allocation for a distance-d rotated surface code
 // on the device. It searches the periodic lattices anchored by the device's
 // bridge rectangles (Algorithm 1) and returns the first layout for which
 // every stabilizer admits a local bridge tree (verified with Algorithm 2's
 // tree finder).
-func Allocate(dev *device.Device, d int, mode Mode) (*Layout, error) {
+//
+// On a pristine device the search behaves exactly as Algorithm 1: only the
+// top-left bridge rectangle anchors the lattice. When that anchor admits no
+// feasible layout — the signature of defects under the canonical placement —
+// stage 1 of the degradation ladder retries the search from alternative
+// anchors in deterministic order before reporting ErrNoPlacement.
+//
+// The context cancels the search between anchor evaluations; a canceled
+// search returns a BudgetError (ErrBudgetExceeded).
+func Allocate(ctx context.Context, dev *device.Device, d int, mode Mode) (*Layout, error) {
 	c, err := code.NewRotated(d)
 	if err != nil {
 		return nil, err
 	}
 	rects := BridgeRectangles(dev, mode)
 	if len(rects) == 0 {
-		return nil, fmt.Errorf("synth: device %s has no degree-%d qubits to anchor bridge rectangles",
-			dev.Name(), 3+int(mode))
+		return nil, &PlacementError{
+			Device: dev.Name(), Distance: d, Mode: mode,
+			Reason: fmt.Sprintf("no degree-%d qubits to anchor bridge rectangles", 3+int(mode)),
+		}
 	}
-	bounds := dev.Bounds()
-	anchor := rects[0] // the top-left bridge rectangle (line 12 of Alg. 1)
+	anchors := len(rects)
+	if anchors > 1+maxAnchorRetries {
+		anchors = 1 + maxAnchorRetries
+	}
+	lattices := 0
+	for i := 0; i < anchors; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, &BudgetError{Stage: "allocate", Cause: err}
+		}
+		best, tried := allocateFromAnchor(ctx, dev, c, mode, rects[i])
+		lattices += tried
+		if best != nil {
+			return best, nil
+		}
+	}
+	return nil, &PlacementError{
+		Device: dev.Name(), Distance: d, Mode: mode,
+		Anchors: anchors, Lattices: lattices,
+		Reason: "no feasible lattice base under any anchor",
+	}
+}
 
+// AllocateRelaxed is the placement fallback of the degradation ladder: when
+// Allocate finds no layout in which every stabilizer routes, it re-runs the
+// anchor search accepting layouts with unroutable stabilizers, returning the
+// one that strands the fewest (bridge-tree size and hook penalties break
+// ties). At least one stabilizer must route; otherwise ErrNoPlacement.
+//
+// SynthesizeDegraded calls this automatically — Synthesize never does, so
+// the strict pipeline's failure semantics are unchanged.
+func AllocateRelaxed(ctx context.Context, dev *device.Device, d int, mode Mode) (*Layout, error) {
+	c, err := code.NewRotated(d)
+	if err != nil {
+		return nil, err
+	}
+	rects := BridgeRectangles(dev, mode)
+	if len(rects) == 0 {
+		return nil, &PlacementError{
+			Device: dev.Name(), Distance: d, Mode: mode,
+			Reason: fmt.Sprintf("no degree-%d qubits to anchor bridge rectangles", 3+int(mode)),
+		}
+	}
+	anchors := len(rects)
+	if anchors > 1+maxAnchorRetries {
+		anchors = 1 + maxAnchorRetries
+	}
+	// The relaxed search scans every permitted anchor and keeps the global
+	// best rather than stopping at the first hit: once stabilizers are being
+	// sacrificed, which anchor strands fewest is not monotone in anchor order.
+	var best *Layout
+	lattices := 0
+	for i := 0; i < anchors; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, &BudgetError{Stage: "allocate", Cause: err}
+		}
+		cand, tried := allocateFromAnchorRelaxed(ctx, dev, c, mode, rects[i])
+		lattices += tried
+		if cand != nil && (best == nil || cand.Score < best.Score) {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, &PlacementError{
+			Device: dev.Name(), Distance: d, Mode: mode,
+			Anchors: anchors, Lattices: lattices,
+			Reason: "no lattice routes even a partial stabilizer set under any anchor",
+		}
+	}
+	return best, nil
+}
+
+// droppedPenalty dominates the relaxed allocation score so that stranding
+// one more stabilizer is never worth any tree-size or hook improvement.
+const droppedPenalty = 100000
+
+// allocateFromAnchorRelaxed mirrors allocateFromAnchor with the degradation
+// ladder armed: layouts with unroutable stabilizers are admitted and scored
+// by dropped count first, compactness second.
+func allocateFromAnchorRelaxed(ctx context.Context, dev *device.Device, c *code.Code, mode Mode, anchor grid.Rect) (*Layout, int) {
+	bounds := dev.Bounds()
+	const maxPeriod = 4
+	var best *Layout
+	bestScore := 0
+	cands := latticeCandidates(mode, maxPeriod)
+	for _, uv := range cands {
+		if ctx.Err() != nil {
+			break
+		}
+		u, v := uv[0], uv[1]
+		for _, base := range baseCandidates(dev, anchor, u, v) {
+			layout, ok := tryLattice(dev, c, mode, base, u, v, bounds)
+			if !ok {
+				continue
+			}
+			trees, dropped, err := findAllTrees(layout, false, true)
+			if err != nil {
+				continue
+			}
+			if len(dropped) >= len(trees) {
+				continue // nothing routes: not a placement, keep searching
+			}
+			score := droppedPenalty * len(dropped)
+			for _, t := range trees {
+				if t != nil {
+					score += t.EdgeLen()
+				}
+			}
+			score += 500 * verticalXHookPairs(layout, trees)
+			if best == nil || score < bestScore {
+				layout.Score = score
+				best, bestScore = layout, score
+			}
+			break // one feasible base per lattice candidate
+		}
+	}
+	return best, len(cands)
+}
+
+// allocateFromAnchor evaluates every lattice candidate against one anchor
+// rectangle (line 12 of Alg. 1 generalized) and returns the best-scoring
+// feasible layout, or nil. The second return counts lattices examined.
+func allocateFromAnchor(ctx context.Context, dev *device.Device, c *code.Code, mode Mode, anchor grid.Rect) (*Layout, int) {
+	bounds := dev.Bounds()
 	// Evaluate one feasible base per lattice candidate and keep the layout
 	// with the smallest total bridge-tree size (compactness tiebreak). A
 	// pure first-feasible rule would accept sparse lattices rescued by
@@ -217,7 +355,11 @@ func Allocate(dev *device.Device, d int, mode Mode) (*Layout, error) {
 	const maxPeriod = 4
 	var best *Layout
 	bestScore := 0
-	for _, uv := range latticeCandidates(mode, maxPeriod) {
+	cands := latticeCandidates(mode, maxPeriod)
+	for _, uv := range cands {
+		if ctx.Err() != nil {
+			break
+		}
 		u, v := uv[0], uv[1]
 		// Candidate bases: qubit coordinates within one lattice cell of the
 		// anchor rectangle's top-left corner.
@@ -249,11 +391,7 @@ func Allocate(dev *device.Device, d int, mode Mode) (*Layout, error) {
 			break // one feasible base per lattice candidate
 		}
 	}
-	if best == nil {
-		return nil, fmt.Errorf("synth: no valid distance-%d data layout found on %s (mode %v)",
-			d, dev.Name(), mode)
-	}
-	return best, nil
+	return best, len(cands)
 }
 
 // baseCandidates lists plausible positions for abstract data qubit (0,0):
@@ -341,6 +479,9 @@ func verticalXHookPairs(layout *Layout, trees []*graph.Tree) int {
 			continue
 		}
 		t := trees[si]
+		if t == nil {
+			continue // dropped under relaxed allocation: no hooks to audit
+		}
 		// Group the stabilizer's data qubits by their parent bridge leaf.
 		byLeaf := map[int][]int{}
 		for _, dq := range st.Data {

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -86,8 +87,9 @@ func sharesBridge(layout *Layout, a, b *graph.Tree) bool {
 // Anneal refines a data-qubit layout by simulated annealing: single data
 // qubits hop to nearby free qubits, and moves are accepted by the
 // Metropolis rule on the layout energy. The best layout seen is returned
-// (always at least as good as the input under the same energy).
-func Anneal(start *Layout, cfg AnnealConfig) (*Layout, error) {
+// (always at least as good as the input under the same energy). A canceled
+// context aborts the chain with a BudgetError.
+func Anneal(ctx context.Context, start *Layout, cfg AnnealConfig) (*Layout, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	dev := start.Dev
@@ -103,6 +105,9 @@ func Anneal(start *Layout, cfg AnnealConfig) (*Layout, error) {
 	temp := cfg.StartTemp
 	cool := math.Pow(cfg.EndTemp/cfg.StartTemp, 1/float64(cfg.Iterations))
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, &BudgetError{Stage: "anneal", Cause: err}
+		}
 		prop := append([]int(nil), cur...)
 		// Move one random data qubit to a random neighbor (hop distance 1).
 		di := rng.Intn(len(prop))

@@ -1,6 +1,8 @@
 package synth
 
 import (
+	"context"
+
 	"surfstitch/internal/flagbridge"
 	"surfstitch/internal/graph"
 )
@@ -10,11 +12,15 @@ import (
 // into extra sets because of bridge-tree conflicts, the plans of the
 // smallest sets retry their tree search avoiding the trees of a target set,
 // and the move is kept when the total error-detection cycle shrinks. The
-// returned synthesis is never worse than the input.
-func CoOptimize(s *Synthesis) (*Synthesis, error) {
+// returned synthesis is never worse than the input. A canceled context
+// aborts the remaining rounds with a BudgetError.
+func CoOptimize(ctx context.Context, s *Synthesis) (*Synthesis, error) {
 	best := s
 	const maxRounds = 8
 	for round := 0; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, &BudgetError{Stage: "co-optimize", Cause: err}
+		}
 		improved, err := coOptimizeOnce(best)
 		if err != nil {
 			return nil, err
@@ -29,13 +35,15 @@ func CoOptimize(s *Synthesis) (*Synthesis, error) {
 
 // coOptimizeOnce attempts one improving move; nil means no improvement found.
 func coOptimizeOnce(s *Synthesis) (*Synthesis, error) {
-	if len(s.Schedule) <= 1 {
+	if len(s.Schedule) <= 1 || s.Degradation != nil {
 		return nil, nil
 	}
 	layout := s.Layout
 	planIdx := map[*flagbridge.Plan]int{}
 	for si, p := range s.Plans {
-		planIdx[p] = si
+		if p != nil {
+			planIdx[p] = si
+		}
 	}
 	// Smallest set first: eliminating it buys the most.
 	smallest := 0

@@ -1,0 +1,146 @@
+package synth
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"surfstitch/internal/code"
+	"surfstitch/internal/device"
+	"surfstitch/internal/flagbridge"
+)
+
+// Degradation reports what the graceful-degradation ladder sacrificed to
+// keep synthesizing on a defective device: which stabilizers were dropped
+// and why, the retained check counts per type, and a conservative estimate
+// of the code distance that survives the sacrifice.
+type Degradation struct {
+	// Dropped lists the sacrificed stabilizers in index order.
+	Dropped []DroppedStab
+	// RetainedX/Z and TotalX/Z count measured vs. nominal checks per type.
+	RetainedX, TotalX int
+	RetainedZ, TotalZ int
+	// EffectiveDistance estimates the surviving code distance: each dropped
+	// check of a type can merge two logical-error mechanisms of the opposite
+	// basis, so the nominal distance shrinks by the larger per-type drop
+	// count (floored at 1). A heuristic, not a minimum-weight computation.
+	EffectiveDistance int
+}
+
+// DroppedStab identifies one sacrificed stabilizer.
+type DroppedStab struct {
+	Index  int
+	Type   code.StabType
+	Weight int
+	Reason string
+}
+
+// DroppedCount returns the number of sacrificed stabilizers.
+func (dg *Degradation) DroppedCount() int { return len(dg.Dropped) }
+
+// Retained returns the total number of stabilizers still measured.
+func (dg *Degradation) Retained() int {
+	return dg.RetainedX + dg.RetainedZ
+}
+
+// String renders a one-line summary for logs and CLI output.
+func (dg *Degradation) String() string {
+	return fmt.Sprintf("degraded: %d/%d X + %d/%d Z checks retained, %d dropped, effective distance ~%d",
+		dg.RetainedX, dg.TotalX, dg.RetainedZ, dg.TotalZ, len(dg.Dropped), dg.EffectiveDistance)
+}
+
+// SynthesizeDegraded runs the pipeline with the full graceful-degradation
+// ladder armed. Where Synthesize fails with ErrDisconnected on the first
+// unroutable stabilizer, SynthesizeDegraded drops it, keeps going, and
+// reports the sacrifice in the result's Degradation field (nil when nothing
+// was dropped — then the result matches Synthesize exactly). It still fails
+// with a typed error when no placement exists at all, when every stabilizer
+// of a type is unroutable (the code would be blind in one basis), or when
+// the context is canceled.
+func SynthesizeDegraded(ctx context.Context, dev *device.Device, distance int, opts Options) (*Synthesis, error) {
+	layout, err := Allocate(ctx, dev, distance, opts.Mode)
+	if err != nil {
+		// Stage 3 of the ladder: no fully-routable placement exists, so
+		// re-search accepting layouts that strand stabilizers. Budget and
+		// construction errors pass through untouched.
+		if !errors.Is(err, ErrNoPlacement) {
+			return nil, err
+		}
+		layout, err = AllocateRelaxed(ctx, dev, distance, opts.Mode)
+		if err != nil {
+			return nil, err
+		}
+	}
+	trees, droppedErrs, err := findAllTrees(layout, opts.StarOnlyTrees, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &BudgetError{Stage: "trees", Cause: err}
+	}
+	stabs := layout.Code.Stabilizers()
+	plans := make([]*flagbridge.Plan, len(trees))
+	for si, tree := range trees {
+		if tree == nil {
+			continue
+		}
+		p, perr := flagbridge.NewPlan(stabs[si].Type, tree, layout.Directions(si))
+		if perr != nil {
+			// A tree the planner cannot schedule is as lost as an unroutable
+			// one: sacrifice the stabilizer rather than fail the synthesis.
+			trees[si] = nil
+			if droppedErrs == nil {
+				droppedErrs = map[int]error{}
+			}
+			droppedErrs[si] = perr
+			continue
+		}
+		plans[si] = p
+	}
+	out := &Synthesis{Layout: layout, Trees: trees, Plans: plans}
+	if len(droppedErrs) > 0 {
+		dg := &Degradation{EffectiveDistance: distance}
+		droppedX, droppedZ := 0, 0
+		for si, st := range stabs {
+			if st.Type == code.StabX {
+				dg.TotalX++
+			} else {
+				dg.TotalZ++
+			}
+			derr, gone := droppedErrs[si]
+			if !gone {
+				continue
+			}
+			dg.Dropped = append(dg.Dropped, DroppedStab{
+				Index: si, Type: st.Type, Weight: st.Weight(), Reason: derr.Error(),
+			})
+			if st.Type == code.StabX {
+				droppedX++
+			} else {
+				droppedZ++
+			}
+		}
+		dg.RetainedX = dg.TotalX - droppedX
+		dg.RetainedZ = dg.TotalZ - droppedZ
+		if dg.RetainedX == 0 || dg.RetainedZ == 0 {
+			// Blind in one basis: degradation cannot rescue this device.
+			for si := range stabs {
+				if derr, gone := droppedErrs[si]; gone {
+					return nil, derr
+				}
+			}
+		}
+		dg.EffectiveDistance = max(1, distance-max(droppedX, droppedZ))
+		out.Degradation = dg
+	}
+	retained := out.RetainedPlans()
+	sched := InitialSchedule(retained)
+	if !opts.NoRefine {
+		sched = BestSchedule(retained)
+	}
+	out.Schedule = sched
+	if opts.CoOptimize && out.Degradation == nil {
+		return CoOptimize(ctx, out)
+	}
+	return out, nil
+}

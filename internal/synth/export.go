@@ -19,6 +19,8 @@ type Report struct {
 	Schedule    []SetReport     `json:"schedule"`
 	Metrics     MetricsReport   `json:"metrics"`
 	Utilization UtilizationJSON `json:"utilization"`
+	// Degradation is present only for degraded syntheses.
+	Degradation *DegradationJSON `json:"degradation,omitempty"`
 }
 
 // LatticeReport is the affine data-lattice embedding.
@@ -28,16 +30,36 @@ type LatticeReport struct {
 	V    [2]int `json:"v"`
 }
 
-// StabReport describes one stabilizer's physical realization.
+// StabReport describes one stabilizer's physical realization. A dropped
+// stabilizer (graceful degradation) keeps only its identity fields.
 type StabReport struct {
 	Index      int      `json:"index"`
 	Type       string   `json:"type"`
 	Weight     int      `json:"weight"`
-	DataCoords [][2]int `json:"data"`
-	Bridges    [][2]int `json:"bridges"`
+	DataCoords [][2]int `json:"data,omitempty"`
+	Bridges    [][2]int `json:"bridges,omitempty"`
 	Root       [2]int   `json:"root"`
 	CNOTs      int      `json:"cnots"`
 	TimeSteps  int      `json:"timeSteps"`
+	Dropped    bool     `json:"dropped,omitempty"`
+}
+
+// DegradationJSON mirrors Degradation with JSON tags.
+type DegradationJSON struct {
+	Dropped           []DroppedStabJSON `json:"dropped"`
+	RetainedX         int               `json:"retainedX"`
+	TotalX            int               `json:"totalX"`
+	RetainedZ         int               `json:"retainedZ"`
+	TotalZ            int               `json:"totalZ"`
+	EffectiveDistance int               `json:"effectiveDistance"`
+}
+
+// DroppedStabJSON mirrors DroppedStab with JSON tags.
+type DroppedStabJSON struct {
+	Index  int    `json:"index"`
+	Type   string `json:"type"`
+	Weight int    `json:"weight"`
+	Reason string `json:"reason"`
 }
 
 // SetReport describes one parallel measurement set.
@@ -82,6 +104,12 @@ func (s *Synthesis) Report() Report {
 	planIndex := map[*flagbridge.Plan]int{}
 	for si, st := range s.Layout.Code.Stabilizers() {
 		plan := s.Plans[si]
+		if plan == nil {
+			rep.Stabilizers = append(rep.Stabilizers, StabReport{
+				Index: si, Type: st.Type.String(), Weight: st.Weight(), Dropped: true,
+			})
+			continue
+		}
 		planIndex[plan] = si
 		sr := StabReport{
 			Index: si, Type: st.Type.String(), Weight: st.Weight(),
@@ -109,6 +137,19 @@ func (s *Synthesis) Report() Report {
 	}
 	u := s.Utilization()
 	rep.Utilization = UtilizationJSON{Data: u.DataQubits, Bridge: u.BridgeQubits, Unused: u.UnusedQubits, Total: u.TotalQubits}
+	if dg := s.Degradation; dg != nil {
+		dj := &DegradationJSON{
+			RetainedX: dg.RetainedX, TotalX: dg.TotalX,
+			RetainedZ: dg.RetainedZ, TotalZ: dg.TotalZ,
+			EffectiveDistance: dg.EffectiveDistance,
+		}
+		for _, d := range dg.Dropped {
+			dj.Dropped = append(dj.Dropped, DroppedStabJSON{
+				Index: d.Index, Type: d.Type.String(), Weight: d.Weight, Reason: d.Reason,
+			})
+		}
+		rep.Degradation = dj
+	}
 	return rep
 }
 

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestReportStructure(t *testing.T) {
-	s, err := Synthesize(device.HeavySquare(4, 3), 3, Options{})
+	s, err := Synthesize(context.Background(), device.HeavySquare(4, 3), 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestReportStructure(t *testing.T) {
 }
 
 func TestMarshalJSONRoundTrip(t *testing.T) {
-	s, err := Synthesize(device.Square(6, 6), 3, Options{Mode: ModeFour})
+	s, err := Synthesize(context.Background(), device.Square(6, 6), 3, Options{Mode: ModeFour})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,13 +1,14 @@
 package synth
 
 import (
+	"context"
 	"testing"
 
 	"surfstitch/internal/device"
 )
 
 func TestAnnealNeverWorsens(t *testing.T) {
-	start, err := Allocate(device.HeavySquare(4, 3), 3, ModeDefault)
+	start, err := Allocate(context.Background(), device.HeavySquare(4, 3), 3, ModeDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -15,7 +16,7 @@ func TestAnnealNeverWorsens(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Anneal(start, AnnealConfig{Iterations: 60, Seed: 5})
+	out, err := Anneal(context.Background(), start, AnnealConfig{Iterations: 60, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestAnnealRecoversFromPerturbedLayout(t *testing.T) {
 	// Start from a deliberately worsened mapping (one data qubit displaced)
 	// and check annealing finds a layout at least as good as the perturbed
 	// one — typically recovering the original energy.
-	good, err := Allocate(device.HeavySquare(4, 3), 3, ModeDefault)
+	good, err := Allocate(context.Background(), device.HeavySquare(4, 3), 3, ModeDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestAnnealRecoversFromPerturbedLayout(t *testing.T) {
 		t.Fatal(err)
 	}
 	startEnergy, _, _ := layoutEnergy(start)
-	out, err := Anneal(start, AnnealConfig{Iterations: 150, Seed: 2})
+	out, err := Anneal(context.Background(), start, AnnealConfig{Iterations: 150, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,12 +89,12 @@ func TestAnnealRecoversFromPerturbedLayout(t *testing.T) {
 
 func TestCoOptimizeNeverWorsens(t *testing.T) {
 	for _, c := range standardDevices() {
-		s, err := Synthesize(c.dev, 3, Options{Mode: c.mode})
+		s, err := Synthesize(context.Background(), c.dev, 3, Options{Mode: c.mode})
 		if err != nil {
 			t.Fatal(err)
 		}
 		before := s.Schedule.TotalSteps()
-		opt, err := CoOptimize(s)
+		opt, err := CoOptimize(context.Background(), s)
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -33,7 +34,7 @@ func FitDevice(kind device.Kind, d int, mode Mode) (*device.Device, *Layout, err
 		var bestDev *device.Device
 		var bestLayout *Layout
 		for ; j < len(devs) && devs[j].Len() == devs[i].Len(); j++ {
-			layout, err := Allocate(devs[j], d, mode)
+			layout, err := Allocate(context.Background(), devs[j], d, mode)
 			if err != nil {
 				continue
 			}

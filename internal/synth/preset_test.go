@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"testing"
 
 	"surfstitch/internal/device"
@@ -9,18 +10,18 @@ import (
 func TestSynthesisOnChipPresets(t *testing.T) {
 	// The 65-qubit Hummingbird-like chip should host a distance-3 code.
 	d := device.HummingbirdLike65()
-	s, err := Synthesize(d, 3, Options{})
+	s, err := Synthesize(context.Background(), d, 3, Options{})
 	if err != nil {
 		t.Fatalf("hummingbird: %v", err)
 	}
 	checkSynthesisInvariants(t, "hummingbird", s)
 	// Aspen: 32 octagonal qubits, may or may not fit d=3; either outcome must
 	// be clean.
-	if s2, err := Synthesize(device.AspenLike32(), 3, Options{}); err == nil {
+	if s2, err := Synthesize(context.Background(), device.AspenLike32(), 3, Options{}); err == nil {
 		checkSynthesisInvariants(t, "aspen", s2)
 	}
 	// Sycamore-like square fragment hosts d=3 comfortably.
-	s3, err := Synthesize(device.SycamoreLike54(), 3, Options{})
+	s3, err := Synthesize(context.Background(), device.SycamoreLike54(), 3, Options{})
 	if err != nil {
 		t.Fatalf("sycamore: %v", err)
 	}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"testing"
 
 	"surfstitch/internal/device"
@@ -106,7 +107,7 @@ func TestFindTreeIsNearOptimal(t *testing.T) {
 		{"heavy-square", device.HeavySquare(4, 3), ModeDefault},
 		{"square-4", device.Square(6, 6), ModeFour},
 	} {
-		layout, err := Allocate(tc.dev, 3, tc.mode)
+		layout, err := Allocate(context.Background(), tc.dev, 3, tc.mode)
 		if err != nil {
 			t.Fatal(err)
 		}

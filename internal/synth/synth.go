@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,29 +29,43 @@ type Options struct {
 
 // Synthesis is a fully synthesized surface code: the layout, the bridge
 // trees and measurement plans of every stabilizer, and the measurement
-// schedule.
+// schedule. A degraded synthesis (SynthesizeDegraded) keeps the slices
+// indexed by stabilizer but leaves nil entries at dropped indices and
+// records what was sacrificed in Degradation.
 type Synthesis struct {
 	Layout   *Layout
-	Trees    []*graph.Tree      // per stabilizer
-	Plans    []*flagbridge.Plan // per stabilizer
+	Trees    []*graph.Tree      // per stabilizer; nil where dropped
+	Plans    []*flagbridge.Plan // per stabilizer; nil where dropped
 	Schedule Schedule
+	// Degradation is non-nil only when the graceful-degradation ladder had
+	// to sacrifice stabilizers; a pristine synthesis leaves it nil.
+	Degradation *Degradation
 }
 
 // Synthesize runs the full Surf-Stitch pipeline: data qubit allocation,
-// bridge tree construction, and stabilizer measurement scheduling.
-func Synthesize(dev *device.Device, distance int, opts Options) (*Synthesis, error) {
-	layout, err := Allocate(dev, distance, opts.Mode)
+// bridge tree construction, and stabilizer measurement scheduling. The
+// context bounds the search: on cancellation the error unwraps to both
+// ErrBudgetExceeded and the context's error.
+func Synthesize(ctx context.Context, dev *device.Device, distance int, opts Options) (*Synthesis, error) {
+	layout, err := Allocate(ctx, dev, distance, opts.Mode)
 	if err != nil {
 		return nil, err
 	}
-	return SynthesizeOnLayout(layout, opts)
+	return synthesizeOnLayout(ctx, layout, opts)
 }
 
 // SynthesizeOnLayout runs stages two and three on a pre-computed layout.
 func SynthesizeOnLayout(layout *Layout, opts Options) (*Synthesis, error) {
+	return synthesizeOnLayout(context.Background(), layout, opts)
+}
+
+func synthesizeOnLayout(ctx context.Context, layout *Layout, opts Options) (*Synthesis, error) {
 	trees, err := FindAllTreesWith(layout, opts.StarOnlyTrees)
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &BudgetError{Stage: "trees", Cause: err}
 	}
 	plans := make([]*flagbridge.Plan, len(trees))
 	for si, tree := range trees {
@@ -66,9 +81,21 @@ func SynthesizeOnLayout(layout *Layout, opts Options) (*Synthesis, error) {
 	}
 	out := &Synthesis{Layout: layout, Trees: trees, Plans: plans, Schedule: sched}
 	if opts.CoOptimize {
-		return CoOptimize(out)
+		return CoOptimize(ctx, out)
 	}
 	return out, nil
+}
+
+// RetainedPlans returns the non-nil plans, in stabilizer order — the whole
+// plan set for a pristine synthesis.
+func (s *Synthesis) RetainedPlans() []*flagbridge.Plan {
+	out := make([]*flagbridge.Plan, 0, len(s.Plans))
+	for _, p := range s.Plans {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // Metrics summarizes a synthesis in the units of the paper's Table 2.
@@ -86,7 +113,7 @@ func (s *Synthesis) Metrics() Metrics {
 	var m Metrics
 	nx := 0
 	for si, st := range s.Layout.Code.Stabilizers() {
-		if st.Type != code.StabX || st.Weight() != 4 {
+		if st.Type != code.StabX || st.Weight() != 4 || s.Plans[si] == nil {
 			continue
 		}
 		nx++
@@ -131,6 +158,9 @@ func (u Utilization) UnusedPercent() float64 {
 func (s *Synthesis) Utilization() Utilization {
 	used := make(map[int]bool)
 	for _, t := range s.Trees {
+		if t == nil {
+			continue
+		}
 		for _, n := range t.Nodes() {
 			used[n] = true
 		}
@@ -155,6 +185,9 @@ func (s *Synthesis) Utilization() Utilization {
 func (s *Synthesis) AllQubits() []int {
 	set := map[int]bool{}
 	for _, t := range s.Trees {
+		if t == nil {
+			continue
+		}
 		for _, n := range t.Nodes() {
 			set[n] = true
 		}
@@ -180,6 +213,10 @@ func (s *Synthesis) Describe(maxStabs int) string {
 	stabs := s.Layout.Code.Stabilizers()
 	for si := 0; si < len(stabs) && si < maxStabs; si++ {
 		st := stabs[si]
+		if s.Trees[si] == nil {
+			fmt.Fprintf(&b, "  %v: dropped (unroutable)\n", st)
+			continue
+		}
 		var dataCoords []string
 		for _, dq := range st.Data {
 			dataCoords = append(dataCoords, s.Layout.Dev.Coord(s.Layout.DataQubit[dq]).String())

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"testing"
 
 	"surfstitch/internal/code"
@@ -32,7 +33,7 @@ func standardDevices() []struct {
 
 func TestSynthesizeAllArchitectures(t *testing.T) {
 	for _, c := range standardDevices() {
-		s, err := Synthesize(c.dev, 3, Options{Mode: c.mode})
+		s, err := Synthesize(context.Background(), c.dev, 3, Options{Mode: c.mode})
 		if err != nil {
 			t.Errorf("%s: %v", c.name, err)
 			continue
@@ -99,7 +100,7 @@ func TestTable2Metrics(t *testing.T) {
 		"heavy-hexagon":  {7, 16, 16},
 	}
 	for _, c := range standardDevices() {
-		s, err := Synthesize(c.dev, 3, Options{Mode: c.mode})
+		s, err := Synthesize(context.Background(), c.dev, 3, Options{Mode: c.mode})
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
@@ -124,7 +125,7 @@ func TestScheduleQuality(t *testing.T) {
 		if !ok {
 			continue
 		}
-		s, err := Synthesize(c.dev, 3, Options{Mode: c.mode})
+		s, err := Synthesize(context.Background(), c.dev, 3, Options{Mode: c.mode})
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
@@ -145,7 +146,7 @@ func TestDistance5Synthesis(t *testing.T) {
 		{"hexagon", device.Hexagon(5, 9), ModeDefault},
 	}
 	for _, c := range cases {
-		s, err := Synthesize(c.dev, 5, Options{Mode: c.mode})
+		s, err := Synthesize(context.Background(), c.dev, 5, Options{Mode: c.mode})
 		if err != nil {
 			t.Errorf("%s d=5: %v", c.name, err)
 			continue
@@ -167,11 +168,11 @@ func TestDistance5Synthesis(t *testing.T) {
 func TestResourceScalingIsLinearPerStabilizer(t *testing.T) {
 	// Table 4's key claim: bridge qubits per stabilizer stay constant as d
 	// grows (local trees don't grow with the code).
-	m3s, err := Synthesize(device.Square(8, 4), 3, Options{})
+	m3s, err := Synthesize(context.Background(), device.Square(8, 4), 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m5s, err := Synthesize(device.Square(8, 4), 5, Options{})
+	m5s, err := Synthesize(context.Background(), device.Square(8, 4), 5, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,13 +183,13 @@ func TestResourceScalingIsLinearPerStabilizer(t *testing.T) {
 }
 
 func TestAllocateFailsOnTinyDevice(t *testing.T) {
-	if _, err := Allocate(device.Square(2, 2), 3, ModeDefault); err == nil {
+	if _, err := Allocate(context.Background(), device.Square(2, 2), 3, ModeDefault); err == nil {
 		t.Error("distance-3 allocation on a 3x3 device should fail")
 	}
 }
 
 func TestAllocateRejectsBadDistance(t *testing.T) {
-	if _, err := Allocate(device.Square(8, 8), 4, ModeDefault); err == nil {
+	if _, err := Allocate(context.Background(), device.Square(8, 8), 4, ModeDefault); err == nil {
 		t.Error("even distance accepted")
 	}
 }
@@ -219,7 +220,7 @@ func TestBridgeRectangles(t *testing.T) {
 }
 
 func TestDataCoordMapping(t *testing.T) {
-	layout, err := Allocate(device.Square(8, 4), 3, ModeDefault)
+	layout, err := Allocate(context.Background(), device.Square(8, 4), 3, ModeDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestDataCoordMapping(t *testing.T) {
 }
 
 func TestDirectionsCoverStabilizer(t *testing.T) {
-	layout, err := Allocate(device.Square(8, 4), 3, ModeDefault)
+	layout, err := Allocate(context.Background(), device.Square(8, 4), 3, ModeDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,11 +259,11 @@ func TestDirectionsCoverStabilizer(t *testing.T) {
 }
 
 func TestSynthesisDeterministic(t *testing.T) {
-	a, err := Synthesize(device.Hexagon(4, 6), 3, Options{})
+	a, err := Synthesize(context.Background(), device.Hexagon(4, 6), 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Synthesize(device.Hexagon(4, 6), 3, Options{})
+	b, err := Synthesize(context.Background(), device.Hexagon(4, 6), 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestSynthesisDeterministic(t *testing.T) {
 }
 
 func TestNoRefineKeepsTwoStage(t *testing.T) {
-	s, err := Synthesize(device.HeavySquare(5, 5), 3, Options{Mode: ModeFour, NoRefine: true})
+	s, err := Synthesize(context.Background(), device.HeavySquare(5, 5), 3, Options{Mode: ModeFour, NoRefine: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestNoRefineKeepsTwoStage(t *testing.T) {
 	if len(s.Schedule) != 2 {
 		t.Errorf("two-stage schedule has %d sets, want 2", len(s.Schedule))
 	}
-	refined, err := Synthesize(device.HeavySquare(5, 5), 3, Options{Mode: ModeFour})
+	refined, err := Synthesize(context.Background(), device.HeavySquare(5, 5), 3, Options{Mode: ModeFour})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestNoRefineKeepsTwoStage(t *testing.T) {
 }
 
 func TestUtilizationPercentages(t *testing.T) {
-	s, err := Synthesize(device.Square(8, 4), 5, Options{})
+	s, err := Synthesize(context.Background(), device.Square(8, 4), 5, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestUtilizationPercentages(t *testing.T) {
 }
 
 func TestAllQubitsSortedAndComplete(t *testing.T) {
-	s, err := Synthesize(device.Square(8, 4), 3, Options{})
+	s, err := Synthesize(context.Background(), device.Square(8, 4), 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +350,7 @@ func TestCustomDeviceSynthesis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Synthesize(dev, 3, Options{})
+	s, err := Synthesize(context.Background(), dev, 3, Options{})
 	if err != nil {
 		t.Fatalf("custom device synthesis failed: %v", err)
 	}
@@ -359,7 +360,7 @@ func TestCustomDeviceSynthesis(t *testing.T) {
 }
 
 func TestStabTypesBalancedInSchedule(t *testing.T) {
-	s, err := Synthesize(device.HeavySquare(4, 3), 3, Options{})
+	s, err := Synthesize(context.Background(), device.HeavySquare(4, 3), 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package synth
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
 	"surfstitch/internal/code"
+	"surfstitch/internal/device"
 	"surfstitch/internal/graph"
 	"surfstitch/internal/grid"
 )
@@ -29,6 +31,14 @@ func FindAllTrees(layout *Layout) ([]*graph.Tree, error) {
 // FindAllTreesWith is FindAllTrees with the branching-tree heuristic
 // optionally disabled for every stabilizer (the star-only ablation).
 func FindAllTreesWith(layout *Layout, starOnly bool) ([]*graph.Tree, error) {
+	trees, _, err := findAllTrees(layout, starOnly, false)
+	return trees, err
+}
+
+// findAllTrees is the shared core of the pristine and degraded tree passes.
+// With degrade set, an unroutable stabilizer does not abort the pass: its
+// tree stays nil and its RouteError is recorded in the dropped map.
+func findAllTrees(layout *Layout, starOnly, degrade bool) ([]*graph.Tree, map[int]error, error) {
 	stabs := layout.Code.Stabilizers()
 	trees := make([]*graph.Tree, len(stabs))
 	blockedBy := map[code.StabType][]bool{
@@ -48,6 +58,7 @@ func FindAllTreesWith(layout *Layout, starOnly bool) ([]*graph.Tree, error) {
 			}
 		}
 	}
+	var dropped map[int]error
 	for _, si := range order {
 		s := stabs[si]
 		same := blockedBy[s.Type]
@@ -67,7 +78,14 @@ func FindAllTreesWith(layout *Layout, starOnly bool) ([]*graph.Tree, error) {
 			tree, err = FindTreeWith(layout, si, make([]bool, layout.Dev.Len()), starOnly)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("synth: stabilizer %v: %w", s, err)
+			if !degrade {
+				return nil, nil, fmt.Errorf("synth: stabilizer %v: %w", s, err)
+			}
+			if dropped == nil {
+				dropped = map[int]error{}
+			}
+			dropped[si] = err
+			continue
 		}
 		trees[si] = tree
 		for _, n := range tree.Nodes() {
@@ -76,7 +94,7 @@ func FindAllTreesWith(layout *Layout, starOnly bool) ([]*graph.Tree, error) {
 			}
 		}
 	}
-	return trees, nil
+	return trees, dropped, nil
 }
 
 // FindTree finds a small local bridge tree for stabilizer si: bridge qubits
@@ -113,7 +131,25 @@ func FindTreeWith(layout *Layout, si int, blocked []bool, starOnly bool) (*graph
 			return rerootAtCenter(best, layout.IsData)
 		}
 	}
-	return nil, fmt.Errorf("no local bridge tree within %v (+%d)", layout.Rects[si], maxRectExpand)
+	return nil, &RouteError{
+		Device:     layout.Dev.Name(),
+		Stabilizer: s.String(),
+		Index:      si,
+		Rect:       layout.Rects[si],
+		Expand:     maxRectExpand,
+	}
+}
+
+// terminalSearch finds routes from src through interior nodes toward the
+// terminals. On a pristine device it is a plain BFS (fewest hops, the
+// paper's Algorithm 2); on a device carrying calibration overrides it
+// switches to a defect-weighted Dijkstra so bridge routes detour around
+// derated qubits and couplers — stage two of the degradation ladder.
+func terminalSearch(layout *Layout, src int, interior func(int) bool, terminals map[int]bool) []int {
+	if layout.Dev.HasErrorOverrides() {
+		return terminalDijkstra(layout, src, interior, terminals)
+	}
+	return terminalBFS(layout, src, interior, terminals)
 }
 
 // terminalBFS runs a BFS from src that expands only through interior nodes
@@ -147,6 +183,84 @@ func terminalBFS(layout *Layout, src int, interior func(int) bool, terminals map
 	return parent
 }
 
+// defectEdgeCost prices one hop u→v in milli-hops: a unit step plus a
+// penalty proportional to the calibration overrides on the entered qubit
+// and the traversed coupler. A 5% error rate costs about one extra hop, so
+// routes detour around derated hardware without ballooning tree sizes.
+func defectEdgeCost(dev *device.Device, u, v int) int {
+	cost := 1000
+	if r, ok := dev.QubitErrorRate(v); ok {
+		cost += int(20000 * r)
+	}
+	if r, ok := dev.CouplerErrorRate(u, v); ok {
+		cost += int(20000 * r)
+	}
+	return cost
+}
+
+// terminalDijkstra is terminalBFS with defect-weighted edges. Ties break
+// toward the smaller qubit id, keeping routes deterministic.
+func terminalDijkstra(layout *Layout, src int, interior func(int) bool, terminals map[int]bool) []int {
+	g := layout.Dev.Graph()
+	dev := layout.Dev
+	n := layout.Dev.Len()
+	parent := make([]int, n)
+	dist := make([]int, n)
+	done := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+		dist[i] = int(^uint(0) >> 1)
+	}
+	parent[src] = src
+	dist[src] = 0
+	pq := &nodeHeap{{0, src}}
+	for pq.Len() > 0 {
+		top := heap.Pop(pq).(nodeDist)
+		u := top.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if terminals[u] && u != src {
+			continue // do not expand through terminals
+		}
+		for _, v := range g.Neighbors(u) {
+			if done[v] || (!interior(v) && !terminals[v]) {
+				continue
+			}
+			nd := dist[u] + defectEdgeCost(dev, u, v)
+			if nd < dist[v] || (nd == dist[v] && u < parent[v]) {
+				dist[v] = nd
+				parent[v] = u
+				heap.Push(pq, nodeDist{nd, v})
+			}
+		}
+	}
+	return parent
+}
+
+// nodeHeap is a min-heap of (distance, node) pairs with deterministic
+// smaller-id tie-breaking.
+type nodeDist struct{ dist, node int }
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].node < h[j].node
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
 func pathFromParents(parent []int, dst int) []int {
 	if parent[dst] == -1 {
 		return nil
@@ -175,7 +289,7 @@ func bestStarTree(layout *Layout, data []int, interior func(int) bool) *graph.Tr
 		if !interior(q) {
 			continue
 		}
-		parent := terminalBFS(layout, q, interior, terminals)
+		parent := terminalSearch(layout, q, interior, terminals)
 		paths := make([][]int, 0, len(data))
 		ok := true
 		for _, d := range data {
@@ -215,7 +329,7 @@ func bestBranchingTree(layout *Layout, data []int, interior func(int) bool) *gra
 	dist := map[[2]int]int{}
 	paths := map[[2]int][]int{}
 	for _, a := range data {
-		parent := terminalBFS(layout, a, interior, terminals)
+		parent := terminalSearch(layout, a, interior, terminals)
 		for _, b := range data {
 			if b == a {
 				continue

@@ -217,12 +217,19 @@ func EstimateCurveContext(ctx context.Context, label string, distance int, prov 
 		}(i, p)
 	}
 	wg.Wait()
+	// Flush the longest completed prefix even on failure: an interrupted
+	// sweep still returns the points that finished, aligned with ps, so
+	// callers can print or persist partial curves.
+	done := 0
+	for done < len(ps) && errs[done] == nil {
+		done++
+	}
+	curve.Points = pts[:done]
 	for _, err := range errs {
 		if err != nil {
 			return curve, err
 		}
 	}
-	curve.Points = pts
 	return curve, nil
 }
 

@@ -15,7 +15,7 @@ import (
 
 func memoryProvider(t *testing.T, dev *device.Device, d int, mode synth.Mode, rounds int) (CircuitProvider, *experiment.Memory) {
 	t.Helper()
-	s, err := synth.Synthesize(dev, d, synth.Options{Mode: mode})
+	s, err := synth.Synthesize(context.Background(), dev, d, synth.Options{Mode: mode})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +272,7 @@ func TestRoundScalingConsistent(t *testing.T) {
 	if testing.Short() {
 		t.Skip("Monte Carlo in short mode")
 	}
-	s, err := synth.Synthesize(device.Square(6, 6), 3, synth.Options{Mode: synth.ModeFour})
+	s, err := synth.Synthesize(context.Background(), device.Square(6, 6), 3, synth.Options{Mode: synth.ModeFour})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -179,15 +179,54 @@ func Synthesis(s *synth.Synthesis, opts Options) Report {
 	return r
 }
 
-// structuralChecks validates trees and schedule against the device.
+// Structural runs only the linear-time structural invariants — schedule
+// coverage, device-respecting trees, degradation accounting — without the
+// simulation stages. The chaos harness calls this on every successful
+// synthesis; the full Synthesis run is reserved for subsampled scenarios.
+func Structural(s *synth.Synthesis) []string { return structuralChecks(s) }
+
+// structuralChecks validates trees and schedule against the device. Dropped
+// stabilizers (graceful degradation) are exempt from the per-tree checks but
+// must be accounted for in the Degradation report — a nil tree without a
+// matching degradation entry is a structural defect.
 func structuralChecks(s *synth.Synthesis) []string {
 	var out []string
-	if err := s.Schedule.Validate(len(s.Plans)); err != nil {
+	if err := s.Schedule.Validate(len(s.RetainedPlans())); err != nil {
 		out = append(out, err.Error())
+	}
+	droppedIdx := map[int]bool{}
+	if dg := s.Degradation; dg != nil {
+		for _, d := range dg.Dropped {
+			droppedIdx[d.Index] = true
+		}
+		retX, retZ := 0, 0
+		for si, st := range s.Layout.Code.Stabilizers() {
+			if s.Plans[si] == nil {
+				continue
+			}
+			if st.Type == code.StabX {
+				retX++
+			} else {
+				retZ++
+			}
+		}
+		if retX != dg.RetainedX || retZ != dg.RetainedZ {
+			out = append(out, fmt.Sprintf("degradation accounting: reports %dX+%dZ retained, circuit has %dX+%dZ",
+				dg.RetainedX, dg.RetainedZ, retX, retZ))
+		}
 	}
 	g := s.Layout.Dev.Graph()
 	for si, tree := range s.Trees {
 		st := s.Layout.Code.Stabilizers()[si]
+		if tree == nil {
+			if !droppedIdx[si] {
+				out = append(out, fmt.Sprintf("stabilizer %v has no tree and no degradation record", st))
+			}
+			continue
+		}
+		if droppedIdx[si] {
+			out = append(out, fmt.Sprintf("stabilizer %v reported dropped but has a tree", st))
+		}
 		if s.Layout.IsData[tree.Root] {
 			out = append(out, fmt.Sprintf("stabilizer %v rooted on a data qubit", st))
 		}
@@ -215,7 +254,7 @@ func countVerticalXHooks(s *synth.Synthesis) int {
 	}
 	bad := 0
 	for si, st := range layout.Code.Stabilizers() {
-		if st.Type != code.StabX {
+		if st.Type != code.StabX || s.Trees[si] == nil {
 			continue
 		}
 		t := s.Trees[si]

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestAllStandardSynthesesPass(t *testing.T) {
 		{"heavy-square", device.HeavySquare(5, 4), synth.ModeDefault},
 	}
 	for _, c := range cases {
-		s, err := synth.Synthesize(c.dev, 3, synth.Options{Mode: c.mode})
+		s, err := synth.Synthesize(context.Background(), c.dev, 3, synth.Options{Mode: c.mode})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -36,7 +37,7 @@ func TestAllStandardSynthesesPass(t *testing.T) {
 func TestVerticalHookLayoutFlagged(t *testing.T) {
 	// The transposed heavy-square device only admits the vertical-hook
 	// orientation at distance 5; verification must flag it.
-	layout, err := synth.Allocate(device.HeavySquare(4, 5), 5, synth.ModeDefault)
+	layout, err := synth.Allocate(context.Background(), device.HeavySquare(4, 5), 5, synth.ModeDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestVerticalHookLayoutFlagged(t *testing.T) {
 }
 
 func TestReportFieldsPopulated(t *testing.T) {
-	s, err := synth.Synthesize(device.Square(6, 6), 3, synth.Options{Mode: synth.ModeFour})
+	s, err := synth.Synthesize(context.Background(), device.Square(6, 6), 3, synth.Options{Mode: synth.ModeFour})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestStaticPreGateRejectsOffDeviceCoupling(t *testing.T) {
 	// device missing one coupling the bridge trees use. The static
 	// circuit-IR pre-gate must catch the off-device CNOTs and bail before
 	// the stabilizer-simulation stages run.
-	s, err := synth.Synthesize(device.Square(6, 6), 3, synth.Options{Mode: synth.ModeFour})
+	s, err := synth.Synthesize(context.Background(), device.Square(6, 6), 3, synth.Options{Mode: synth.ModeFour})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestStaticPreGateRejectsOffDeviceCoupling(t *testing.T) {
 
 func TestStructuralProblemsReported(t *testing.T) {
 	// Corrupt a synthesis: duplicate a plan in the schedule.
-	s, err := synth.Synthesize(device.Square(6, 6), 3, synth.Options{Mode: synth.ModeFour})
+	s, err := synth.Synthesize(context.Background(), device.Square(6, 6), 3, synth.Options{Mode: synth.ModeFour})
 	if err != nil {
 		t.Fatal(err)
 	}

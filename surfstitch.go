@@ -22,6 +22,7 @@
 package surfstitch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -112,7 +113,31 @@ type Utilization = synth.Utilization
 // Synthesize runs the full Surf-Stitch pipeline: data qubit allocation,
 // bridge tree construction, and stabilizer measurement scheduling.
 func Synthesize(dev *Device, distance int, opts Options) (*Synthesis, error) {
-	return synth.Synthesize(dev, distance, opts)
+	return synth.Synthesize(context.Background(), dev, distance, opts)
+}
+
+// SynthesizeContext is Synthesize with a cancellable search budget: on
+// cancellation the returned error matches both synth.ErrBudgetExceeded and
+// the context's error.
+func SynthesizeContext(ctx context.Context, dev *Device, distance int, opts Options) (*Synthesis, error) {
+	return synth.Synthesize(ctx, dev, distance, opts)
+}
+
+// DefectSet describes hardware faults to impose on a device: dead qubits,
+// broken couplers, and per-element error-rate overrides.
+type DefectSet = device.DefectSet
+
+// GenerateDefects draws a reproducible defect set from one of the preset
+// generators ("random", "clustered", "edge") at the given density.
+func GenerateDefects(d *Device, generator string, density float64, seed int64) (DefectSet, error) {
+	return device.GenerateDefects(d, generator, density, seed)
+}
+
+// SynthesizeDegraded is Synthesize with the graceful-degradation ladder
+// armed: unroutable stabilizers are sacrificed and reported in the result's
+// Degradation field instead of failing the synthesis.
+func SynthesizeDegraded(ctx context.Context, dev *Device, distance int, opts Options) (*Synthesis, error) {
+	return synth.SynthesizeDegraded(ctx, dev, distance, opts)
 }
 
 // Memory is an assembled logical-memory experiment over a synthesis.
