@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-core lint chaos verify bench
+.PHONY: build test vet race race-core lint chaos verify bench bench-json
 
 build:
 	$(GO) build ./...
@@ -39,3 +39,9 @@ verify: vet race lint chaos
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Decoder fast-path vs. slow-path comparison on synthesized square-tiling
+# memories at d=3/5/7; writes ns/shot, allocs/shot and cache hit rate for
+# both paths to BENCH_decode.json.
+bench-json:
+	$(GO) run ./cmd/benchdecode -out BENCH_decode.json

@@ -1,0 +1,199 @@
+// Command benchdecode measures the decoder's sparse-syndrome fast path
+// against the pre-fast-path baseline (eager all-pairs Dijkstra, blossom on
+// every shot, per-shot allocation) and writes the comparison to a JSON file.
+//
+// Usage:
+//
+//	benchdecode                       # print the table, write BENCH_decode.json
+//	benchdecode -out bench.json       # alternate output path
+//	benchdecode -shots 8192 -p 0.002  # heavier batches
+//
+// Both configurations decode the identical fixed-seed syndrome stream, so the
+// ratio columns are apples to apples; `make bench-json` wraps this command.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"surfstitch/internal/decoder"
+	"surfstitch/internal/dem"
+	"surfstitch/internal/device"
+	"surfstitch/internal/experiment"
+	"surfstitch/internal/frame"
+	"surfstitch/internal/noise"
+	"surfstitch/internal/synth"
+)
+
+// Run is one measured configuration at one distance.
+type Run struct {
+	Path          string  `json:"path"` // "fast" or "slow"
+	Distance      int     `json:"distance"`
+	Shots         int     `json:"shots"`
+	NsPerShot     float64 `json:"ns_per_shot"`
+	AllocsPerShot float64 `json:"allocs_per_shot"`
+	BytesPerShot  float64 `json:"bytes_per_shot"`
+	CacheHitRate  float64 `json:"cache_hit_rate"` // 0 for the slow path (no cache)
+}
+
+// Comparison pairs the two runs at one distance with their ratios.
+type Comparison struct {
+	Distance   int     `json:"distance"`
+	Fast       Run     `json:"fast"`
+	Slow       Run     `json:"slow"`
+	Speedup    float64 `json:"speedup"`     // slow ns/shot over fast ns/shot
+	AllocRatio float64 `json:"alloc_ratio"` // slow allocs/shot over fast allocs/shot (+Inf -> 0 sentinel avoided via fast+1)
+}
+
+// Report is the BENCH_decode.json document.
+type Report struct {
+	PhysicalError float64      `json:"physical_error"`
+	ShotsPerBatch int          `json:"shots_per_batch"`
+	Comparisons   []Comparison `json:"comparisons"`
+}
+
+// buildBatch synthesizes a distance-d square-tiling surface code memory (d
+// rounds) via the paper pipeline, applies uniform noise at rate p, and
+// samples a fixed-seed shot batch from it.
+func buildBatch(d int, p float64, shots int) (*dem.Model, *frame.Batch, error) {
+	_, layout, err := synth.FitDevice(device.KindSquare, d, synth.ModeDefault)
+	if err != nil {
+		return nil, nil, err
+	}
+	syn, err := synth.SynthesizeOnLayout(layout, synth.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	mem, err := experiment.NewMemory(syn, d, experiment.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := mem.Noisy(noise.Uniform(p))
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := dem.FromCircuit(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := frame.NewSampler(c, rand.New(rand.NewSource(int64(1000+d))))
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, s.Sample(shots), nil
+}
+
+func measureFast(model *dem.Model, batch *frame.Batch, d int) (Run, error) {
+	dec, err := decoder.New(model)
+	if err != nil {
+		return Run{}, err
+	}
+	s := dec.NewScratch()
+	// Warm lazy Dijkstra rows and the syndrome cache: steady-state shape.
+	if _, err := dec.DecodeRangeScratch(batch, 0, batch.Shots, s); err != nil {
+		return Run{}, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dec.DecodeRangeScratch(batch, 0, batch.Shots, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	stats, err := dec.DecodeRangeScratch(batch, 0, batch.Shots, s)
+	if err != nil {
+		return Run{}, err
+	}
+	hitRate := 0.0
+	if total := stats.CacheHits + stats.CacheMisses; total > 0 {
+		hitRate = float64(stats.CacheHits) / float64(total)
+	}
+	return runFromResult("fast", d, batch.Shots, res, hitRate), nil
+}
+
+func measureSlow(model *dem.Model, batch *frame.Batch, d int) (Run, error) {
+	dec, err := decoder.NewWithOptions(model, decoder.Options{ForceSlowPath: true})
+	if err != nil {
+		return Run{}, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// The pre-fast-path per-shot loop: fresh defect slice each shot,
+			// allocating Decode, blossom for every non-empty syndrome.
+			for shot := 0; shot < batch.Shots; shot++ {
+				if _, err := dec.Decode(batch.ShotDetectors(shot)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	return runFromResult("slow", d, batch.Shots, res, 0), nil
+}
+
+func runFromResult(path string, d, shots int, res testing.BenchmarkResult, hitRate float64) Run {
+	perShot := func(v float64) float64 { return v / float64(shots) }
+	return Run{
+		Path:          path,
+		Distance:      d,
+		Shots:         shots,
+		NsPerShot:     perShot(float64(res.NsPerOp())),
+		AllocsPerShot: perShot(float64(res.AllocsPerOp())),
+		BytesPerShot:  perShot(float64(res.AllocedBytesPerOp())),
+		CacheHitRate:  hitRate,
+	}
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_decode.json", "output JSON path")
+		shots = flag.Int("shots", 4096, "shots per sampled batch")
+		p     = flag.Float64("p", 0.002, "physical error rate of the benchmark memories")
+	)
+	flag.Parse()
+
+	report := Report{PhysicalError: *p, ShotsPerBatch: *shots}
+	fmt.Printf("%-6s %12s %12s %14s %14s %10s\n",
+		"d", "fast ns/shot", "slow ns/shot", "fast allocs/sh", "slow allocs/sh", "speedup")
+	for _, d := range []int{3, 5, 7} {
+		model, batch, err := buildBatch(d, *p, *shots)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdecode: d=%d: %v\n", d, err)
+			os.Exit(1)
+		}
+		fast, err := measureFast(model, batch, d)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdecode: d=%d fast: %v\n", d, err)
+			os.Exit(1)
+		}
+		slow, err := measureSlow(model, batch, d)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdecode: d=%d slow: %v\n", d, err)
+			os.Exit(1)
+		}
+		cmp := Comparison{Distance: d, Fast: fast, Slow: slow}
+		if fast.NsPerShot > 0 {
+			cmp.Speedup = slow.NsPerShot / fast.NsPerShot
+		}
+		// Avoid dividing by an exact zero when the fast path is alloc-free.
+		cmp.AllocRatio = slow.AllocsPerShot / (fast.AllocsPerShot + 1.0/float64(*shots))
+		report.Comparisons = append(report.Comparisons, cmp)
+		fmt.Printf("%-6d %12.1f %12.1f %14.3f %14.3f %9.1fx\n",
+			d, fast.NsPerShot, slow.NsPerShot, fast.AllocsPerShot, slow.AllocsPerShot, cmp.Speedup)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdecode:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdecode:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

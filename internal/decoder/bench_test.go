@@ -1,0 +1,93 @@
+package decoder
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"surfstitch/internal/dem"
+	"surfstitch/internal/frame"
+	"surfstitch/internal/noise"
+)
+
+// benchBatch builds a d-round distance-d repetition memory at physical error
+// rate p and samples a shot batch from it with a fixed seed, so every
+// benchmark run decodes the identical syndrome stream.
+func benchBatch(b *testing.B, d int, p float64, shots int) (*dem.Model, *frame.Batch) {
+	b.Helper()
+	c := noise.Uniform(p).MustApply(repetitionMemory(d, d))
+	model, err := dem.FromCircuit(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := frame.NewSampler(c, rand.New(rand.NewSource(int64(1000+d))))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return model, s.Sample(shots)
+}
+
+// BenchmarkDecodeBatch measures the fast path end to end: serial range
+// decoding with a persistent scratch arena, amortized per shot.
+func BenchmarkDecodeBatch(b *testing.B) {
+	for _, d := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			model, batch := benchBatch(b, d, 0.002, 2048)
+			dec, err := New(model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := dec.NewScratch()
+			// Warm the lazy rows and the syndrome cache outside the timer,
+			// matching steady-state Monte-Carlo operation.
+			if _, err := dec.DecodeRangeScratch(batch, 0, batch.Shots, s); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.DecodeRangeScratch(batch, 0, batch.Shots, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perShot := float64(b.Elapsed().Nanoseconds()) / float64(b.N*batch.Shots)
+			b.ReportMetric(perShot, "ns/shot")
+		})
+	}
+}
+
+// BenchmarkDecodeBatchSlowPath measures the pre-fast-path decoder shape:
+// eager all-pairs Dijkstra at build time (excluded from the timer), blossom
+// on every non-empty shot, no cache, allocating per-shot defect lists.
+func BenchmarkDecodeBatchSlowPath(b *testing.B) {
+	for _, d := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			model, batch := benchBatch(b, d, 0.002, 2048)
+			dec, err := NewWithOptions(model, Options{ForceSlowPath: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Replicates the pre-fast-path DecodeRange loop: a fresh
+				// defect slice per shot and an allocating Decode call.
+				var stats Stats
+				for shot := 0; shot < batch.Shots; shot++ {
+					pred, err := dec.Decode(batch.ShotDetectors(shot))
+					if err != nil {
+						b.Fatal(err)
+					}
+					stats.Shots++
+					if pred != batch.ObservableMask(shot) {
+						stats.LogicalErrors++
+					}
+				}
+			}
+			b.StopTimer()
+			perShot := float64(b.Elapsed().Nanoseconds()) / float64(b.N*batch.Shots)
+			b.ReportMetric(perShot, "ns/shot")
+		})
+	}
+}

@@ -15,9 +15,11 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"surfstitch/internal/dem"
 	"surfstitch/internal/frame"
@@ -29,6 +31,13 @@ import (
 const weightScale = 1024.0
 
 // Decoder is a compiled MWPM decoder for a fixed detector error model.
+//
+// Decoding runs on a sparse-syndrome fast path by default: shortest-path
+// rows are computed lazily per source on first use, one- and two-defect
+// syndromes decode in closed form without the blossom matcher, and a
+// bounded syndrome→observable cache short-circuits repeated sparse
+// syndromes. The fast path is bit-identical to the eager full-blossom slow
+// path (Options.ForceSlowPath) for every defect set.
 type Decoder struct {
 	numDet int
 	numObs int
@@ -36,16 +45,33 @@ type Decoder struct {
 	// boundary is the virtual node index (== numDet).
 	boundary int
 
-	// adjacency of the matching graph: adj[u] lists (v, weight, obs).
+	// adjacency of the matching graph: adj[u] lists (v, weight, obs), in a
+	// deterministic (sorted-edge) order so that every decoder compiled from
+	// the same model makes identical shortest-path tie-breaks.
 	adj [][]halfEdge
 
-	// all-pairs shortest paths over the matching graph.
-	dist [][]float64
-	mask [][]uint64
+	opts Options
+
+	// rows holds the lazily computed per-source shortest-path rows. A slot
+	// is nil until the source is first used in a decode; under
+	// ForceSlowPath every slot is filled at compile time (the old eager
+	// all-pairs behavior).
+	rows []atomic.Pointer[pathRow]
+
+	// cache memoizes syndrome→observable-mask results (nil when disabled).
+	cache *synCache
 
 	// UndetectableObs is the bitmask of observables flipped by at least one
 	// mechanism that trips no detector: an irreducible logical error floor.
 	UndetectableObs uint64
+}
+
+// pathRow is one source's shortest-path distances and path observable-mask
+// XORs to every node of the matching graph. Rows are immutable once
+// published.
+type pathRow struct {
+	dist []float64
+	mask []uint64
 }
 
 type halfEdge struct {
@@ -60,6 +86,17 @@ type Options struct {
 	// hyperedges, falling back to consecutive-pair chaining everywhere
 	// (the decoder ablation in the benchmark harness).
 	NaiveDecomposition bool
+
+	// ForceSlowPath disables the sparse-syndrome fast path: shortest-path
+	// rows are computed eagerly for every source at compile time, every
+	// defect set runs the full blossom matching, and the syndrome cache is
+	// off. This reproduces the pre-fast-path decoder exactly; it exists
+	// for differential testing and the ablation harness.
+	ForceSlowPath bool
+
+	// CacheSize bounds the syndrome cache in entries. Zero selects the
+	// default (65536); a negative value disables the cache.
+	CacheSize int
 }
 
 // New compiles the detector error model into a decoder.
@@ -174,8 +211,23 @@ func NewWithOptions(model *dem.Model, opts Options) (*Decoder, error) {
 		// the first component.
 		chainDecompose(mech, d.boundary, addEdge)
 	}
+	// Build the adjacency in sorted edge order: map iteration order would
+	// otherwise vary between decoder instances, and equal-weight shortest
+	// paths would tie-break differently — breaking the bit-identity
+	// contract between separately compiled fast- and slow-path decoders.
+	keys := make([]key, 0, len(probs))
+	for k := range probs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].u != keys[j].u {
+			return keys[i].u < keys[j].u
+		}
+		return keys[i].v < keys[j].v
+	})
 	d.adj = make([][]halfEdge, n)
-	for k, p := range probs {
+	for _, k := range keys {
+		p := probs[k]
 		if p <= 0 {
 			continue
 		}
@@ -186,7 +238,20 @@ func NewWithOptions(model *dem.Model, opts Options) (*Decoder, error) {
 		d.adj[k.u] = append(d.adj[k.u], halfEdge{to: k.v, weight: w, obs: masks[k]})
 		d.adj[k.v] = append(d.adj[k.v], halfEdge{to: k.u, weight: w, obs: masks[k]})
 	}
-	d.computeAllPairs()
+	d.opts = opts
+	d.rows = make([]atomic.Pointer[pathRow], n)
+	if opts.ForceSlowPath {
+		// The slow path keeps the eager O(n²) all-pairs compile.
+		for src := 0; src < n; src++ {
+			d.row(src)
+		}
+	} else if opts.CacheSize >= 0 {
+		size := opts.CacheSize
+		if size == 0 {
+			size = defaultCacheSize
+		}
+		d.cache = newSynCache(size)
+	}
 	return d, nil
 }
 
@@ -245,15 +310,21 @@ func peelDecompose(dets []int, boundary int, edgeExists func(u, v int) bool) (co
 	return comps, leftover
 }
 
-// computeAllPairs runs Dijkstra from every node, tracking the XOR of
-// observable masks along each shortest path.
-func (d *Decoder) computeAllPairs() {
-	n := d.numDet + 1
-	d.dist = make([][]float64, n)
-	d.mask = make([][]uint64, n)
-	for src := 0; src < n; src++ {
-		d.dist[src], d.mask[src] = d.dijkstra(src)
+// row returns the shortest-path row from src, computing it on first use and
+// publishing it through an atomic pointer. Reads are lock-free; concurrent
+// first uses may both run Dijkstra, but the row is a pure function of the
+// immutable adjacency, so the CAS loser's result is identical to the
+// winner's and results stay bit-identical at any worker count.
+func (d *Decoder) row(src int) *pathRow {
+	if r := d.rows[src].Load(); r != nil {
+		return r
 	}
+	dist, mask := d.dijkstra(src)
+	r := &pathRow{dist: dist, mask: mask}
+	if !d.rows[src].CompareAndSwap(nil, r) {
+		return d.rows[src].Load()
+	}
+	return r
 }
 
 type pqItem struct {
@@ -306,36 +377,141 @@ func (d *Decoder) dijkstra(src int) ([]float64, []uint64) {
 // NumDetectors returns the number of detectors the decoder expects.
 func (d *Decoder) NumDetectors() int { return d.numDet }
 
+// quantWeight converts a log-likelihood path weight to the blossom
+// matcher's integer domain; -1 marks an unreachable (infinite) path.
+func quantWeight(w float64) int64 {
+	if math.IsInf(w, 1) {
+		return -1
+	}
+	return int64(math.Round(w * weightScale))
+}
+
 // Decode predicts the observable flips for one shot's defect set (the list
 // of flipped detector indices). It returns an error when a defect cannot be
-// matched (disconnected matching graph).
+// matched (disconnected matching graph). Hot loops should prefer
+// DecodeWithScratch or DecodeRange, which reuse buffers across shots.
 func (d *Decoder) Decode(defects []int) (uint64, error) {
+	obs, _, err := d.decode(defects, nil)
+	return obs, err
+}
+
+// decode is the shared decode entry: cache lookup, then closed forms, then
+// blossom. It reports whether the syndrome cache answered the query.
+func (d *Decoder) decode(defects []int, s *Scratch) (uint64, bool, error) {
 	if len(defects) == 0 {
-		return 0, nil
+		return 0, false, nil
 	}
-	// Nodes 0..k-1 are defects; k..2k-1 are their boundary images. The
-	// boundary images are interconnected with zero-weight edges so that any
-	// subset of them can pair off among themselves.
-	k := len(defects)
-	var edges []matching.Edge
-	quant := func(w float64) int64 {
-		if math.IsInf(w, 1) {
-			return -1
+	var key []byte
+	if d.cache != nil {
+		if s != nil {
+			s.key = appendSyndromeKey(s.key[:0], defects)
+			key = s.key
+		} else {
+			var buf [64]byte
+			key = appendSyndromeKey(buf[:0], defects)
 		}
-		return int64(math.Round(w * weightScale))
+		if obs, ok := d.cache.get(key); ok {
+			return obs, true, nil
+		}
+	}
+	obs, err := d.decodeMiss(defects, s)
+	if err != nil {
+		return 0, false, err
+	}
+	if d.cache != nil {
+		d.cache.put(key, obs)
+	}
+	return obs, false, nil
+}
+
+// decodeMiss decodes a non-empty, uncached defect set: closed forms for
+// one- and two-defect syndromes on the fast path, full blossom otherwise.
+func (d *Decoder) decodeMiss(defects []int, s *Scratch) (uint64, error) {
+	if !d.opts.ForceSlowPath {
+		switch len(defects) {
+		case 1:
+			r := d.row(defects[0])
+			if quantWeight(r.dist[d.boundary]) < 0 {
+				return 0, fmt.Errorf("decoder: defects unmatchable: no path joins defect %d to the boundary", defects[0])
+			}
+			return r.mask[d.boundary], nil
+		case 2:
+			if obs, ok, err := d.decodePair(defects); ok {
+				return obs, err
+			}
+			// Exact quantized tie between the pair path and the two
+			// boundary paths: fall through to the blossom so the choice —
+			// and thus the predicted mask — stays bit-identical to the
+			// slow path's tie-breaking.
+		}
+	}
+	return d.decodeBlossom(defects, s)
+}
+
+// decodePair decodes a two-defect syndrome in closed form: the minimum of
+// matching the pair along their shortest path versus sending both defects
+// to the boundary (the only two perfect matchings of the 4-node slow-path
+// graph). ok=false reports an exact tie, which the caller resolves with
+// the blossom.
+func (d *Decoder) decodePair(defects []int) (obs uint64, ok bool, err error) {
+	a, b := defects[0], defects[1]
+	ra, rb := d.row(a), d.row(b)
+	wp := quantWeight(ra.dist[b])
+	wa := quantWeight(ra.dist[d.boundary])
+	wb := quantWeight(rb.dist[d.boundary])
+	pairOK := wp >= 0
+	bndOK := wa >= 0 && wb >= 0
+	switch {
+	case pairOK && bndOK && wp == wa+wb:
+		return 0, false, nil
+	case pairOK && (!bndOK || wp < wa+wb):
+		return ra.mask[b], true, nil
+	case bndOK:
+		return ra.mask[d.boundary] ^ rb.mask[d.boundary], true, nil
+	default:
+		return 0, true, fmt.Errorf("decoder: defects unmatchable: no path pairs defects %d,%d or joins both to the boundary", a, b)
+	}
+}
+
+// decodeBlossom runs the full minimum-weight perfect matching. Nodes
+// 0..k-1 are defects; k..2k-1 are their boundary images, interconnected
+// with zero-weight edges so that any subset of them can pair off among
+// themselves. With a scratch, the edge buffer and matcher state are reused
+// across calls.
+func (d *Decoder) decodeBlossom(defects []int, s *Scratch) (uint64, error) {
+	k := len(defects)
+	// Exact capacity: at most k(k-1)/2 defect-pair edges, exactly k(k-1)/2
+	// boundary-image edges, and at most k boundary edges — k*k in total —
+	// so the append loop below never reallocates.
+	var edges []matching.Edge
+	if s != nil {
+		if cap(s.edges) < k*k {
+			s.edges = make([]matching.Edge, 0, k*k)
+		}
+		edges = s.edges[:0]
+	} else {
+		edges = make([]matching.Edge, 0, k*k)
 	}
 	for i := 0; i < k; i++ {
+		ri := d.row(defects[i])
 		for j := i + 1; j < k; j++ {
-			if w := quant(d.dist[defects[i]][defects[j]]); w >= 0 {
+			if w := quantWeight(ri.dist[defects[j]]); w >= 0 {
 				edges = append(edges, matching.Edge{U: i, V: j, W: w})
 			}
 			edges = append(edges, matching.Edge{U: k + i, V: k + j, W: 0})
 		}
-		if w := quant(d.dist[defects[i]][d.boundary]); w >= 0 {
+		if w := quantWeight(ri.dist[d.boundary]); w >= 0 {
 			edges = append(edges, matching.Edge{U: i, V: k + i, W: w})
 		}
 	}
-	mate, err := matching.MinWeightPerfectMatching(2*k, edges)
+	var mate []int
+	var err error
+	if s != nil {
+		s.edges = edges
+		mate, err = s.match.MinWeightPerfectMatching(2*k, edges)
+	} else {
+		mate, err = matching.MinWeightPerfectMatching(2*k, edges)
+	}
 	if err != nil {
 		return 0, fmt.Errorf("decoder: defects unmatchable: %w", err)
 	}
@@ -344,9 +520,9 @@ func (d *Decoder) Decode(defects []int) (uint64, error) {
 		m := mate[i]
 		switch {
 		case m == k+i: // matched to the boundary
-			obs ^= d.mask[defects[i]][d.boundary]
+			obs ^= d.row(defects[i]).mask[d.boundary]
 		case m < k && m > i: // defect-defect pair, counted once
-			obs ^= d.mask[defects[i]][defects[m]]
+			obs ^= d.row(defects[i]).mask[defects[m]]
 		}
 	}
 	return obs, nil
@@ -356,6 +532,15 @@ func (d *Decoder) Decode(defects []int) (uint64, error) {
 type Stats struct {
 	Shots         int
 	LogicalErrors int // shots where prediction != actual observable flips
+
+	// CacheHits and CacheMisses count syndrome-cache outcomes over the
+	// non-empty defect sets decoded (both zero when the cache is disabled
+	// or the slow path forced). They are observability counters: which
+	// range first sees a syndrome depends on goroutine scheduling, so
+	// unlike Shots and LogicalErrors they are not bit-identical across
+	// worker counts.
+	CacheHits   int
+	CacheMisses int
 }
 
 // LogicalErrorRate returns the per-shot logical error probability.
@@ -369,27 +554,46 @@ func (s Stats) LogicalErrorRate() float64 {
 // Merge returns the combined stats of s and o; per-range tallies combine in
 // any grouping, which is what lets the Monte-Carlo engine shard decoding.
 func (s Stats) Merge(o Stats) Stats {
-	return Stats{Shots: s.Shots + o.Shots, LogicalErrors: s.LogicalErrors + o.LogicalErrors}
+	return Stats{
+		Shots:         s.Shots + o.Shots,
+		LogicalErrors: s.LogicalErrors + o.LogicalErrors,
+		CacheHits:     s.CacheHits + o.CacheHits,
+		CacheMisses:   s.CacheMisses + o.CacheMisses,
+	}
 }
 
 // DecodeRange decodes shots [lo, hi) of a batch serially on the calling
 // goroutine and compares predictions against the actual observable flips.
-// The decoder's tables are immutable after construction, so disjoint ranges
-// decode concurrently; callers that shard a batch merge the per-range Stats.
+// The decoder's tables are immutable (or published atomically) after
+// construction, so disjoint ranges decode concurrently; callers that shard
+// a batch merge the per-range Stats. It allocates one scratch arena for the
+// whole range; loops that decode many ranges should hold a Scratch and call
+// DecodeRangeScratch.
 func (d *Decoder) DecodeRange(batch *frame.Batch, lo, hi int) (Stats, error) {
+	return d.DecodeRangeScratch(batch, lo, hi, d.NewScratch())
+}
+
+// DecodeRangeScratch is DecodeRange with a caller-owned scratch arena: the
+// per-shot defect list, matching edges, cache keys and blossom state all
+// live in s, so the steady-state hot loop does not allocate. The scratch
+// must not be shared between concurrent calls.
+func (d *Decoder) DecodeRangeScratch(batch *frame.Batch, lo, hi int, s *Scratch) (Stats, error) {
 	var stats Stats
 	for shot := lo; shot < hi; shot++ {
-		defects := batch.ShotDetectors(shot)
-		pred, err := d.Decode(defects)
+		s.defects = batch.AppendShotDetectors(s.defects[:0], shot)
+		pred, hit, err := d.decode(s.defects, s)
 		if err != nil {
 			return stats, err
 		}
-		var actual uint64
-		for _, o := range batch.ShotObservables(shot) {
-			actual |= 1 << uint(o)
+		if d.cache != nil && len(s.defects) > 0 {
+			if hit {
+				stats.CacheHits++
+			} else {
+				stats.CacheMisses++
+			}
 		}
 		stats.Shots++
-		if pred != actual {
+		if pred != batch.ObservableMask(shot) {
 			stats.LogicalErrors++
 		}
 	}

@@ -258,8 +258,14 @@ func TestDecodeRangeShardsMatchBatch(t *testing.T) {
 		}
 		merged = merged.Merge(part)
 	}
-	if merged != whole {
+	// Shots and LogicalErrors must merge exactly; the cache counters are
+	// deliberately excluded — the DecodeBatch pass warmed the syndrome
+	// cache, so the range passes see more hits than a cold run.
+	if merged.Shots != whole.Shots || merged.LogicalErrors != whole.LogicalErrors {
 		t.Errorf("merged range stats %+v != batch stats %+v", merged, whole)
+	}
+	if merged.CacheHits+merged.CacheMisses > merged.Shots {
+		t.Errorf("cache counters exceed decoded shots: %+v", merged)
 	}
 }
 

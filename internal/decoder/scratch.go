@@ -1,0 +1,34 @@
+package decoder
+
+import "surfstitch/internal/matching"
+
+// Scratch is a per-goroutine arena for the decode hot loop: the defect
+// list, matching edge buffer, syndrome-cache key buffer and the blossom
+// matcher's internal state, all reused across shots so that steady-state
+// decoding does not allocate. DecodeRange creates one per call; callers
+// that decode many ranges (the Monte-Carlo chunk loop) should hold one per
+// worker and use DecodeRangeScratch. A Scratch must never be shared
+// between concurrent calls.
+type Scratch struct {
+	defects []int
+	edges   []matching.Edge
+	key     []byte
+	match   matching.Scratch
+}
+
+// NewScratch returns a scratch arena pre-sized for the sparse syndromes
+// that dominate sub-threshold decoding.
+func (d *Decoder) NewScratch() *Scratch {
+	return &Scratch{
+		defects: make([]int, 0, 16),
+		edges:   make([]matching.Edge, 0, 64),
+		key:     make([]byte, 0, 64),
+	}
+}
+
+// DecodeWithScratch is Decode with a caller-owned scratch: identical
+// results, but cache hits and the k<=2 closed forms run allocation-free.
+func (d *Decoder) DecodeWithScratch(defects []int, s *Scratch) (uint64, error) {
+	obs, _, err := d.decode(defects, s)
+	return obs, err
+}

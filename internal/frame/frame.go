@@ -32,23 +32,45 @@ type Batch struct {
 
 // ShotDetectors returns the indices of flipped detectors in one shot.
 func (b *Batch) ShotDetectors(shot int) []int {
-	return planeBitsAt(b.DetFlips, shot)
+	return b.AppendShotDetectors(nil, shot)
+}
+
+// AppendShotDetectors appends the indices of flipped detectors in one shot
+// to dst and returns the extended slice: the buffer-reusing variant of
+// ShotDetectors for decode hot loops (pass a retained buffer as dst[:0] to
+// avoid the per-shot allocation).
+func (b *Batch) AppendShotDetectors(dst []int, shot int) []int {
+	return appendPlaneBitsAt(dst, b.DetFlips, shot)
 }
 
 // ShotObservables returns the indices of flipped observables in one shot.
 func (b *Batch) ShotObservables(shot int) []int {
-	return planeBitsAt(b.ObsFlips, shot)
+	return appendPlaneBitsAt(nil, b.ObsFlips, shot)
 }
 
-func planeBitsAt(planes [][]uint64, shot int) []int {
+// ObservableMask returns one shot's flipped observables as a bitmask
+// (observable i sets bit i) without allocating — the representation decoder
+// predictions are compared against. Observables past index 63 are not
+// representable; the detector-error-model pipeline caps observables at 64.
+func (b *Batch) ObservableMask(shot int) uint64 {
 	w, bit := shot/64, uint(shot%64)
-	var out []int
-	for i, plane := range planes {
+	var mask uint64
+	for i, plane := range b.ObsFlips {
 		if plane[w]&(1<<bit) != 0 {
-			out = append(out, i)
+			mask |= 1 << uint(i)
 		}
 	}
-	return out
+	return mask
+}
+
+func appendPlaneBitsAt(dst []int, planes [][]uint64, shot int) []int {
+	w, bit := shot/64, uint(shot%64)
+	for i, plane := range planes {
+		if plane[w]&(1<<bit) != 0 {
+			dst = append(dst, i)
+		}
+	}
+	return dst
 }
 
 // CountFlips returns, for each plane in planes, the number of shots flipped.

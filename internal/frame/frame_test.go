@@ -356,3 +356,46 @@ func TestChunkedSamplerMatchesSampler(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendShotDetectorsMatchesShotDetectors(t *testing.T) {
+	c := repCodeCircuit(t, 0.05)
+	s, _ := NewSampler(c, rand.New(rand.NewSource(555)))
+	batch := s.Sample(300)
+	buf := make([]int, 0, 8)
+	for shot := 0; shot < batch.Shots; shot++ {
+		want := batch.ShotDetectors(shot)
+		got := batch.AppendShotDetectors(buf[:0], shot)
+		if len(got) != len(want) {
+			t.Fatalf("shot %d: append got %v, want %v", shot, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shot %d: append got %v, want %v", shot, got, want)
+			}
+		}
+		// The append form must grow the caller's buffer, not replace it,
+		// whenever capacity suffices.
+		if len(got) > 0 && len(got) <= cap(buf) && &got[0] != &buf[:1][0] {
+			t.Fatalf("shot %d: AppendShotDetectors reallocated despite capacity %d for %d defects",
+				shot, cap(buf), len(got))
+		}
+		if cap(got) > cap(buf) {
+			buf = got // keep the grown buffer, as callers do
+		}
+	}
+}
+
+func TestObservableMaskMatchesShotObservables(t *testing.T) {
+	c := repCodeCircuit(t, 0.05)
+	s, _ := NewSampler(c, rand.New(rand.NewSource(556)))
+	batch := s.Sample(300)
+	for shot := 0; shot < batch.Shots; shot++ {
+		var want uint64
+		for _, o := range batch.ShotObservables(shot) {
+			want |= 1 << uint(o)
+		}
+		if got := batch.ObservableMask(shot); got != want {
+			t.Fatalf("shot %d: ObservableMask = %b, want %b", shot, got, want)
+		}
+	}
+}

@@ -61,11 +61,23 @@ type matcher struct {
 	dualvar          []int64
 	allowedge        []bool
 	queue            []int
+	leavesBuf        []int // reused by assignLabel's queue fill
 }
 
 func newMatcher(n int, edges []Edge, maxCard bool) *matcher {
-	m := &matcher{nvertex: n, nedge: len(edges), maxCard: maxCard}
-	m.edges = make([]Edge, len(edges))
+	m := &matcher{}
+	m.reset(n, edges, maxCard)
+	return m
+}
+
+// reset (re)initializes the matcher for a fresh run over n vertices and the
+// given edges, reusing every buffer whose capacity suffices. A matcher that
+// lives inside a Scratch is reset once per matching call, which is what
+// makes repeated small matchings (the decoder's per-shot blossom runs)
+// allocation-free in the steady state.
+func (m *matcher) reset(n int, edges []Edge, maxCard bool) {
+	m.nvertex, m.nedge, m.maxCard = n, len(edges), maxCard
+	m.edges = resizeEdges(m.edges, len(edges))
 	var maxw int64
 	for i, e := range edges {
 		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n || e.U == e.V {
@@ -77,49 +89,104 @@ func newMatcher(n int, edges []Edge, maxCard bool) *matcher {
 			maxw = 2 * e.W
 		}
 	}
-	m.endpoint = make([]int, 2*m.nedge)
-	m.neighbend = make([][]int, n)
+	m.endpoint = resizeInts(m.endpoint, 2*m.nedge)
+	m.neighbend = resizeIntSlices(m.neighbend, n)
+	for v := 0; v < n; v++ {
+		m.neighbend[v] = m.neighbend[v][:0]
+	}
 	for k, e := range m.edges {
 		m.endpoint[2*k] = e.U
 		m.endpoint[2*k+1] = e.V
 		m.neighbend[e.U] = append(m.neighbend[e.U], 2*k+1)
 		m.neighbend[e.V] = append(m.neighbend[e.V], 2*k)
 	}
-	m.mate = filled(n, noNode)
-	m.label = make([]int, 2*n)
-	m.labelend = filled(2*n, noNode)
-	m.inblossom = iota2(n)
-	m.blossomparent = filled(2*n, noNode)
-	m.blossomchilds = make([][]int, 2*n)
-	m.blossombase = append(iota2(n), filled(n, noNode)...)
-	m.blossomendps = make([][]int, 2*n)
-	m.bestedge = filled(2*n, noNode)
-	m.blossombestedges = make([][]int, 2*n)
-	m.unusedblossoms = make([]int, 0, n)
+	m.mate = resizeInts(m.mate, n)
+	fillInts(m.mate, noNode)
+	m.label = resizeInts(m.label, 2*n)
+	fillInts(m.label, 0)
+	m.labelend = resizeInts(m.labelend, 2*n)
+	fillInts(m.labelend, noNode)
+	m.inblossom = resizeInts(m.inblossom, n)
+	for i := range m.inblossom {
+		m.inblossom[i] = i
+	}
+	m.blossomparent = resizeInts(m.blossomparent, 2*n)
+	fillInts(m.blossomparent, noNode)
+	m.blossomchilds = resizeIntSlices(m.blossomchilds, 2*n)
+	m.blossomendps = resizeIntSlices(m.blossomendps, 2*n)
+	m.blossombestedges = resizeIntSlices(m.blossombestedges, 2*n)
+	for i := 0; i < 2*n; i++ {
+		m.blossomchilds[i] = nil
+		m.blossomendps[i] = nil
+		m.blossombestedges[i] = nil
+	}
+	m.blossombase = resizeInts(m.blossombase, 2*n)
+	for v := 0; v < n; v++ {
+		m.blossombase[v] = v
+		m.blossombase[n+v] = noNode
+	}
+	m.bestedge = resizeInts(m.bestedge, 2*n)
+	fillInts(m.bestedge, noNode)
+	m.unusedblossoms = m.unusedblossoms[:0]
 	for b := n; b < 2*n; b++ {
 		m.unusedblossoms = append(m.unusedblossoms, b)
 	}
-	m.dualvar = make([]int64, 2*n)
+	m.dualvar = resizeInt64s(m.dualvar, 2*n)
 	for v := 0; v < n; v++ {
 		m.dualvar[v] = maxw
+		m.dualvar[n+v] = 0
 	}
-	m.allowedge = make([]bool, m.nedge)
-	return m
+	m.allowedge = resizeBools(m.allowedge, m.nedge)
+	for i := range m.allowedge {
+		m.allowedge[i] = false
+	}
+	m.queue = m.queue[:0]
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeInt64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func resizeEdges(s []Edge, n int) []Edge {
+	if cap(s) < n {
+		return make([]Edge, n)
+	}
+	return s[:n]
+}
+
+func resizeIntSlices(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		return make([][]int, n)
+	}
+	return s[:n]
+}
+
+func fillInts(s []int, v int) {
+	for i := range s {
+		s[i] = v
+	}
 }
 
 func filled(n, v int) []int {
 	s := make([]int, n)
-	for i := range s {
-		s[i] = v
-	}
-	return s
-}
-
-func iota2(n int) []int {
-	s := make([]int, n)
-	for i := range s {
-		s[i] = i
-	}
+	fillInts(s, v)
 	return s
 }
 
@@ -153,9 +220,9 @@ func (m *matcher) assignLabel(w, t, p int) {
 	m.bestedge[w] = noNode
 	m.bestedge[b] = noNode
 	if t == 1 {
-		var leaves []int
-		m.blossomLeaves(b, &leaves)
-		m.queue = append(m.queue, leaves...)
+		m.leavesBuf = m.leavesBuf[:0]
+		m.blossomLeaves(b, &m.leavesBuf)
+		m.queue = append(m.queue, m.leavesBuf...)
 	} else if t == 2 {
 		base := m.blossombase[b]
 		if m.mate[base] < 0 {

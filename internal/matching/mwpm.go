@@ -23,6 +23,46 @@ func MinWeightPerfectMatching(n int, edges []Edge) ([]int, error) {
 	return mate, nil
 }
 
+// Scratch holds reusable matcher state for callers that solve many small
+// matchings in a loop — the decoder's per-shot blossom runs. The zero value
+// is ready to use. A Scratch is not safe for concurrent use; give each
+// goroutine its own.
+type Scratch struct {
+	neg  []Edge
+	mate []int
+	m    matcher
+}
+
+// MinWeightPerfectMatching is the scratch-reusing variant of the package
+// function: identical results, but every internal buffer — including the
+// returned mate slice — is owned by the Scratch and overwritten by the next
+// call. Callers must consume (or copy) the result before reusing s.
+func (s *Scratch) MinWeightPerfectMatching(n int, edges []Edge) ([]int, error) {
+	if n%2 != 0 {
+		return nil, fmt.Errorf("matching: perfect matching needs an even vertex count, got %d", n)
+	}
+	s.mate = resizeInts(s.mate, n)
+	if n == 0 {
+		return s.mate, nil
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("matching: vertex 0 unmatched; graph has no perfect matching")
+	}
+	s.neg = resizeEdges(s.neg, len(edges))
+	for i, e := range edges {
+		s.neg[i] = Edge{U: e.U, V: e.V, W: -e.W}
+	}
+	s.m.reset(n, s.neg, true)
+	s.m.run()
+	for v := 0; v < n; v++ {
+		if s.m.mate[v] < 0 {
+			return nil, fmt.Errorf("matching: vertex %d unmatched; graph has no perfect matching", v)
+		}
+		s.mate[v] = s.m.endpoint[s.m.mate[v]]
+	}
+	return s.mate, nil
+}
+
 // MatchingWeight sums the weights of the matched edges under mate, counting
 // each pair once. Edges absent from the edge list contribute nothing; use it
 // with matchings produced from the same edge list.

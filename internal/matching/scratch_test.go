@@ -1,0 +1,130 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// completeGraph builds K_n with random integer weights in [0, 100).
+func completeGraph(rng *rand.Rand, n int) []Edge {
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, Edge{u, v, int64(rng.Intn(100))})
+		}
+	}
+	return edges
+}
+
+func TestScratchMatchesOneShotOnCompleteGraphs(t *testing.T) {
+	// One Scratch reused across graphs of varying size must return exactly
+	// what the allocating entry point returns — including after shrinking,
+	// growing, and revisiting a size (stale-buffer hazards).
+	rng := rand.New(rand.NewSource(11))
+	var s Scratch
+	sizes := []int{4, 10, 2, 16, 6, 16, 4, 12, 8, 2}
+	for trial, n := range sizes {
+		edges := completeGraph(rng, n)
+		want, wantErr := MinWeightPerfectMatching(n, edges)
+		got, gotErr := s.MinWeightPerfectMatching(n, edges)
+		if (gotErr != nil) != (wantErr != nil) {
+			t.Fatalf("trial %d n=%d: scratch err=%v, one-shot err=%v", trial, n, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d n=%d: scratch mate=%v, one-shot mate=%v\nedges=%v",
+					trial, n, got, want, edges)
+			}
+		}
+	}
+}
+
+func TestScratchMatchesOneShotOnSparseGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var s Scratch
+	for trial := 0; trial < 200; trial++ {
+		n := 2 * (1 + rng.Intn(8))
+		var edges []Edge
+		// A guaranteed perfect matching backbone plus random extras.
+		perm := rng.Perm(n)
+		for i := 0; i < n; i += 2 {
+			u, v := perm[i], perm[i+1]
+			if u > v {
+				u, v = v, u
+			}
+			edges = append(edges, Edge{u, v, int64(rng.Intn(100))})
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.3 {
+					edges = append(edges, Edge{u, v, int64(rng.Intn(100))})
+				}
+			}
+		}
+		want, wantErr := MinWeightPerfectMatching(n, edges)
+		got, gotErr := s.MinWeightPerfectMatching(n, edges)
+		if (gotErr != nil) != (wantErr != nil) {
+			t.Fatalf("trial %d: scratch err=%v, one-shot err=%v", trial, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		wantWeight := MatchingWeight(edges, want)
+		gotWeight := MatchingWeight(edges, got)
+		if gotWeight != wantWeight {
+			t.Fatalf("trial %d: scratch weight %d != one-shot weight %d\nedges=%v",
+				trial, gotWeight, wantWeight, edges)
+		}
+	}
+}
+
+func TestScratchErrorCases(t *testing.T) {
+	var s Scratch
+	if _, err := s.MinWeightPerfectMatching(3, []Edge{{0, 1, 1}}); err == nil {
+		t.Fatal("odd vertex count must error")
+	}
+	if _, err := s.MinWeightPerfectMatching(2, nil); err == nil {
+		t.Fatal("edgeless non-empty graph must error")
+	}
+	// Disconnected vertex: no perfect matching exists.
+	if _, err := s.MinWeightPerfectMatching(4, []Edge{{0, 1, 1}}); err == nil {
+		t.Fatal("graph with unmatchable vertices must error")
+	}
+	mate, err := s.MinWeightPerfectMatching(0, nil)
+	if err != nil || len(mate) != 0 {
+		t.Fatalf("empty graph: mate=%v err=%v", mate, err)
+	}
+	// A failed call must not poison the next success.
+	mate, err = s.MinWeightPerfectMatching(2, []Edge{{0, 1, 5}})
+	if err != nil || mate[0] != 1 || mate[1] != 0 {
+		t.Fatalf("after errors: mate=%v err=%v", mate, err)
+	}
+}
+
+func TestScratchReturnedSliceReusedAcrossCalls(t *testing.T) {
+	// Documented contract: the returned mate slice belongs to the Scratch and
+	// is overwritten by the next call.
+	var s Scratch
+	first, err := s.MinWeightPerfectMatching(2, []Edge{{0, 1, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]int(nil), first...)
+	if _, err := s.MinWeightPerfectMatching(2, []Edge{{0, 1, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if first[0] != snapshot[0] || first[1] != snapshot[1] {
+		// Same-size reuse keeps contents equal here, but the identity must hold.
+		t.Fatalf("mate contents changed unexpectedly: %v vs %v", first, snapshot)
+	}
+	second, err := s.MinWeightPerfectMatching(2, []Edge{{0, 1, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] != &second[0] {
+		t.Fatal("scratch did not reuse its mate buffer for a same-size graph")
+	}
+}

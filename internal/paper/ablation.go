@@ -134,6 +134,59 @@ func AblationDecoderPeeling(cfg Config) (AblationResult, error) {
 	return res, nil
 }
 
+// AblationDecoderFastPath checks that the sparse-syndrome fast path is a
+// pure optimization: distance-5 heavy-square logical error rates with the
+// fast path and with the forced slow path must be *equal* (the two decoders
+// are bit-identical by construction; a nonzero gap here is a bug, not a
+// trade-off).
+func AblationDecoderFastPath(cfg Config) (AblationResult, error) {
+	cfg = cfg.withDefaults()
+	res := AblationResult{Name: "decoder fast path", Unit: "logical error rate @ p=0.002 (must match)"}
+	_, layout, err := synth.FitDevice(device.KindHeavySquare, 5, synth.ModeDefault)
+	if err != nil {
+		return res, err
+	}
+	s, err := synth.SynthesizeOnLayout(layout, synth.Options{})
+	if err != nil {
+		return res, err
+	}
+	m, err := experiment.NewMemory(s, 15, experiment.Options{})
+	if err != nil {
+		return res, err
+	}
+	noisy, err := m.Noisy(noise.Model{GateError: 0.002, IdleError: noise.DefaultIdleError})
+	if err != nil {
+		return res, err
+	}
+	model, err := dem.FromCircuit(noisy)
+	if err != nil {
+		return res, err
+	}
+	for i, slow := range []bool{false, true} {
+		dec, err := decoder.NewWithOptions(model, decoder.Options{ForceSlowPath: slow})
+		if err != nil {
+			return res, err
+		}
+		sampler, err := frame.NewSampler(noisy, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return res, err
+		}
+		stats, err := dec.DecodeBatch(sampler.Sample(cfg.Shots))
+		if err != nil {
+			return res, err
+		}
+		if i == 0 {
+			res.Baseline = stats.LogicalErrorRate()
+		} else {
+			res.Ablated = stats.LogicalErrorRate()
+		}
+	}
+	if res.Baseline != res.Ablated {
+		return res, fmt.Errorf("paper: fast path diverged from slow path: %.6g vs %.6g", res.Baseline, res.Ablated)
+	}
+	return res, nil
+}
+
 // logicalRateOf runs the standard memory pipeline for a synthesis.
 func logicalRateOf(s *synth.Synthesis, p float64, cfg Config) (float64, error) {
 	m, err := experiment.NewMemory(s, 3*s.Layout.Code.Distance(), experiment.Options{})
@@ -177,5 +230,9 @@ func Ablations(cfg Config) ([]AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []AblationResult{tree, hook, peel}, nil
+	fast, err := AblationDecoderFastPath(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationResult{tree, hook, peel, fast}, nil
 }

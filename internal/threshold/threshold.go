@@ -155,8 +155,14 @@ func EstimatePointContext(ctx context.Context, prov CircuitProvider, p float64, 
 	if cfg.Progress != nil {
 		mcCfg.Progress = func(pr mc.Progress) { cfg.Progress(p, pr) }
 	}
+	// Scratch arenas are pooled across chunks so each worker goroutine
+	// reuses its decode buffers (defect lists, matching edges, blossom
+	// state) for the whole point instead of reallocating per chunk.
+	scratch := sync.Pool{New: func() any { return dec.NewScratch() }}
 	res, err := mc.Run(ctx, mcCfg, func(_ int, rng *rand.Rand, shots int) (mc.Tally, error) {
-		st, err := dec.DecodeRange(sampler.SampleChunk(rng, shots), 0, shots)
+		s := scratch.Get().(*decoder.Scratch)
+		defer scratch.Put(s)
+		st, err := dec.DecodeRangeScratch(sampler.SampleChunk(rng, shots), 0, shots, s)
 		return mc.Tally{Shots: st.Shots, Errors: st.LogicalErrors}, err
 	})
 	if err != nil {
