@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-core lint chaos verify bench bench-json
+.PHONY: build test vet race race-core lint chaos verify bench bench-json obs-smoke
 
 build:
 	$(GO) build ./...
@@ -45,3 +45,11 @@ bench:
 # both paths to BENCH_decode.json.
 bench-json:
 	$(GO) run ./cmd/benchdecode -out BENCH_decode.json
+
+# Observability smoke: launch cmd/threshold against a live -metrics-addr,
+# scrape /metrics mid-run, and assert the core series (synth stage spans,
+# shots/sec, decoder k-histogram, cache counters) exist and parse as
+# Prometheus text.
+obs-smoke:
+	$(GO) build -o bin/threshold ./cmd/threshold
+	$(GO) run ./cmd/obssmoke -bin bin/threshold

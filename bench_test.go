@@ -9,6 +9,7 @@
 package surfstitch
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -163,9 +164,9 @@ func BenchmarkSynthesize(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
-			dev := NewDevice(c.arch, c.w, c.h)
+			dev := MustDevice(c.arch, c.w, c.h)
 			for i := 0; i < b.N; i++ {
-				if _, err := Synthesize(dev, 3, Options{Mode: c.mode}); err != nil {
+				if _, err := Synthesize(context.Background(), dev, 3, Options{Mode: c.mode}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -220,14 +221,14 @@ func BenchmarkEstimatePointParallel(b *testing.B) {
 // BenchmarkEndToEnd measures the full memory-experiment pipeline (noise,
 // DEM extraction, decoding) per 1000 shots on the heavy-square code.
 func BenchmarkEndToEnd(b *testing.B) {
-	dev := NewDevice(HeavySquare, 4, 3)
-	syn, err := Synthesize(dev, 3, Options{})
+	dev := MustDevice(HeavySquare, 4, 3)
+	syn, err := Synthesize(context.Background(), dev, 3, Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := EstimateLogicalErrorRate(syn, 0.002, SimConfig{Shots: 1000, Seed: int64(i + 1)})
+		res, err := EstimateLogicalErrorRate(context.Background(), syn, 0.002, RunConfig{Shots: 1000, Seed: int64(i + 1)})
 		if err != nil {
 			b.Fatal(err)
 		}

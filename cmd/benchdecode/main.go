@@ -26,6 +26,7 @@ import (
 	"surfstitch/internal/experiment"
 	"surfstitch/internal/frame"
 	"surfstitch/internal/noise"
+	"surfstitch/internal/obs"
 	"surfstitch/internal/synth"
 )
 
@@ -51,6 +52,7 @@ type Comparison struct {
 
 // Report is the BENCH_decode.json document.
 type Report struct {
+	SchemaVersion int          `json:"schema_version"`
 	PhysicalError float64      `json:"physical_error"`
 	ShotsPerBatch int          `json:"shots_per_batch"`
 	Comparisons   []Comparison `json:"comparisons"`
@@ -157,7 +159,7 @@ func main() {
 	)
 	flag.Parse()
 
-	report := Report{PhysicalError: *p, ShotsPerBatch: *shots}
+	report := Report{SchemaVersion: obs.SchemaVersion, PhysicalError: *p, ShotsPerBatch: *shots}
 	fmt.Printf("%-6s %12s %12s %14s %14s %10s\n",
 		"d", "fast ns/shot", "slow ns/shot", "fast allocs/sh", "slow allocs/sh", "speedup")
 	for _, d := range []int{3, 5, 7} {

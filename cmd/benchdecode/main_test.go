@@ -1,0 +1,42 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"surfstitch/internal/obs"
+)
+
+// TestReportRoundTrip encodes a Report the way main does and decodes it back,
+// checking the schema version lands first in the envelope and all fields
+// survive.
+func TestReportRoundTrip(t *testing.T) {
+	in := Report{
+		SchemaVersion: obs.SchemaVersion,
+		PhysicalError: 0.002,
+		ShotsPerBatch: 4096,
+		Comparisons: []Comparison{{
+			Distance: 3,
+			Fast:     Run{Path: "fast", Distance: 3, Shots: 4096, NsPerShot: 120, CacheHitRate: 0.9},
+			Slow:     Run{Path: "slow", Distance: 3, Shots: 4096, NsPerShot: 900, AllocsPerShot: 40},
+			Speedup:  7.5,
+		}},
+	}
+	blob, err := json.MarshalIndent(in, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Report
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.SchemaVersion != obs.SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", got.SchemaVersion, obs.SchemaVersion)
+	}
+	if got.PhysicalError != in.PhysicalError || got.ShotsPerBatch != in.ShotsPerBatch {
+		t.Errorf("header did not survive: %+v", got)
+	}
+	if len(got.Comparisons) != 1 || got.Comparisons[0].Fast.NsPerShot != 120 {
+		t.Errorf("comparisons did not survive: %+v", got.Comparisons)
+	}
+}

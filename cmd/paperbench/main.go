@@ -24,9 +24,21 @@ import (
 
 	"surfstitch/internal/device"
 	"surfstitch/internal/mc"
+	"surfstitch/internal/obs"
 	"surfstitch/internal/paper"
 	"surfstitch/internal/synth"
 )
+
+// benchSettings is the resolved flag set recorded in the run manifest.
+type benchSettings struct {
+	Only       string  `json:"only,omitempty"`
+	Shots      int     `json:"shots"`
+	Trials     int     `json:"trials"`
+	Thresholds bool    `json:"thresholds,omitempty"`
+	Workers    int     `json:"workers"`
+	TargetRSE  float64 `json:"target_rse,omitempty"`
+	MaxErrors  int     `json:"max_errors,omitempty"`
+}
 
 func main() {
 	var (
@@ -39,6 +51,9 @@ func main() {
 		targRSE    = flag.Float64("target-rse", 0, "stop each sweep point once the Wilson interval's relative half-width reaches this (0 = fixed budget)")
 		maxErrs    = flag.Int("max-errors", 0, "stop each sweep point after this many logical errors (0 = fixed budget)")
 		progress   = flag.Bool("progress", false, "print live sampling progress to stderr")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/pprof and /debug/vars on this address (e.g. 127.0.0.1:8080)")
+		manifestOut = flag.String("manifest-out", "", "write the run manifest (seed, config, git revision, timings, final stats) to this file")
 	)
 	flag.Parse()
 	if err := validateFlags(*only, *shots, *workers, *targRSE, *maxErrs, *trials); err != nil {
@@ -46,9 +61,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "run with -h for usage")
 		os.Exit(2)
 	}
+
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		_, bound, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "paperbench: serving metrics on http://%s/metrics\n", bound)
+	}
+	var manifest *obs.Manifest
+	if *manifestOut != "" {
+		manifest = obs.NewManifest("paperbench", *seed, benchSettings{
+			Only: *only, Shots: *shots, Trials: *trials, Thresholds: *thresholds,
+			Workers: *workers, TargetRSE: *targRSE, MaxErrors: *maxErrs,
+		})
+		defer func() {
+			manifest.Finish(reg)
+			if err := manifest.WriteFile(*manifestOut); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: manifest:", err)
+			}
+		}()
+	}
+
 	cfg := paper.Config{
 		Shots: *shots, Seed: *seed,
 		Workers: *workers, TargetRSE: *targRSE, MaxErrors: *maxErrs,
+		Registry: reg,
 	}
 	if *progress {
 		var mu sync.Mutex

@@ -29,10 +29,24 @@ import (
 	"surfstitch/internal/circuit"
 	"surfstitch/internal/device"
 	"surfstitch/internal/experiment"
+	"surfstitch/internal/obs"
 	"surfstitch/internal/render"
 	"surfstitch/internal/synth"
 	"surfstitch/internal/verify"
 )
+
+// synthSettings is the resolved flag set recorded in the run manifest.
+type synthSettings struct {
+	Arch     string `json:"arch,omitempty"`
+	Preset   string `json:"preset,omitempty"`
+	W        int    `json:"w"`
+	H        int    `json:"h"`
+	Distance int    `json:"d"`
+	Mode     string `json:"mode"`
+	Fit      bool   `json:"fit,omitempty"`
+	NoRefine bool   `json:"norefine,omitempty"`
+	Defects  string `json:"defects,omitempty"`
+}
 
 func main() {
 	var (
@@ -52,11 +66,40 @@ func main() {
 		circOut  = flag.String("circuit", "", "write the memory-experiment circuit (stim-flavoured text) to this file")
 		rounds   = flag.Int("rounds", 0, "error-detection rounds for -circuit (default 3*d)")
 		defects  = flag.String("defects", "", "impose device defects: a DefectSet JSON file, or <generator>:<density>[:<seed>] with generator random, clustered or edge (e.g. random:0.03)")
+
+		traceOut    = flag.String("trace-out", "", "write JSONL trace spans of the synthesis stages to this file")
+		manifestOut = flag.String("manifest-out", "", "write the run manifest (config, git revision, timings, stage stats) to this file")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// Observability: stage spans land in the registry (and, with -trace-out,
+	// in a JSONL file); the manifest snapshots both at exit.
+	reg := obs.NewRegistry()
+	ctx = obs.ContextWithRegistry(ctx, reg)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		ctx = obs.ContextWithTracer(ctx, obs.NewTracer(f))
+	}
+	var manifest *obs.Manifest
+	if *manifestOut != "" {
+		manifest = obs.NewManifest("surfstitch", 0, synthSettings{
+			Arch: *arch, Preset: *preset, W: *w, H: *h, Distance: *d,
+			Mode: *mode, Fit: *fit, NoRefine: *noRef, Defects: *defects,
+		})
+		defer func() {
+			manifest.Finish(reg)
+			if err := manifest.WriteFile(*manifestOut); err != nil {
+				fmt.Fprintln(os.Stderr, "surfstitch: manifest:", err)
+			}
+		}()
+	}
 
 	// With -json, stdout carries only the report; commentary goes to stderr.
 	info := os.Stdout

@@ -21,6 +21,7 @@ package main
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -37,10 +38,33 @@ import (
 	"surfstitch/internal/device"
 	"surfstitch/internal/experiment"
 	"surfstitch/internal/mc"
+	"surfstitch/internal/obs"
 	"surfstitch/internal/paper"
 	"surfstitch/internal/synth"
 	"surfstitch/internal/threshold"
 )
+
+// runSettings is the resolved flag set recorded in the run manifest, so an
+// interrupted or archived run stays reproducible from its manifest alone.
+type runSettings struct {
+	Fig       string    `json:"fig,omitempty"`
+	Arch      string    `json:"arch,omitempty"`
+	Mode      string    `json:"mode"`
+	Basis     string    `json:"basis"`
+	Shots     int       `json:"shots"`
+	Ps        []float64 `json:"ps"`
+	Workers   int       `json:"workers"`
+	TargetRSE float64   `json:"target_rse,omitempty"`
+	MaxErrors int       `json:"max_errors,omitempty"`
+}
+
+// jsonReport is the versioned machine-readable output behind -json.
+type jsonReport struct {
+	SchemaVersion int               `json:"schema_version"`
+	Title         string            `json:"title"`
+	Interrupted   bool              `json:"interrupted,omitempty"`
+	Pairs         []paper.CurvePair `json:"pairs"`
+}
 
 func main() {
 	var (
@@ -56,6 +80,11 @@ func main() {
 		targRSE  = flag.Float64("target-rse", 0, "stop a sweep point once the Wilson interval's relative half-width reaches this (0 = fixed budget)")
 		maxErrs  = flag.Int("max-errors", 0, "stop a sweep point after this many logical errors (0 = fixed budget)")
 		progress = flag.Bool("progress", false, "print live sampling progress to stderr")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/pprof and /debug/vars on this address (e.g. 127.0.0.1:8080)")
+		traceOut    = flag.String("trace-out", "", "write JSONL trace spans to this file")
+		manifestOut = flag.String("manifest-out", "", "write the run manifest (seed, config, git revision, timings, final stats) to this file")
+		jsonOut     = flag.String("json", "", "also write the curves as versioned JSON to this file")
 	)
 	flag.Parse()
 
@@ -73,10 +102,38 @@ func main() {
 	// points finished are flushed below before exiting with code 130.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// Observability: the registry always exists (it also feeds the manifest's
+	// final stats snapshot); the HTTP endpoint and trace file are opt-in.
+	reg := obs.NewRegistry()
+	ctx = obs.ContextWithRegistry(ctx, reg)
+	if *metricsAddr != "" {
+		_, bound, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "threshold: serving metrics on http://%s/metrics\n", bound)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		ctx = obs.ContextWithTracer(ctx, obs.NewTracer(f))
+	}
+	settings := runSettings{
+		Fig: *fig, Arch: *arch, Mode: *mode, Basis: *basis,
+		Shots: *shots, Ps: sweep, Workers: *workers,
+		TargetRSE: *targRSE, MaxErrors: *maxErrs,
+	}
+	manifest := obs.NewManifest("threshold", *seed, settings)
+
 	cfg := paper.Config{
 		Ctx:   ctx,
 		Shots: *shots, Seed: *seed, Ps: sweep,
 		Workers: *workers, TargetRSE: *targRSE, MaxErrors: *maxErrs,
+		Registry: reg,
 	}
 	if *progress {
 		cfg.Progress = progressPrinter()
@@ -128,10 +185,40 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *csvOut)
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, title, interrupted, pairs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	// The manifest is flushed on the interrupted path too: a partial curve
+	// with no record of its seed and config cannot be resumed or trusted.
+	if *manifestOut != "" {
+		manifest.Interrupted = interrupted
+		manifest.Finish(reg)
+		if err := manifest.WriteFile(*manifestOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *manifestOut)
+	}
 	fmt.Printf("\nelapsed: %.1fs\n", time.Since(start).Seconds())
 	if interrupted {
 		os.Exit(130)
 	}
+}
+
+// writeJSON dumps the sweep as versioned, machine-readable JSON.
+func writeJSON(path, title string, interrupted bool, pairs []paper.CurvePair) error {
+	blob, err := json.MarshalIndent(jsonReport{
+		SchemaVersion: obs.SchemaVersion,
+		Title:         title,
+		Interrupted:   interrupted,
+		Pairs:         pairs,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }
 
 // progressPrinter returns a rate-limited live progress hook: at most a few
@@ -157,13 +244,14 @@ func sweepArch(ctx context.Context, kind device.Kind, m synth.Mode, basis experi
 	tc := threshold.Config{
 		Shots: cfg.Shots, Seed: cfg.Seed, Workers: cfg.Workers,
 		TargetRSE: cfg.TargetRSE, MaxErrors: cfg.MaxErrors, Progress: cfg.Progress,
+		Registry: cfg.Registry,
 	}
 	for _, d := range []int{3, 5} {
 		_, layout, err := synth.FitDevice(kind, d, m)
 		if err != nil {
 			return pair, err
 		}
-		s, err := synth.SynthesizeOnLayout(layout, synth.Options{Mode: m})
+		s, err := synth.SynthesizeOnLayoutContext(ctx, layout, synth.Options{Mode: m})
 		if err != nil {
 			return pair, err
 		}

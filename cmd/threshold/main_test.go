@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"surfstitch/internal/obs"
+	"surfstitch/internal/paper"
+	"surfstitch/internal/threshold"
+)
+
+// TestWriteJSONRoundTrip decodes the file writeJSON produces and checks the
+// schema version and payload survive the trip, so downstream consumers can
+// dispatch on schema_version before trusting the rest of the document.
+func TestWriteJSONRoundTrip(t *testing.T) {
+	pairs := []paper.CurvePair{{
+		Name:      "square",
+		Threshold: 0.0042,
+		D3:        threshold.Curve{Points: []threshold.Point{{P: 0.001, Logical: 0.01}}},
+		D5:        threshold.Curve{Points: []threshold.Point{{P: 0.001, Logical: 0.002}}},
+	}}
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := writeJSON(path, "figure 9(a)", true, pairs); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	var got jsonReport
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.SchemaVersion != obs.SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", got.SchemaVersion, obs.SchemaVersion)
+	}
+	if got.Title != "figure 9(a)" || !got.Interrupted {
+		t.Errorf("title/interrupted did not survive: %+v", got)
+	}
+	if len(got.Pairs) != 1 || got.Pairs[0].Name != "square" || got.Pairs[0].Threshold != 0.0042 {
+		t.Errorf("pairs did not survive: %+v", got.Pairs)
+	}
+
+	// A consumer that only knows the envelope must still find the version.
+	var envelope map[string]any
+	if err := json.Unmarshal(blob, &envelope); err != nil {
+		t.Fatalf("unmarshal envelope: %v", err)
+	}
+	if v, ok := envelope["schema_version"].(float64); !ok || int(v) != obs.SchemaVersion {
+		t.Errorf("envelope schema_version = %v, want %d", envelope["schema_version"], obs.SchemaVersion)
+	}
+}

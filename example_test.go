@@ -1,6 +1,7 @@
 package surfstitch_test
 
 import (
+	"context"
 	"fmt"
 
 	"surfstitch"
@@ -8,8 +9,8 @@ import (
 
 // The basic workflow: build a device, synthesize, inspect the metrics.
 func ExampleSynthesize() {
-	dev := surfstitch.NewDevice(surfstitch.HeavySquare, 5, 4)
-	syn, err := surfstitch.Synthesize(dev, 3, surfstitch.Options{})
+	dev := surfstitch.MustDevice(surfstitch.HeavySquare, 5, 4)
+	syn, err := surfstitch.Synthesize(context.Background(), dev, 3, surfstitch.Options{})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -26,8 +27,8 @@ func ExampleSynthesize() {
 // Verification gates a synthesis on determinism, the single-fault property
 // and hook orientation before it is trusted.
 func ExampleVerify() {
-	dev := surfstitch.NewDevice(surfstitch.Square, 6, 6)
-	syn, err := surfstitch.Synthesize(dev, 3, surfstitch.Options{Mode: surfstitch.ModeFour})
+	dev := surfstitch.MustDevice(surfstitch.Square, 6, 6)
+	syn, err := surfstitch.Synthesize(context.Background(), dev, 3, surfstitch.Options{Mode: surfstitch.ModeFour})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -54,13 +55,13 @@ func ExamplePresetDevice() {
 
 // Logical error estimation runs the full noisy sample-and-decode pipeline.
 func ExampleEstimateLogicalErrorRate() {
-	dev := surfstitch.NewDevice(surfstitch.Square, 6, 6)
-	syn, err := surfstitch.Synthesize(dev, 3, surfstitch.Options{Mode: surfstitch.ModeFour})
+	dev := surfstitch.MustDevice(surfstitch.Square, 6, 6)
+	syn, err := surfstitch.Synthesize(context.Background(), dev, 3, surfstitch.Options{Mode: surfstitch.ModeFour})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	res, err := surfstitch.EstimateLogicalErrorRate(syn, 0.001, surfstitch.SimConfig{Shots: 2000, Seed: 42})
+	res, err := surfstitch.EstimateLogicalErrorRate(context.Background(), syn, 0.001, surfstitch.RunConfig{Shots: 2000, Seed: 42})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -70,4 +71,28 @@ func ExampleEstimateLogicalErrorRate() {
 	// Output:
 	// sampled 2000 shots at p=0.001
 	// plausible: true
+}
+
+// Attaching a metrics registry makes a run observable: shot throughput,
+// decode-path breakdown, and per-stage span timings all land in one
+// Prometheus-exposable registry.
+func ExampleNewRegistry() {
+	reg := surfstitch.NewRegistry()
+	ctx := surfstitch.WithRegistry(context.Background(), reg)
+	dev := surfstitch.MustDevice(surfstitch.Square, 6, 6)
+	syn, err := surfstitch.Synthesize(ctx, dev, 3, surfstitch.Options{Mode: surfstitch.ModeFour})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if _, err := surfstitch.EstimateLogicalErrorRate(ctx, syn, 0.002, surfstitch.RunConfig{Shots: 1000, Seed: 7, Registry: reg}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	snap := reg.Snapshot()
+	fmt.Println("shots recorded:", snap["mc_shots_total"])
+	fmt.Println("synth stages timed:", snap[`span_count_total{span="synth.trees"}`] > 0)
+	// Output:
+	// shots recorded: 1000
+	// synth stages timed: true
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	distance := 3
 	configs := []struct {
 		name string
@@ -33,14 +35,17 @@ func main() {
 	fmt.Printf("%-16s %-9s %-7s %-7s %-7s %-22s %-10s\n",
 		"architecture", "bridge#", "CNOT#", "steps", "total", "utilization (d/b/u %)", "p_L@0.1%")
 	for _, c := range configs {
-		dev := surfstitch.NewDevice(c.arch, c.w, c.h)
-		syn, err := surfstitch.Synthesize(dev, distance, surfstitch.Options{Mode: c.mode})
+		dev, err := surfstitch.NewDevice(c.arch, c.w, c.h)
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		syn, err := surfstitch.Synthesize(ctx, dev, distance, surfstitch.Options{Mode: c.mode})
 		if err != nil {
 			log.Fatalf("%s: %v", c.name, err)
 		}
 		m := syn.Metrics()
 		u := syn.Utilization()
-		res, err := surfstitch.EstimateLogicalErrorRate(syn, 0.001, surfstitch.SimConfig{Shots: 3000})
+		res, err := surfstitch.EstimateLogicalErrorRate(ctx, syn, 0.001, surfstitch.RunConfig{Shots: 3000})
 		if err != nil {
 			log.Fatalf("%s: %v", c.name, err)
 		}

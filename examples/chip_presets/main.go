@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -51,11 +52,12 @@ func main() {
 // synthOn tries both syndrome-rectangle modes, reporting the default-mode
 // error when both fail.
 func synthOn(dev *surfstitch.Device) (*surfstitch.Synthesis, error) {
-	s, err := surfstitch.Synthesize(dev, 3, surfstitch.Options{})
+	ctx := context.Background()
+	s, err := surfstitch.Synthesize(ctx, dev, 3, surfstitch.Options{})
 	if err == nil {
 		return s, nil
 	}
-	if s4, err4 := surfstitch.Synthesize(dev, 3, surfstitch.Options{Mode: surfstitch.ModeFour}); err4 == nil {
+	if s4, err4 := surfstitch.Synthesize(ctx, dev, 3, surfstitch.Options{Mode: surfstitch.ModeFour}); err4 == nil {
 		return s4, nil
 	}
 	return nil, err

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,13 +37,14 @@ func main() {
 	fmt.Printf("custom device: %v\n", dev)
 	fmt.Println(dev.ASCII())
 
-	syn, err := surfstitch.Synthesize(dev, 3, surfstitch.Options{})
+	ctx := context.Background()
+	syn, err := surfstitch.Synthesize(ctx, dev, 3, surfstitch.Options{})
 	if err != nil {
 		log.Fatalf("synthesis failed: %v", err)
 	}
 	fmt.Print(syn.Describe(4))
 
-	res, err := surfstitch.EstimateLogicalErrorRate(syn, 0.002, surfstitch.SimConfig{Shots: 4000})
+	res, err := surfstitch.EstimateLogicalErrorRate(ctx, syn, 0.002, surfstitch.RunConfig{Shots: 4000})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,14 +12,19 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A heavy-hexagon device: the honeycomb brick wall with one extra qubit
 	// on every coupling (IBM's architecture).
-	dev := surfstitch.NewDevice(surfstitch.HeavyHexagon, 4, 5)
+	dev, err := surfstitch.NewDevice(surfstitch.HeavyHexagon, 4, 5)
+	if err != nil {
+		log.Fatalf("device: %v", err)
+	}
 	fmt.Printf("device: %v\n\n", dev)
 
 	// Stage 1-3 of the paper: allocate data qubits, build bridge trees,
 	// schedule the stabilizer measurements.
-	syn, err := surfstitch.Synthesize(dev, 3, surfstitch.Options{})
+	syn, err := surfstitch.Synthesize(ctx, dev, 3, surfstitch.Options{})
 	if err != nil {
 		log.Fatalf("synthesis failed: %v", err)
 	}
@@ -30,7 +36,7 @@ func main() {
 
 	// Monte-Carlo estimate of the logical error rate at a physical error
 	// rate of 0.1% (9 rounds of error detection, MWPM decoding).
-	res, err := surfstitch.EstimateLogicalErrorRate(syn, 0.001, surfstitch.SimConfig{Shots: 5000})
+	res, err := surfstitch.EstimateLogicalErrorRate(ctx, syn, 0.001, surfstitch.RunConfig{Shots: 5000})
 	if err != nil {
 		log.Fatalf("simulation failed: %v", err)
 	}

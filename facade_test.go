@@ -1,0 +1,249 @@
+package surfstitch
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// validSynthesis builds one small pristine synthesis for the estimation
+// entry points to reject bad numeric arguments against.
+func validSynthesis(t *testing.T) *Synthesis {
+	t.Helper()
+	syn, err := Synthesize(context.Background(), MustDevice(HeavySquare, 4, 3), 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return syn
+}
+
+// TestFacadeRejectsInvalidInputs drives every exported entry point with
+// out-of-domain inputs and requires a typed error — never a panic, never a
+// bare string-only failure.
+func TestFacadeRejectsInvalidInputs(t *testing.T) {
+	ctx := context.Background()
+	syn := validSynthesis(t)
+	dev := MustDevice(Square, 4, 4)
+	cases := []struct {
+		name string
+		want error
+		call func() error
+	}{
+		{"NewDevice unknown architecture", ErrInvalidConfig, func() error {
+			_, err := NewDevice(Architecture(42), 2, 2)
+			return err
+		}},
+		{"NewDevice degenerate tiling", ErrInvalidConfig, func() error {
+			_, err := NewDevice(Square, 0, 3)
+			return err
+		}},
+		{"Synthesize nil context", ErrInvalidConfig, func() error {
+			_, err := Synthesize(nil, dev, 3, Options{}) //nolint:staticcheck // deliberate misuse
+			return err
+		}},
+		{"Synthesize nil device", ErrInvalidConfig, func() error {
+			_, err := Synthesize(ctx, nil, 3, Options{})
+			return err
+		}},
+		{"Synthesize distance too small", ErrInvalidConfig, func() error {
+			_, err := Synthesize(ctx, dev, 1, Options{})
+			return err
+		}},
+		{"Synthesize distance too large", ErrNoPlacement, func() error {
+			_, err := Synthesize(ctx, dev, 9, Options{})
+			return err
+		}},
+		{"SynthesizeContext nil device", ErrInvalidConfig, func() error {
+			_, err := SynthesizeContext(ctx, nil, 3, Options{})
+			return err
+		}},
+		{"SynthesizeDegraded nil device", ErrInvalidConfig, func() error {
+			_, err := SynthesizeDegraded(ctx, nil, 3, Options{})
+			return err
+		}},
+		{"GenerateDefects nil device", ErrInvalidConfig, func() error {
+			_, err := GenerateDefects(nil, "random", 0.05, 1)
+			return err
+		}},
+		{"GenerateDefects unknown generator", ErrBadDefect, func() error {
+			_, err := GenerateDefects(dev, "cosmic-rays", 0.05, 1)
+			return err
+		}},
+		{"GenerateDefects density out of range", ErrBadDefect, func() error {
+			_, err := GenerateDefects(dev, "random", 1.5, 1)
+			return err
+		}},
+		{"NewMemory nil synthesis", ErrInvalidConfig, func() error {
+			_, err := NewMemory(nil, 9, MemoryOptions{})
+			return err
+		}},
+		{"NewMemory zero rounds", ErrInvalidConfig, func() error {
+			_, err := NewMemory(syn, 0, MemoryOptions{})
+			return err
+		}},
+		{"EstimateLogicalErrorRate nil synthesis", ErrInvalidConfig, func() error {
+			_, err := EstimateLogicalErrorRate(ctx, nil, 0.001, RunConfig{})
+			return err
+		}},
+		{"EstimateLogicalErrorRate p zero", ErrInvalidConfig, func() error {
+			_, err := EstimateLogicalErrorRate(ctx, syn, 0, RunConfig{})
+			return err
+		}},
+		{"EstimateLogicalErrorRate p one", ErrInvalidConfig, func() error {
+			_, err := EstimateLogicalErrorRate(ctx, syn, 1, RunConfig{})
+			return err
+		}},
+		{"EstimateLogicalErrorRate negative shots", ErrInvalidConfig, func() error {
+			_, err := EstimateLogicalErrorRate(ctx, syn, 0.001, RunConfig{Shots: -1})
+			return err
+		}},
+		{"EstimateCurve nil synthesis", ErrInvalidConfig, func() error {
+			_, err := EstimateCurve(ctx, nil, []float64{0.001}, RunConfig{})
+			return err
+		}},
+		{"EstimateCurve empty sweep", ErrInvalidConfig, func() error {
+			_, err := EstimateCurve(ctx, syn, nil, RunConfig{})
+			return err
+		}},
+		{"EstimateCurve negative rate", ErrInvalidConfig, func() error {
+			_, err := EstimateCurve(ctx, syn, []float64{-0.1}, RunConfig{})
+			return err
+		}},
+		{"EstimateThreshold nil builder", ErrInvalidConfig, func() error {
+			_, err := EstimateThreshold(ctx, nil, []float64{0.001}, RunConfig{})
+			return err
+		}},
+		{"EstimateThreshold bad config", ErrInvalidConfig, func() error {
+			build := func(d int) (*Synthesis, error) { return syn, nil }
+			_, err := EstimateThreshold(ctx, build, []float64{0.001}, RunConfig{Workers: -1})
+			return err
+		}},
+		{"Sweep degenerate range", ErrInvalidConfig, func() error {
+			_, err := Sweep(0.01, 0.001, 5)
+			return err
+		}},
+		{"Sweep too few points", ErrInvalidConfig, func() error {
+			_, err := Sweep(0.001, 0.01, 1)
+			return err
+		}},
+		{"PresetDevice unknown name", ErrInvalidConfig, func() error {
+			_, err := PresetDevice("bogus-chip")
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call()
+			if err == nil {
+				t.Fatal("invalid input accepted")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v does not unwrap to %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunConfigValidate exercises each out-of-domain field of RunConfig.
+func TestRunConfigValidate(t *testing.T) {
+	if err := (RunConfig{}).Validate(); err != nil {
+		t.Fatalf("zero value rejected: %v", err)
+	}
+	bad := []RunConfig{
+		{Shots: -1},
+		{Rounds: -5},
+		{IdleError: -0.1},
+		{IdleError: 1.5},
+		{Basis: Basis(7)},
+		{Workers: -2},
+		{TargetRSE: -0.01},
+		{TargetRSE: 1},
+		{MaxErrors: -3},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("case %d (%+v): err = %v, want ErrInvalidConfig", i, cfg, err)
+		}
+	}
+}
+
+// TestFacadeRespectsCancelledContext requires every context-first entry
+// point to fail fast on an already-cancelled context with an error that
+// unwraps to context.Canceled.
+func TestFacadeRespectsCancelledContext(t *testing.T) {
+	syn := validSynthesis(t)
+	dev := MustDevice(Square, 6, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t.Run("Synthesize", func(t *testing.T) {
+		_, err := Synthesize(ctx, dev, 3, Options{})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled in chain", err)
+		}
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("err = %v, want ErrBudgetExceeded in chain", err)
+		}
+	})
+	t.Run("SynthesizeDegraded", func(t *testing.T) {
+		_, err := SynthesizeDegraded(ctx, dev, 3, Options{})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled in chain", err)
+		}
+	})
+	t.Run("EstimateLogicalErrorRate", func(t *testing.T) {
+		_, err := EstimateLogicalErrorRate(ctx, syn, 0.001, RunConfig{Shots: 500})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled in chain", err)
+		}
+	})
+	t.Run("EstimateCurve", func(t *testing.T) {
+		_, err := EstimateCurve(ctx, syn, []float64{0.001}, RunConfig{Shots: 500})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled in chain", err)
+		}
+	})
+	t.Run("EstimateThreshold", func(t *testing.T) {
+		build := func(d int) (*Synthesis, error) {
+			return Synthesize(context.Background(), MustDevice(Square, 2*d, 2*d), d, Options{Mode: ModeFour})
+		}
+		_, err := EstimateThreshold(ctx, build, []float64{0.001, 0.005}, RunConfig{Shots: 500})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled in chain", err)
+		}
+	})
+}
+
+// TestVerifyNilSynthesis pins the no-panic contract of the one entry point
+// without an error return.
+func TestVerifyNilSynthesis(t *testing.T) {
+	rep := Verify(nil)
+	if rep.Pass() {
+		t.Fatal("nil synthesis passed verification")
+	}
+}
+
+// TestOptionsDegradeMatchesDeprecatedForm pins that the canonical
+// Options.Degrade path and the deprecated SynthesizeDegraded wrapper are the
+// same computation.
+func TestOptionsDegradeMatchesDeprecatedForm(t *testing.T) {
+	dev := MustDevice(Square, 4, 2)
+	ds, err := GenerateDefects(dev, "random", 0.04, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged, err := dev.WithDefects(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, errA := Synthesize(context.Background(), damaged, 3, Options{Degrade: true})
+	b, errB := SynthesizeDegraded(context.Background(), damaged, 3, Options{})
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("canonical err = %v, deprecated err = %v", errA, errB)
+	}
+	if errA == nil {
+		da, db := a.Degradation != nil, b.Degradation != nil
+		if da != db {
+			t.Fatalf("degradation mismatch: canonical %v, deprecated %v", da, db)
+		}
+	}
+}

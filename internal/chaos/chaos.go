@@ -19,6 +19,7 @@ import (
 
 	"surfstitch/internal/device"
 	"surfstitch/internal/mc"
+	"surfstitch/internal/obs"
 	"surfstitch/internal/synth"
 	"surfstitch/internal/verify"
 )
@@ -168,13 +169,17 @@ func Sweep(ctx context.Context, base int64, tiling int, kind device.Kind, distan
 		if v != nil {
 			return tally, v
 		}
+		reg := obs.RegistryFromContext(ctx)
 		switch {
 		case res.Err != nil:
 			tally.Failed++
+			reg.Counter(`chaos_scenarios_total{outcome="failed"}`).Inc()
 		case res.Degraded():
 			tally.Degraded++
+			reg.Counter(`chaos_scenarios_total{outcome="degraded"}`).Inc()
 		default:
 			tally.OK++
+			reg.Counter(`chaos_scenarios_total{outcome="ok"}`).Inc()
 		}
 		if onResult != nil {
 			onResult(i, res)

@@ -391,15 +391,27 @@ func quantWeight(w float64) int64 {
 // matched (disconnected matching graph). Hot loops should prefer
 // DecodeWithScratch or DecodeRange, which reuse buffers across shots.
 func (d *Decoder) Decode(defects []int) (uint64, error) {
-	obs, _, err := d.decode(defects, nil)
+	obs, _, _, err := d.decode(defects, nil)
 	return obs, err
 }
 
+// decodePath labels which decode route answered a miss, for the Stats
+// breakdown.
+type decodePath uint8
+
+const (
+	pathNone decodePath = iota
+	pathK1
+	pathK2
+	pathBlossom
+)
+
 // decode is the shared decode entry: cache lookup, then closed forms, then
-// blossom. It reports whether the syndrome cache answered the query.
-func (d *Decoder) decode(defects []int, s *Scratch) (uint64, bool, error) {
+// blossom. It reports whether the syndrome cache answered the query and
+// which route computed it on a miss.
+func (d *Decoder) decode(defects []int, s *Scratch) (uint64, bool, decodePath, error) {
 	if len(defects) == 0 {
-		return 0, false, nil
+		return 0, false, pathNone, nil
 	}
 	var key []byte
 	if d.cache != nil {
@@ -411,33 +423,33 @@ func (d *Decoder) decode(defects []int, s *Scratch) (uint64, bool, error) {
 			key = appendSyndromeKey(buf[:0], defects)
 		}
 		if obs, ok := d.cache.get(key); ok {
-			return obs, true, nil
+			return obs, true, pathNone, nil
 		}
 	}
-	obs, err := d.decodeMiss(defects, s)
+	obs, path, err := d.decodeMiss(defects, s)
 	if err != nil {
-		return 0, false, err
+		return 0, false, path, err
 	}
 	if d.cache != nil {
 		d.cache.put(key, obs)
 	}
-	return obs, false, nil
+	return obs, false, path, nil
 }
 
 // decodeMiss decodes a non-empty, uncached defect set: closed forms for
 // one- and two-defect syndromes on the fast path, full blossom otherwise.
-func (d *Decoder) decodeMiss(defects []int, s *Scratch) (uint64, error) {
+func (d *Decoder) decodeMiss(defects []int, s *Scratch) (uint64, decodePath, error) {
 	if !d.opts.ForceSlowPath {
 		switch len(defects) {
 		case 1:
 			r := d.row(defects[0])
 			if quantWeight(r.dist[d.boundary]) < 0 {
-				return 0, fmt.Errorf("decoder: defects unmatchable: no path joins defect %d to the boundary", defects[0])
+				return 0, pathK1, fmt.Errorf("decoder: defects unmatchable: no path joins defect %d to the boundary", defects[0])
 			}
-			return r.mask[d.boundary], nil
+			return r.mask[d.boundary], pathK1, nil
 		case 2:
 			if obs, ok, err := d.decodePair(defects); ok {
-				return obs, err
+				return obs, pathK2, err
 			}
 			// Exact quantized tie between the pair path and the two
 			// boundary paths: fall through to the blossom so the choice —
@@ -445,7 +457,8 @@ func (d *Decoder) decodeMiss(defects []int, s *Scratch) (uint64, error) {
 			// slow path's tie-breaking.
 		}
 	}
-	return d.decodeBlossom(defects, s)
+	obs, err := d.decodeBlossom(defects, s)
+	return obs, pathBlossom, err
 }
 
 // decodePair decodes a two-defect syndrome in closed form: the minimum of
@@ -528,6 +541,12 @@ func (d *Decoder) decodeBlossom(defects []int, s *Scratch) (uint64, error) {
 	return obs, nil
 }
 
+// KHistBuckets sizes the per-batch syndrome-weight histogram: buckets for
+// k = 0..KHistBuckets-2 defects plus a final overflow bucket. Sub-threshold
+// syndromes are overwhelmingly sparse, so eight exact buckets cover
+// essentially all mass.
+const KHistBuckets = 9
+
 // Stats summarizes a decoded batch.
 type Stats struct {
 	Shots         int
@@ -541,6 +560,20 @@ type Stats struct {
 	// worker counts.
 	CacheHits   int
 	CacheMisses int
+
+	// Decode-path breakdown over cache misses: closed-form single-defect,
+	// closed-form pair, and full blossom matchings. Like the cache
+	// counters these depend on which range first warmed the cache, so
+	// they are observability counters, not bit-identical quantities.
+	FastK1  int
+	FastK2  int
+	Blossom int
+
+	// KHist is the syndrome-weight histogram: KHist[k] counts shots whose
+	// defect set had exactly k flipped detectors, with the last bucket
+	// absorbing k >= KHistBuckets-1. Deterministic (a pure function of the
+	// sampled batch), unlike the path counters above.
+	KHist [KHistBuckets]int
 }
 
 // LogicalErrorRate returns the per-shot logical error probability.
@@ -554,12 +587,19 @@ func (s Stats) LogicalErrorRate() float64 {
 // Merge returns the combined stats of s and o; per-range tallies combine in
 // any grouping, which is what lets the Monte-Carlo engine shard decoding.
 func (s Stats) Merge(o Stats) Stats {
-	return Stats{
+	out := Stats{
 		Shots:         s.Shots + o.Shots,
 		LogicalErrors: s.LogicalErrors + o.LogicalErrors,
 		CacheHits:     s.CacheHits + o.CacheHits,
 		CacheMisses:   s.CacheMisses + o.CacheMisses,
+		FastK1:        s.FastK1 + o.FastK1,
+		FastK2:        s.FastK2 + o.FastK2,
+		Blossom:       s.Blossom + o.Blossom,
 	}
+	for i := range out.KHist {
+		out.KHist[i] = s.KHist[i] + o.KHist[i]
+	}
+	return out
 }
 
 // DecodeRange decodes shots [lo, hi) of a batch serially on the calling
@@ -581,16 +621,29 @@ func (d *Decoder) DecodeRangeScratch(batch *frame.Batch, lo, hi int, s *Scratch)
 	var stats Stats
 	for shot := lo; shot < hi; shot++ {
 		s.defects = batch.AppendShotDetectors(s.defects[:0], shot)
-		pred, hit, err := d.decode(s.defects, s)
+		pred, hit, path, err := d.decode(s.defects, s)
 		if err != nil {
 			return stats, err
 		}
+		k := len(s.defects)
+		if k >= KHistBuckets {
+			k = KHistBuckets - 1
+		}
+		stats.KHist[k]++
 		if d.cache != nil && len(s.defects) > 0 {
 			if hit {
 				stats.CacheHits++
 			} else {
 				stats.CacheMisses++
 			}
+		}
+		switch path {
+		case pathK1:
+			stats.FastK1++
+		case pathK2:
+			stats.FastK2++
+		case pathBlossom:
+			stats.Blossom++
 		}
 		stats.Shots++
 		if pred != batch.ObservableMask(shot) {

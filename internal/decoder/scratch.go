@@ -29,6 +29,6 @@ func (d *Decoder) NewScratch() *Scratch {
 // DecodeWithScratch is Decode with a caller-owned scratch: identical
 // results, but cache hits and the k<=2 closed forms run allocation-free.
 func (d *Decoder) DecodeWithScratch(defects []int, s *Scratch) (uint64, error) {
-	obs, _, err := d.decode(defects, s)
+	obs, _, _, err := d.decode(defects, s)
 	return obs, err
 }

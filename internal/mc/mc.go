@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"surfstitch/internal/obs"
 	"surfstitch/internal/stats"
 )
 
@@ -146,6 +147,11 @@ type Config struct {
 	// Progress, when non-nil, is invoked after every in-order merge (from
 	// the collector goroutine only, so it needs no locking of its own).
 	Progress func(Progress)
+	// Registry, when non-nil, receives live engine metrics: merged
+	// shot/error/chunk counters, a shots-per-second gauge, per-worker
+	// chunk tallies, and stop-reason counts. All updates are atomic
+	// increments off the chunk hot path (per merge, not per shot).
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -196,12 +202,27 @@ func Run(ctx context.Context, cfg Config, fn ChunkFunc) (Result, error) {
 		workers = nChunks
 	}
 
+	// Engine metrics: nil instruments (no registry) make every update a
+	// no-op. Per-worker tallies are per-goroutine counters, so the hot
+	// chunk loop never contends on a shared metric.
+	reg := cfg.Registry
+	mShots := reg.Counter("mc_shots_total")
+	mErrors := reg.Counter("mc_errors_total")
+	mChunks := reg.Counter("mc_chunks_total")
+	mRate := reg.Gauge("mc_shots_per_sec")
+	workerChunks := make([]*obs.Counter, workers)
+	if reg != nil {
+		for w := range workerChunks {
+			workerChunks[w] = reg.Counter(fmt.Sprintf("mc_worker_chunks_total{worker=%q}", fmt.Sprint(w)))
+		}
+	}
+
 	var next, stopped int64
 	results := make(chan chunkResult, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for atomic.LoadInt64(&stopped) == 0 && ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1) - 1)
@@ -214,9 +235,10 @@ func Run(ctx context.Context, cfg Config, fn ChunkFunc) (Result, error) {
 				}
 				rng := rand.New(rand.NewSource(ChunkSeed(cfg.Seed, i)))
 				t, err := fn(i, rng, shots)
+				workerChunks[w].Inc()
 				results <- chunkResult{index: i, tally: t, err: err}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		wg.Wait()
@@ -273,6 +295,10 @@ func Run(ctx context.Context, cfg Config, fn ChunkFunc) (Result, error) {
 				delete(pending, chunks)
 				merged = merged.Merge(t)
 				chunks++
+				mShots.Add(int64(t.Shots))
+				mErrors.Add(int64(t.Errors))
+				mChunks.Inc()
+				mRate.Set(float64(merged.Shots) / max(time.Since(start).Seconds(), 1e-9))
 				if cfg.Progress != nil {
 					elapsed := time.Since(start)
 					cfg.Progress(Progress{
@@ -292,6 +318,9 @@ func Run(ctx context.Context, cfg Config, fn ChunkFunc) (Result, error) {
 		}
 	}
 	res := Result{Tally: merged, Chunks: chunks, Reason: reason, Elapsed: time.Since(start)}
+	if reg != nil {
+		reg.Counter(fmt.Sprintf("mc_stop_total{reason=%q}", reason.String())).Inc()
+	}
 	if firstErr != nil {
 		return res, fmt.Errorf("mc: %w", firstErr)
 	}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obs
+
+// processCPUSeconds has no portable stdlib implementation off unix; the
+// manifest's cpu_seconds field reads 0 there.
+func processCPUSeconds() float64 { return 0 }

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the diagnostics mux served behind a CLI's -metrics-addr:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/debug/vars   expvar JSON (Go runtime memstats, cmdline)
+//	/debug/pprof  the standard pprof index, profiles and traces
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the diagnostics server on addr in a background goroutine and
+// returns the server plus the bound address (useful with a ":0" addr). The
+// caller owns shutdown; for CLIs that exit anyway, closing is optional.
+func Serve(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: metrics listener on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(reg)}
+	go func() {
+		// ErrServerClosed (or a teardown race) is the expected end state of
+		// a diagnostics server; there is no caller left to report it to.
+		_ = srv.Serve(ln)
+	}()
+	return srv, ln.Addr(), nil
+}

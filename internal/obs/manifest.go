@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest is the per-run record written next to a run's outputs: enough to
+// answer "what exactly was this run, and what did it measure" months later
+// — the seed and config that reproduce it, the code version that produced
+// it, how long it took, and the final metric snapshot.
+type Manifest struct {
+	SchemaVersion int       `json:"schema_version"`
+	Tool          string    `json:"tool"`
+	Args          []string  `json:"args,omitempty"`
+	Seed          int64     `json:"seed"`
+	Config        any       `json:"config,omitempty"`
+	GitDescribe   string    `json:"git_describe,omitempty"`
+	GoVersion     string    `json:"go_version"`
+	Host          string    `json:"host,omitempty"`
+	StartTime     time.Time `json:"start_time"`
+	EndTime       time.Time `json:"end_time"`
+	WallSeconds   float64   `json:"wall_seconds"`
+	CPUSeconds    float64   `json:"cpu_seconds"`
+	// Interrupted marks a run that was cut short (SIGINT/SIGTERM or a
+	// canceled context) but still flushed partial results.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Stats is the final registry snapshot (counters, gauges, expanded
+	// histograms).
+	Stats map[string]float64 `json:"stats,omitempty"`
+
+	startCPU float64
+}
+
+// NewManifest opens a manifest at the current instant: it records the
+// command line, build version and start clocks. Config may be any
+// JSON-marshalable value (typically the CLI's resolved flag struct).
+func NewManifest(tool string, seed int64, config any) *Manifest {
+	host, _ := os.Hostname()
+	return &Manifest{
+		SchemaVersion: SchemaVersion,
+		Tool:          tool,
+		Args:          os.Args[1:],
+		Seed:          seed,
+		Config:        config,
+		GitDescribe:   GitDescribe(),
+		GoVersion:     runtime.Version(),
+		Host:          host,
+		StartTime:     time.Now(),
+		startCPU:      processCPUSeconds(),
+	}
+}
+
+// Finish closes the run: end time, wall and CPU durations, and the final
+// stats snapshot from reg (which may be nil).
+func (m *Manifest) Finish(reg *Registry) {
+	m.EndTime = time.Now()
+	m.WallSeconds = m.EndTime.Sub(m.StartTime).Seconds()
+	m.CPUSeconds = processCPUSeconds() - m.startCPU
+	if snap := reg.Snapshot(); len(snap) > 0 {
+		m.Stats = snap
+	}
+}
+
+// WriteFile marshals the manifest as indented JSON to path.
+func (m *Manifest) WriteFile(path string) error {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// GitDescribe reports the VCS state stamped into the binary by the Go
+// toolchain: a short revision hash with a "-dirty" suffix when the working
+// tree was modified. Empty when the build carries no VCS info (go test,
+// builds outside a repository).
+func GitDescribe() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestManifestLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("shots_total").Add(123)
+
+	m := NewManifest("threshold", 42, map[string]any{"shots": 5000})
+	time.Sleep(time.Millisecond)
+	m.Finish(reg)
+
+	if m.SchemaVersion != SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", m.SchemaVersion, SchemaVersion)
+	}
+	if m.Seed != 42 || m.Tool != "threshold" {
+		t.Errorf("identity fields: %+v", m)
+	}
+	if m.WallSeconds <= 0 {
+		t.Errorf("wall_seconds = %g", m.WallSeconds)
+	}
+	if m.EndTime.Before(m.StartTime) {
+		t.Error("end before start")
+	}
+	if m.Stats["shots_total"] != 123 {
+		t.Errorf("stats snapshot = %v", m.Stats)
+	}
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("manifest does not round-trip: %v", err)
+	}
+	if back.SchemaVersion != SchemaVersion || back.Seed != 42 {
+		t.Errorf("round-trip lost fields: %+v", back)
+	}
+	if back.Stats["shots_total"] != 123 {
+		t.Errorf("round-trip stats = %v", back.Stats)
+	}
+}
+
+func TestManifestFinishNilRegistry(t *testing.T) {
+	m := NewManifest("t", 1, nil)
+	m.Finish(nil)
+	if m.Stats != nil {
+		t.Error("nil registry produced stats")
+	}
+}
+
+func TestCPUSecondsMonotonic(t *testing.T) {
+	a := processCPUSeconds()
+	// Burn a little CPU so the delta is measurable but bounded.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i)
+	}
+	_ = x
+	if b := processCPUSeconds(); b < a {
+		t.Errorf("cpu time went backwards: %g -> %g", a, b)
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer emits completed spans as JSON Lines: one object per span, written
+// when the span ends. The writer is shared and serialized by an internal
+// mutex, so spans may end concurrently from worker goroutines.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	nextID atomic.Int64
+}
+
+// NewTracer wraps a writer. A nil writer yields a nil tracer (all spans
+// become no-ops).
+func NewTracer(w io.Writer) *Tracer {
+	if w == nil {
+		return nil
+	}
+	return &Tracer{w: w}
+}
+
+// Span is one timed operation. Spans are not safe for concurrent mutation;
+// hand child work its own span via StartSpan. A nil span is a no-op.
+type Span struct {
+	tracer *Tracer
+	reg    *Registry
+	name   string
+	id     int64
+	parent int64
+	start  time.Time
+	attrs  map[string]any
+}
+
+// spanRecord is the JSONL wire form of a completed span.
+type spanRecord struct {
+	Name       string         `json:"name"`
+	ID         int64          `json:"id"`
+	Parent     int64          `json:"parent,omitempty"`
+	Start      time.Time      `json:"start"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+type ctxKey int
+
+const (
+	ctxTracer ctxKey = iota
+	ctxSpanID
+	ctxRegistry
+)
+
+// ContextWithTracer attaches a tracer; StartSpan below it creates real
+// spans.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxTracer, t)
+}
+
+// TracerFromContext returns the attached tracer, or nil.
+func TracerFromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(ctxTracer).(*Tracer)
+	return t
+}
+
+// ContextWithRegistry attaches a metrics registry for instrumentation that
+// flows through call trees rather than configs (synthesis stages, chaos
+// outcomes).
+func ContextWithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxRegistry, r)
+}
+
+// RegistryFromContext returns the attached registry, or nil (whose
+// instruments are no-ops).
+func RegistryFromContext(ctx context.Context) *Registry {
+	r, _ := ctx.Value(ctxRegistry).(*Registry)
+	return r
+}
+
+// StartSpan begins a span named name under the context's tracer and/or
+// registry. With neither attached it returns (ctx, nil) and costs two map
+// lookups. The span's End both exports the JSONL record (tracer) and
+// accumulates per-span-name duration and count series (registry), so stage
+// timings show up on /metrics even when no trace file is requested.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFromContext(ctx)
+	r := RegistryFromContext(ctx)
+	if t == nil && r == nil {
+		return ctx, nil
+	}
+	s := &Span{tracer: t, reg: r, name: name, start: time.Now()}
+	if t != nil {
+		s.id = t.nextID.Add(1)
+		if parent, ok := ctx.Value(ctxSpanID).(int64); ok {
+			s.parent = parent
+		}
+		ctx = context.WithValue(ctx, ctxSpanID, s.id)
+	}
+	return ctx, s
+}
+
+// SetAttr attaches a key/value to the span's exported record.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = value
+}
+
+// End completes the span: the JSONL record goes to the tracer, and the
+// duration folds into `span_seconds_total{span="<name>"}` and
+// `span_count_total{span="<name>"}` on the registry.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	if s.reg != nil {
+		label := fmt.Sprintf("{span=%q}", s.name)
+		s.reg.Gauge("span_seconds_total" + label).Add(dur.Seconds())
+		s.reg.Counter("span_count_total" + label).Inc()
+	}
+	if s.tracer != nil {
+		rec := spanRecord{
+			Name: s.name, ID: s.id, Parent: s.parent,
+			Start: s.start, DurationNS: dur.Nanoseconds(), Attrs: s.attrs,
+		}
+		blob, err := json.Marshal(rec)
+		if err != nil {
+			return
+		}
+		s.tracer.mu.Lock()
+		defer s.tracer.mu.Unlock()
+		s.tracer.w.Write(append(blob, '\n'))
+	}
+}

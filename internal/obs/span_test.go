@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpanJSONLExport(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(&buf)
+	ctx := ContextWithTracer(context.Background(), tr)
+
+	ctx, parent := StartSpan(ctx, "synthesize")
+	parent.SetAttr("distance", 3)
+	_, child := StartSpan(ctx, "allocate")
+	child.End()
+	parent.End()
+
+	var recs []spanRecord
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		var r spanRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d spans, want 2", len(recs))
+	}
+	// Children end first in JSONL order.
+	if recs[0].Name != "allocate" || recs[1].Name != "synthesize" {
+		t.Errorf("span order = %s, %s", recs[0].Name, recs[1].Name)
+	}
+	if recs[0].Parent != recs[1].ID {
+		t.Errorf("child parent = %d, want %d", recs[0].Parent, recs[1].ID)
+	}
+	if recs[1].Attrs["distance"] != float64(3) {
+		t.Errorf("attrs = %v", recs[1].Attrs)
+	}
+	if recs[0].DurationNS < 0 {
+		t.Error("negative duration")
+	}
+}
+
+func TestSpanNoopWithoutTracerOrRegistry(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("expected nil span on bare context")
+	}
+	// All nil-span methods are no-ops.
+	sp.SetAttr("k", "v")
+	sp.End()
+	if ctx == nil {
+		t.Fatal("context dropped")
+	}
+}
+
+func TestSpanRecordsRegistryTimings(t *testing.T) {
+	reg := NewRegistry()
+	ctx := ContextWithRegistry(context.Background(), reg)
+	_, sp := StartSpan(ctx, "synth.allocate")
+	sp.End()
+	snap := reg.Snapshot()
+	if snap[`span_count_total{span="synth.allocate"}`] != 1 {
+		t.Errorf("span count missing: %v", snap)
+	}
+	if _, ok := snap[`span_seconds_total{span="synth.allocate"}`]; !ok {
+		t.Errorf("span seconds missing: %v", snap)
+	}
+}
+
+func TestRegistryContextRoundTrip(t *testing.T) {
+	if RegistryFromContext(context.Background()) != nil {
+		t.Error("empty context yielded a registry")
+	}
+	reg := NewRegistry()
+	ctx := ContextWithRegistry(context.Background(), reg)
+	if RegistryFromContext(ctx) != reg {
+		t.Error("registry lost in context")
+	}
+	if ContextWithRegistry(context.Background(), nil) != context.Background() {
+		t.Error("nil registry should not wrap the context")
+	}
+}

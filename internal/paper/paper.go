@@ -16,6 +16,7 @@ import (
 	"surfstitch/internal/experiment"
 	"surfstitch/internal/flagbridge"
 	"surfstitch/internal/mc"
+	"surfstitch/internal/obs"
 	"surfstitch/internal/synth"
 	"surfstitch/internal/threshold"
 )
@@ -39,14 +40,23 @@ type Config struct {
 	// it stops sampling early — experiment functions then return whatever
 	// partial results completed alongside the context's error.
 	Ctx context.Context
+	// Registry, when non-nil, receives live metrics from the underlying
+	// Monte-Carlo engine and decoder (see threshold.Config.Registry).
+	Registry *obs.Registry
 }
 
-// ctx returns the run context, defaulting to context.Background().
+// ctx returns the run context, defaulting to context.Background(). A
+// configured Registry is attached so synthesis-stage spans record into it
+// even when the caller did not thread it through Ctx itself.
 func (c Config) ctx() context.Context {
-	if c.Ctx != nil {
-		return c.Ctx
+	base := c.Ctx
+	if base == nil {
+		base = context.Background()
 	}
-	return context.Background()
+	if c.Registry != nil && obs.RegistryFromContext(base) == nil {
+		base = obs.ContextWithRegistry(base, c.Registry)
+	}
+	return base
 }
 
 // thresholdConfig projects the paper config onto the threshold package.
@@ -58,6 +68,7 @@ func (c Config) thresholdConfig() threshold.Config {
 		TargetRSE: c.TargetRSE,
 		MaxErrors: c.MaxErrors,
 		Progress:  c.Progress,
+		Registry:  c.Registry,
 	}
 }
 
@@ -97,12 +108,18 @@ func SurfStitchCodes() []CodeSpec {
 // Build synthesizes the spec's code at the given distance on the smallest
 // supporting device.
 func (cs CodeSpec) Build(distance int) (*synth.Synthesis, error) {
+	return cs.BuildContext(context.Background(), distance)
+}
+
+// BuildContext is Build bounded by a context; synthesis-stage spans record
+// into the context's registry and tracer.
+func (cs CodeSpec) BuildContext(ctx context.Context, distance int) (*synth.Synthesis, error) {
 	dev, layout, err := synth.FitDevice(cs.Kind, distance, cs.Mode)
 	if err != nil {
 		return nil, fmt.Errorf("paper: %s d=%d: %w", cs.Name, distance, err)
 	}
 	_ = dev
-	return synth.SynthesizeOnLayout(layout, synth.Options{Mode: cs.Mode})
+	return synth.SynthesizeOnLayoutContext(ctx, layout, synth.Options{Mode: cs.Mode})
 }
 
 // memoryProvider assembles a Z-memory with 3d rounds for threshold runs.
@@ -153,7 +170,7 @@ func curvePair(name string, build func(d int) (threshold.CircuitProvider, error)
 // thresholds.
 func Figure9a(cfg Config) ([]CurvePair, error) {
 	surf, err := curvePair("Surf-Stitch Heavy Hexagon", func(d int) (threshold.CircuitProvider, error) {
-		s, err := CodeSpec{Kind: device.KindHeavyHexagon}.Build(d)
+		s, err := CodeSpec{Kind: device.KindHeavyHexagon}.BuildContext(cfg.ctx(), d)
 		if err != nil {
 			return nil, err
 		}
@@ -189,7 +206,7 @@ func Figure9a(cfg Config) ([]CurvePair, error) {
 // regenerates both from the same synthesis while keeping separate labels.
 func Figure9b(cfg Config) ([]CurvePair, error) {
 	build := func(d int) (threshold.CircuitProvider, error) {
-		s, err := CodeSpec{Kind: device.KindHeavySquare}.Build(d)
+		s, err := CodeSpec{Kind: device.KindHeavySquare}.BuildContext(cfg.ctx(), d)
 		if err != nil {
 			return nil, err
 		}

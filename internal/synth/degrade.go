@@ -8,6 +8,7 @@ import (
 	"surfstitch/internal/code"
 	"surfstitch/internal/device"
 	"surfstitch/internal/flagbridge"
+	"surfstitch/internal/obs"
 )
 
 // Degradation reports what the graceful-degradation ladder sacrificed to
@@ -58,7 +59,12 @@ func (dg *Degradation) String() string {
 // of a type is unroutable (the code would be blind in one basis), or when
 // the context is canceled.
 func SynthesizeDegraded(ctx context.Context, dev *device.Device, distance int, opts Options) (*Synthesis, error) {
-	layout, err := Allocate(ctx, dev, distance, opts.Mode)
+	ctx, span := obs.StartSpan(ctx, "synth.degraded")
+	span.SetAttr("distance", distance)
+	defer span.End()
+	reg := obs.RegistryFromContext(ctx)
+	reg.Counter("synth_degraded_runs_total").Inc()
+	layout, err := allocateSpan(ctx, dev, distance, opts.Mode)
 	if err != nil {
 		// Stage 3 of the ladder: no fully-routable placement exists, so
 		// re-search accepting layouts that strand stabilizers. Budget and
@@ -66,6 +72,7 @@ func SynthesizeDegraded(ctx context.Context, dev *device.Device, distance int, o
 		if !errors.Is(err, ErrNoPlacement) {
 			return nil, err
 		}
+		reg.Counter("synth_ladder_relaxed_total").Inc()
 		layout, err = AllocateRelaxed(ctx, dev, distance, opts.Mode)
 		if err != nil {
 			return nil, err
@@ -132,6 +139,7 @@ func SynthesizeDegraded(ctx context.Context, dev *device.Device, distance int, o
 		}
 		dg.EffectiveDistance = max(1, distance-max(droppedX, droppedZ))
 		out.Degradation = dg
+		reg.Counter("synth_dropped_stabilizers_total").Add(int64(len(dg.Dropped)))
 	}
 	retained := out.RetainedPlans()
 	sched := InitialSchedule(retained)

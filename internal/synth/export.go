@@ -5,20 +5,22 @@ import (
 
 	"surfstitch/internal/code"
 	"surfstitch/internal/flagbridge"
+	"surfstitch/internal/obs"
 )
 
 // Report is the machine-readable form of a synthesis, suitable for feeding
 // downstream tooling (control-stack compilers, visualizers). Coordinates are
 // device-grid positions.
 type Report struct {
-	Device      string          `json:"device"`
-	Distance    int             `json:"distance"`
-	Mode        string          `json:"mode"`
-	Lattice     LatticeReport   `json:"lattice"`
-	Stabilizers []StabReport    `json:"stabilizers"`
-	Schedule    []SetReport     `json:"schedule"`
-	Metrics     MetricsReport   `json:"metrics"`
-	Utilization UtilizationJSON `json:"utilization"`
+	SchemaVersion int             `json:"schema_version"`
+	Device        string          `json:"device"`
+	Distance      int             `json:"distance"`
+	Mode          string          `json:"mode"`
+	Lattice       LatticeReport   `json:"lattice"`
+	Stabilizers   []StabReport    `json:"stabilizers"`
+	Schedule      []SetReport     `json:"schedule"`
+	Metrics       MetricsReport   `json:"metrics"`
+	Utilization   UtilizationJSON `json:"utilization"`
 	// Degradation is present only for degraded syntheses.
 	Degradation *DegradationJSON `json:"degradation,omitempty"`
 }
@@ -92,9 +94,10 @@ func (s *Synthesis) Report() Report {
 		return [2]int{c.X, c.Y}
 	}
 	rep := Report{
-		Device:   dev.Name(),
-		Distance: s.Layout.Code.Distance(),
-		Mode:     s.Layout.Mode.String(),
+		SchemaVersion: obs.SchemaVersion,
+		Device:        dev.Name(),
+		Distance:      s.Layout.Code.Distance(),
+		Mode:          s.Layout.Mode.String(),
 		Lattice: LatticeReport{
 			Base: [2]int{s.Layout.Base.X, s.Layout.Base.Y},
 			U:    [2]int{s.Layout.U.X, s.Layout.U.Y},

@@ -10,6 +10,7 @@ import (
 	"surfstitch/internal/device"
 	"surfstitch/internal/flagbridge"
 	"surfstitch/internal/graph"
+	"surfstitch/internal/obs"
 )
 
 // Options configures a synthesis run.
@@ -25,6 +26,10 @@ type Options struct {
 	// CoOptimize runs the §6 tree/schedule co-optimization pass after
 	// synthesis, re-finding bridge trees to merge fragmented schedule sets.
 	CoOptimize bool
+	// Degrade arms the graceful-degradation ladder: instead of failing on
+	// the first unroutable stabilizer, the synthesis sacrifices it and
+	// reports the damage in the result's Degradation field.
+	Degrade bool
 }
 
 // Synthesis is a fully synthesized surface code: the layout, the bridge
@@ -47,11 +52,25 @@ type Synthesis struct {
 // context bounds the search: on cancellation the error unwraps to both
 // ErrBudgetExceeded and the context's error.
 func Synthesize(ctx context.Context, dev *device.Device, distance int, opts Options) (*Synthesis, error) {
-	layout, err := Allocate(ctx, dev, distance, opts.Mode)
+	if opts.Degrade {
+		return SynthesizeDegraded(ctx, dev, distance, opts)
+	}
+	ctx, span := obs.StartSpan(ctx, "synth.synthesize")
+	span.SetAttr("distance", distance)
+	defer span.End()
+	layout, err := allocateSpan(ctx, dev, distance, opts.Mode)
 	if err != nil {
 		return nil, err
 	}
 	return synthesizeOnLayout(ctx, layout, opts)
+}
+
+// allocateSpan wraps Allocate in a trace span; kept separate so that the
+// degradation ladder can time its relaxed retries under the same name.
+func allocateSpan(ctx context.Context, dev *device.Device, distance int, mode Mode) (*Layout, error) {
+	_, span := obs.StartSpan(ctx, "synth.allocate")
+	defer span.End()
+	return Allocate(ctx, dev, distance, mode)
 }
 
 // SynthesizeOnLayout runs stages two and three on a pre-computed layout.
@@ -59,8 +78,17 @@ func SynthesizeOnLayout(layout *Layout, opts Options) (*Synthesis, error) {
 	return synthesizeOnLayout(context.Background(), layout, opts)
 }
 
+// SynthesizeOnLayoutContext is SynthesizeOnLayout bounded by a context: the
+// search stops at the next budget check on cancellation, and stage spans
+// record into the context's registry and tracer (see internal/obs).
+func SynthesizeOnLayoutContext(ctx context.Context, layout *Layout, opts Options) (*Synthesis, error) {
+	return synthesizeOnLayout(ctx, layout, opts)
+}
+
 func synthesizeOnLayout(ctx context.Context, layout *Layout, opts Options) (*Synthesis, error) {
+	_, treeSpan := obs.StartSpan(ctx, "synth.trees")
 	trees, err := FindAllTreesWith(layout, opts.StarOnlyTrees)
+	treeSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -75,12 +103,16 @@ func synthesizeOnLayout(ctx context.Context, layout *Layout, opts Options) (*Syn
 		}
 		plans[si] = p
 	}
+	_, schedSpan := obs.StartSpan(ctx, "synth.schedule")
 	sched := InitialSchedule(plans)
 	if !opts.NoRefine {
 		sched = BestSchedule(plans)
 	}
+	schedSpan.End()
 	out := &Synthesis{Layout: layout, Trees: trees, Plans: plans, Schedule: sched}
 	if opts.CoOptimize {
+		_, coSpan := obs.StartSpan(ctx, "synth.cooptimize")
+		defer coSpan.End()
 		return CoOptimize(ctx, out)
 	}
 	return out, nil

@@ -19,6 +19,7 @@ import (
 	"surfstitch/internal/frame"
 	"surfstitch/internal/mc"
 	"surfstitch/internal/noise"
+	"surfstitch/internal/obs"
 )
 
 // Point is one measured point of a logical-vs-physical error curve.
@@ -73,6 +74,11 @@ type Config struct {
 	MaxErrors int
 	// Progress, when non-nil, receives live per-point sampling progress.
 	Progress func(p float64, pr mc.Progress)
+	// Registry, when non-nil, receives live metrics: the Monte-Carlo
+	// engine's shot/rate series plus the decoder's syndrome-weight
+	// histogram, decode-path breakdown and cache hit/miss counters,
+	// promoted from per-worker tallies at chunk boundaries.
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +133,9 @@ func EstimatePoint(prov CircuitProvider, p float64, cfg Config) (Point, error) {
 // RNG stream.
 func EstimatePointContext(ctx context.Context, prov CircuitProvider, p float64, cfg Config) (Point, error) {
 	cfg = cfg.withDefaults()
+	ctx, span := obs.StartSpan(ctx, "threshold.point")
+	span.SetAttr("p", p)
+	defer span.End()
 	model := noise.Model{GateError: p, IdleError: cfg.IdleError, IdleOnly: prov.IdleQubits()}
 	noisy, err := model.Apply(prov.ExperimentCircuit())
 	if err != nil {
@@ -151,10 +160,23 @@ func EstimatePointContext(ctx context.Context, prov CircuitProvider, p float64, 
 		Seed:       mc.PointSeed(cfg.Seed, p),
 		TargetRSE:  cfg.TargetRSE,
 		MaxErrors:  cfg.MaxErrors,
+		Registry:   cfg.Registry,
 	}
 	if cfg.Progress != nil {
 		mcCfg.Progress = func(pr mc.Progress) { cfg.Progress(p, pr) }
 	}
+	// Decode observability series, promoted from the per-chunk decoder
+	// Stats below. Nil instruments (no registry) make the updates no-ops;
+	// either way the hot loop only pays plain per-worker int increments,
+	// with atomics touched once per chunk.
+	var (
+		mCacheHits   = cfg.Registry.Counter("decoder_cache_hits_total")
+		mCacheMisses = cfg.Registry.Counter("decoder_cache_misses_total")
+		mFastK1      = cfg.Registry.Counter("decoder_fast_k1_total")
+		mFastK2      = cfg.Registry.Counter("decoder_fast_k2_total")
+		mBlossom     = cfg.Registry.Counter("decoder_blossom_total")
+		mKHist       = cfg.Registry.Histogram("decoder_syndrome_weight", obs.LinearBuckets(0, 1, decoder.KHistBuckets-1))
+	)
 	// Scratch arenas are pooled across chunks so each worker goroutine
 	// reuses its decode buffers (defect lists, matching edges, blossom
 	// state) for the whole point instead of reallocating per chunk.
@@ -163,6 +185,18 @@ func EstimatePointContext(ctx context.Context, prov CircuitProvider, p float64, 
 		s := scratch.Get().(*decoder.Scratch)
 		defer scratch.Put(s)
 		st, err := dec.DecodeRangeScratch(sampler.SampleChunk(rng, shots), 0, shots, s)
+		if cfg.Registry != nil {
+			mCacheHits.Add(int64(st.CacheHits))
+			mCacheMisses.Add(int64(st.CacheMisses))
+			mFastK1.Add(int64(st.FastK1))
+			mFastK2.Add(int64(st.FastK2))
+			mBlossom.Add(int64(st.Blossom))
+			for k, n := range st.KHist {
+				if n != 0 {
+					mKHist.ObserveN(float64(k), int64(n))
+				}
+			}
+		}
 		return mc.Tally{Shots: st.Shots, Errors: st.LogicalErrors}, err
 	})
 	if err != nil {

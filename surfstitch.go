@@ -12,17 +12,24 @@
 // sampler, detector error model extraction, and a minimum-weight
 // perfect-matching decoder built on a blossom-algorithm matcher.
 //
+// Every long-running entry point is context-first and fails with a typed
+// sentinel (ErrInvalidConfig, ErrNoPlacement, ErrDisconnected,
+// ErrBudgetExceeded, ErrBadDefect) rather than a bare string, and accepts
+// an optional metrics Registry for live observability.
+//
 // Quick start:
 //
-//	dev := surfstitch.NewDevice(surfstitch.HeavyHexagon, 4, 5)
-//	syn, err := surfstitch.Synthesize(dev, 3, surfstitch.Options{})
+//	dev, err := surfstitch.NewDevice(surfstitch.HeavyHexagon, 4, 5)
+//	if err != nil { ... }
+//	syn, err := surfstitch.Synthesize(ctx, dev, 3, surfstitch.Options{})
 //	if err != nil { ... }
 //	fmt.Println(syn.Describe(8))
-//	result, err := surfstitch.EstimateLogicalErrorRate(syn, 0.001, surfstitch.SimConfig{Shots: 10000})
+//	result, err := surfstitch.EstimateLogicalErrorRate(ctx, syn, 0.001, surfstitch.RunConfig{Shots: 10000})
 package surfstitch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -30,10 +37,50 @@ import (
 	"surfstitch/internal/experiment"
 	"surfstitch/internal/grid"
 	"surfstitch/internal/noise"
+	"surfstitch/internal/obs"
 	"surfstitch/internal/synth"
 	"surfstitch/internal/threshold"
 	"surfstitch/internal/verify"
 )
+
+// The typed error taxonomy of the facade. Every error returned by this
+// package unwraps (errors.Is) to one of these sentinels, so callers branch
+// on error identity instead of string-matching messages.
+var (
+	// ErrInvalidConfig: a facade argument or RunConfig field is out of its
+	// documented domain (nil device, negative shots, degenerate sweep
+	// range, unknown architecture or preset name, ...).
+	ErrInvalidConfig = errors.New("surfstitch: invalid configuration")
+	// ErrBudgetExceeded: the context canceled the search; the chain also
+	// matches the context's own error.
+	ErrBudgetExceeded = synth.ErrBudgetExceeded
+	// ErrNoPlacement: no data-qubit allocation of the requested distance
+	// fits the device.
+	ErrNoPlacement = synth.ErrNoPlacement
+	// ErrDisconnected: a stabilizer's data qubits cannot be bridged on the
+	// coupling graph.
+	ErrDisconnected = synth.ErrDisconnected
+	// ErrBadDefect: a defect entry is malformed (rate outside [0,1],
+	// unknown generator, out-of-range density).
+	ErrBadDefect = device.ErrBadDefect
+)
+
+// Registry is a process-local metrics registry: counters, gauges and
+// histograms with atomic hot-path updates, exposable in Prometheus text
+// format. Attach one via RunConfig.Registry (estimation) or WithRegistry
+// (synthesis) to watch a run live; a nil *Registry is valid everywhere and
+// records nothing.
+type Registry = obs.Registry
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// WithRegistry attaches a metrics registry to the context, enabling
+// per-stage span timing series (span_seconds_total{span="synth.trees"}, ...)
+// and degradation-ladder counters for synthesis calls under it.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	return obs.ContextWithRegistry(ctx, r)
+}
 
 // Architecture selects one of the superconducting architecture families of
 // the paper's Table 1.
@@ -49,22 +96,28 @@ const (
 )
 
 // String names the architecture.
-func (a Architecture) String() string { return a.kind().String() }
+func (a Architecture) String() string {
+	k, err := a.kind()
+	if err != nil {
+		return fmt.Sprintf("Architecture(%d)", int(a))
+	}
+	return k.String()
+}
 
-func (a Architecture) kind() device.Kind {
+func (a Architecture) kind() (device.Kind, error) {
 	switch a {
 	case Square:
-		return device.KindSquare
+		return device.KindSquare, nil
 	case Hexagon:
-		return device.KindHexagon
+		return device.KindHexagon, nil
 	case Octagon:
-		return device.KindOctagon
+		return device.KindOctagon, nil
 	case HeavySquare:
-		return device.KindHeavySquare
+		return device.KindHeavySquare, nil
 	case HeavyHexagon:
-		return device.KindHeavyHexagon
+		return device.KindHeavyHexagon, nil
 	default:
-		panic(fmt.Sprintf("surfstitch: unknown architecture %d", a))
+		return 0, fmt.Errorf("%w: unknown architecture %d", ErrInvalidConfig, int(a))
 	}
 }
 
@@ -76,8 +129,27 @@ type Device = device.Device
 type Coord = grid.Coord
 
 // NewDevice builds a device of the given architecture family tiled w x h.
-func NewDevice(a Architecture, w, h int) *Device {
-	return device.ByKind(a.kind(), w, h)
+// Unknown architectures and non-positive tilings fail with
+// ErrInvalidConfig.
+func NewDevice(a Architecture, w, h int) (*Device, error) {
+	k, err := a.kind()
+	if err != nil {
+		return nil, err
+	}
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("%w: tiling %dx%d must be at least 1x1", ErrInvalidConfig, w, h)
+	}
+	return device.ByKind(k, w, h), nil
+}
+
+// MustDevice is NewDevice for static, known-good arguments (examples,
+// tests); it panics on error.
+func MustDevice(a Architecture, w, h int) *Device {
+	d, err := NewDevice(a, w, h)
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
 // NewCustomDevice builds a device from explicit qubit coordinates and
@@ -97,7 +169,8 @@ const (
 	ModeFour    = synth.ModeFour
 )
 
-// Options configures Synthesize.
+// Options configures Synthesize. Set Degrade to arm the graceful-
+// degradation ladder on defective devices.
 type Options = synth.Options
 
 // Synthesis is a fully synthesized surface code: layout, bridge trees,
@@ -111,16 +184,40 @@ type Metrics = synth.Metrics
 type Utilization = synth.Utilization
 
 // Synthesize runs the full Surf-Stitch pipeline: data qubit allocation,
-// bridge tree construction, and stabilizer measurement scheduling.
-func Synthesize(dev *Device, distance int, opts Options) (*Synthesis, error) {
-	return synth.Synthesize(context.Background(), dev, distance, opts)
+// bridge tree construction, and stabilizer measurement scheduling. The
+// context bounds the search (on cancellation the error matches both
+// ErrBudgetExceeded and the context's error) and may carry a metrics
+// registry (WithRegistry) for per-stage timings. With Options.Degrade set,
+// unroutable stabilizers are sacrificed and reported in the result's
+// Degradation field instead of failing the synthesis.
+func Synthesize(ctx context.Context, dev *Device, distance int, opts Options) (*Synthesis, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("%w: nil context", ErrInvalidConfig)
+	}
+	if dev == nil {
+		return nil, fmt.Errorf("%w: nil device", ErrInvalidConfig)
+	}
+	if distance < 2 {
+		return nil, fmt.Errorf("%w: code distance %d must be at least 2", ErrInvalidConfig, distance)
+	}
+	return synth.Synthesize(ctx, dev, distance, opts)
 }
 
-// SynthesizeContext is Synthesize with a cancellable search budget: on
-// cancellation the returned error matches both synth.ErrBudgetExceeded and
-// the context's error.
+// SynthesizeContext is the old name of the canonical context-first
+// Synthesize.
+//
+// Deprecated: use Synthesize, which now takes the context directly.
 func SynthesizeContext(ctx context.Context, dev *Device, distance int, opts Options) (*Synthesis, error) {
-	return synth.Synthesize(ctx, dev, distance, opts)
+	return Synthesize(ctx, dev, distance, opts)
+}
+
+// SynthesizeDegraded is Synthesize with the graceful-degradation ladder
+// armed.
+//
+// Deprecated: use Synthesize with Options.Degrade set.
+func SynthesizeDegraded(ctx context.Context, dev *Device, distance int, opts Options) (*Synthesis, error) {
+	opts.Degrade = true
+	return Synthesize(ctx, dev, distance, opts)
 }
 
 // DefectSet describes hardware faults to impose on a device: dead qubits,
@@ -128,16 +225,13 @@ func SynthesizeContext(ctx context.Context, dev *Device, distance int, opts Opti
 type DefectSet = device.DefectSet
 
 // GenerateDefects draws a reproducible defect set from one of the preset
-// generators ("random", "clustered", "edge") at the given density.
+// generators ("random", "clustered", "edge") at the given density. Unknown
+// generators and out-of-range densities fail with ErrBadDefect.
 func GenerateDefects(d *Device, generator string, density float64, seed int64) (DefectSet, error) {
+	if d == nil {
+		return DefectSet{}, fmt.Errorf("%w: nil device", ErrInvalidConfig)
+	}
 	return device.GenerateDefects(d, generator, density, seed)
-}
-
-// SynthesizeDegraded is Synthesize with the graceful-degradation ladder
-// armed: unroutable stabilizers are sacrificed and reported in the result's
-// Degradation field instead of failing the synthesis.
-func SynthesizeDegraded(ctx context.Context, dev *Device, distance int, opts Options) (*Synthesis, error) {
-	return synth.SynthesizeDegraded(ctx, dev, distance, opts)
 }
 
 // Memory is an assembled logical-memory experiment over a synthesis.
@@ -149,6 +243,12 @@ type MemoryOptions = experiment.Options
 // NewMemory assembles a logical-memory experiment with the given number of
 // error-detection rounds (the paper uses 3d).
 func NewMemory(s *Synthesis, rounds int, opts MemoryOptions) (*Memory, error) {
+	if s == nil {
+		return nil, fmt.Errorf("%w: nil synthesis", ErrInvalidConfig)
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("%w: rounds %d must be at least 1", ErrInvalidConfig, rounds)
+	}
 	return experiment.NewMemory(s, rounds, opts)
 }
 
@@ -162,8 +262,10 @@ const (
 	BasisX = experiment.BasisX
 )
 
-// SimConfig controls Monte-Carlo logical error estimation.
-type SimConfig struct {
+// RunConfig controls Monte-Carlo logical error estimation. The zero value
+// is valid and selects the paper's defaults; Validate reports the first
+// out-of-domain field as an ErrInvalidConfig.
+type RunConfig struct {
 	// Shots per estimate; defaults to 2000. With TargetRSE or MaxErrors set
 	// this is the hard cap of the adaptive run.
 	Shots int
@@ -187,10 +289,43 @@ type SimConfig struct {
 	// MaxErrors stops sampling early after this many logical errors (zero
 	// disables).
 	MaxErrors int
+	// Registry, when non-nil, receives live metrics from the run: the
+	// Monte-Carlo engine's shot counters and shots/sec gauge, the decoder's
+	// syndrome-weight histogram, decode-path and cache counters, and
+	// per-stage span timings.
+	Registry *Registry
 }
 
-// thresholdConfig projects SimConfig onto the threshold package.
-func (cfg SimConfig) thresholdConfig() threshold.Config {
+// SimConfig is the old name of RunConfig.
+//
+// Deprecated: use RunConfig.
+type SimConfig = RunConfig
+
+// Validate reports the first out-of-domain field, wrapped in
+// ErrInvalidConfig; the zero value passes.
+func (cfg RunConfig) Validate() error {
+	switch {
+	case cfg.Shots < 0:
+		return fmt.Errorf("%w: Shots %d must not be negative", ErrInvalidConfig, cfg.Shots)
+	case cfg.Rounds < 0:
+		return fmt.Errorf("%w: Rounds %d must not be negative", ErrInvalidConfig, cfg.Rounds)
+	case cfg.IdleError < 0 || cfg.IdleError > 1:
+		return fmt.Errorf("%w: IdleError %g outside [0, 1]", ErrInvalidConfig, cfg.IdleError)
+	case cfg.Basis != BasisZ && cfg.Basis != BasisX:
+		return fmt.Errorf("%w: unknown basis %v", ErrInvalidConfig, cfg.Basis)
+	case cfg.Workers < 0:
+		return fmt.Errorf("%w: Workers %d must not be negative", ErrInvalidConfig, cfg.Workers)
+	case cfg.TargetRSE < 0 || cfg.TargetRSE >= 1:
+		return fmt.Errorf("%w: TargetRSE %g outside [0, 1)", ErrInvalidConfig, cfg.TargetRSE)
+	case cfg.MaxErrors < 0:
+		return fmt.Errorf("%w: MaxErrors %d must not be negative", ErrInvalidConfig, cfg.MaxErrors)
+	}
+	return nil
+}
+
+// thresholdConfig projects RunConfig onto the threshold package — the one
+// place the facade's run parameters translate into engine configuration.
+func (cfg RunConfig) thresholdConfig() threshold.Config {
 	return threshold.Config{
 		Shots:     cfg.Shots,
 		IdleError: cfg.IdleError,
@@ -199,7 +334,29 @@ func (cfg SimConfig) thresholdConfig() threshold.Config {
 		Workers:   cfg.Workers,
 		TargetRSE: cfg.TargetRSE,
 		MaxErrors: cfg.MaxErrors,
+		Registry:  cfg.Registry,
 	}
+}
+
+// checkEstimateArgs validates the shared preconditions of the Estimate*
+// family and returns the context with the config's registry attached, so
+// stage spans under the call record into it.
+func (cfg RunConfig) checkEstimateArgs(ctx context.Context, ps []float64) (context.Context, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("%w: nil context", ErrInvalidConfig)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("%w: no physical error rates given", ErrInvalidConfig)
+	}
+	for _, p := range ps {
+		if p <= 0 || p >= 1 {
+			return nil, fmt.Errorf("%w: physical error rate %g outside (0, 1)", ErrInvalidConfig, p)
+		}
+	}
+	return obs.ContextWithRegistry(ctx, cfg.Registry), nil
 }
 
 // Result is a measured logical error rate.
@@ -213,8 +370,16 @@ type Result struct {
 // EstimateLogicalErrorRate assembles a memory experiment for the synthesis,
 // applies the paper's circuit-level error model at physical rate p, samples,
 // decodes with minimum-weight perfect matching, and reports the logical
-// error rate.
-func EstimateLogicalErrorRate(s *Synthesis, p float64, cfg SimConfig) (Result, error) {
+// error rate. The context cancels the run between chunks; partial work is
+// discarded.
+func EstimateLogicalErrorRate(ctx context.Context, s *Synthesis, p float64, cfg RunConfig) (Result, error) {
+	ctx, err := cfg.checkEstimateArgs(ctx, []float64{p})
+	if err != nil {
+		return Result{}, err
+	}
+	if s == nil {
+		return Result{}, fmt.Errorf("%w: nil synthesis", ErrInvalidConfig)
+	}
 	rounds := cfg.Rounds
 	if rounds == 0 {
 		rounds = 3 * s.Layout.Code.Distance()
@@ -223,7 +388,8 @@ func EstimateLogicalErrorRate(s *Synthesis, p float64, cfg SimConfig) (Result, e
 	if err != nil {
 		return Result{}, err
 	}
-	pt, err := threshold.EstimatePoint(
+	pt, err := threshold.EstimatePointContext(
+		ctx,
 		threshold.Provider(m.Circuit, s.AllQubits()),
 		p,
 		cfg.thresholdConfig(),
@@ -237,8 +403,17 @@ func EstimateLogicalErrorRate(s *Synthesis, p float64, cfg SimConfig) (Result, e
 // Curve is a measured logical-vs-physical error curve.
 type Curve = threshold.Curve
 
-// EstimateCurve sweeps physical error rates for the synthesis.
-func EstimateCurve(s *Synthesis, ps []float64, cfg SimConfig) (Curve, error) {
+// EstimateCurve sweeps physical error rates for the synthesis. On
+// cancellation it returns the completed prefix of the curve alongside the
+// error.
+func EstimateCurve(ctx context.Context, s *Synthesis, ps []float64, cfg RunConfig) (Curve, error) {
+	ctx, err := cfg.checkEstimateArgs(ctx, ps)
+	if err != nil {
+		return Curve{}, err
+	}
+	if s == nil {
+		return Curve{}, fmt.Errorf("%w: nil synthesis", ErrInvalidConfig)
+	}
 	rounds := cfg.Rounds
 	if rounds == 0 {
 		rounds = 3 * s.Layout.Code.Distance()
@@ -247,7 +422,8 @@ func EstimateCurve(s *Synthesis, ps []float64, cfg SimConfig) (Curve, error) {
 	if err != nil {
 		return Curve{}, err
 	}
-	return threshold.EstimateCurve(
+	return threshold.EstimateCurveContext(
+		ctx,
 		fmt.Sprintf("%s-d%d", s.Layout.Dev.Name(), s.Layout.Code.Distance()),
 		s.Layout.Code.Distance(),
 		threshold.Provider(m.Circuit, s.AllQubits()),
@@ -259,7 +435,13 @@ func EstimateCurve(s *Synthesis, ps []float64, cfg SimConfig) (Curve, error) {
 // EstimateThreshold estimates the error threshold of codes produced by the
 // builder at distances 3 and 5: the physical error rate where the two
 // logical error curves cross (the paper's definition).
-func EstimateThreshold(build func(distance int) (*Synthesis, error), ps []float64, cfg SimConfig) (float64, error) {
+func EstimateThreshold(ctx context.Context, build func(distance int) (*Synthesis, error), ps []float64, cfg RunConfig) (float64, error) {
+	if _, err := cfg.checkEstimateArgs(ctx, ps); err != nil {
+		return 0, err
+	}
+	if build == nil {
+		return 0, fmt.Errorf("%w: nil builder", ErrInvalidConfig)
+	}
 	var curves []Curve
 	for _, d := range []int{3, 5} {
 		s, err := build(d)
@@ -268,7 +450,7 @@ func EstimateThreshold(build func(distance int) (*Synthesis, error), ps []float6
 		}
 		c := cfg
 		c.Rounds = 3 * d
-		curve, err := EstimateCurve(s, ps, c)
+		curve, err := EstimateCurve(ctx, s, ps, c)
 		if err != nil {
 			return 0, err
 		}
@@ -281,17 +463,29 @@ func EstimateThreshold(build func(distance int) (*Synthesis, error), ps []float6
 	return th, nil
 }
 
-// Sweep returns n log-spaced physical error rates in [lo, hi]. It rejects
-// degenerate ranges with an error.
-func Sweep(lo, hi float64, n int) ([]float64, error) { return threshold.Sweep(lo, hi, n) }
+// Sweep returns n log-spaced physical error rates in [lo, hi]. Degenerate
+// ranges (n < 2, non-positive lo, hi <= lo) fail with ErrInvalidConfig.
+func Sweep(lo, hi float64, n int) ([]float64, error) {
+	ps, err := threshold.Sweep(lo, hi, n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	return ps, nil
+}
 
 // DefaultIdleError is the paper's idle depolarizing probability per step.
 const DefaultIdleError = noise.DefaultIdleError
 
 // PresetDevice returns a chip-preset device modeled on a published
 // processor: "falcon-like-27q", "hummingbird-like-65q", "aspen-like-32q" or
-// "sycamore-like-54q".
-func PresetDevice(name string) (*Device, error) { return device.Preset(name) }
+// "sycamore-like-54q". Unknown names fail with ErrInvalidConfig.
+func PresetDevice(name string) (*Device, error) {
+	d, err := device.Preset(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	return d, nil
+}
 
 // PresetNames lists the available chip presets.
 func PresetNames() []string {
@@ -309,6 +503,10 @@ type VerifyReport = verify.Report
 // Verify runs end-to-end validation of a synthesis: structural invariants,
 // detector determinism under exact simulation, the single-fault property of
 // the decoder, and a hook-orientation audit. See the report's Pass method.
+// A nil synthesis yields a failing report rather than a panic.
 func Verify(s *Synthesis) VerifyReport {
+	if s == nil {
+		return VerifyReport{Structural: []string{"nil synthesis"}}
+	}
 	return verify.Synthesis(s, verify.Options{})
 }

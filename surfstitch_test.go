@@ -1,6 +1,7 @@
 package surfstitch
 
 import (
+	"context"
 	"testing"
 )
 
@@ -14,11 +15,17 @@ func TestArchitectureNames(t *testing.T) {
 			t.Errorf("%d.String() = %q, want %q", a, a.String(), name)
 		}
 	}
+	if got := Architecture(99).String(); got != "Architecture(99)" {
+		t.Errorf("unknown architecture String() = %q", got)
+	}
 }
 
 func TestNewDeviceAllFamilies(t *testing.T) {
 	for _, a := range []Architecture{Square, Hexagon, Octagon, HeavySquare, HeavyHexagon} {
-		dev := NewDevice(a, 2, 2)
+		dev, err := NewDevice(a, 2, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
 		if dev.Len() == 0 {
 			t.Errorf("%v: empty device", a)
 		}
@@ -26,8 +33,8 @@ func TestNewDeviceAllFamilies(t *testing.T) {
 }
 
 func TestSynthesizePublicAPI(t *testing.T) {
-	dev := NewDevice(HeavySquare, 4, 3)
-	syn, err := Synthesize(dev, 3, Options{})
+	dev := MustDevice(HeavySquare, 4, 3)
+	syn, err := Synthesize(context.Background(), dev, 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,12 +60,12 @@ func TestCustomDevice(t *testing.T) {
 }
 
 func TestEstimateLogicalErrorRate(t *testing.T) {
-	dev := NewDevice(Square, 6, 6)
-	syn, err := Synthesize(dev, 3, Options{Mode: ModeFour})
+	dev := MustDevice(Square, 6, 6)
+	syn, err := Synthesize(context.Background(), dev, 3, Options{Mode: ModeFour})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := EstimateLogicalErrorRate(syn, 0.002, SimConfig{Shots: 1000, Seed: 3})
+	res, err := EstimateLogicalErrorRate(context.Background(), syn, 0.002, RunConfig{Shots: 1000, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,8 +78,8 @@ func TestEstimateLogicalErrorRate(t *testing.T) {
 }
 
 func TestEstimateCurveAndMemory(t *testing.T) {
-	dev := NewDevice(Square, 6, 6)
-	syn, err := Synthesize(dev, 3, Options{Mode: ModeFour})
+	dev := MustDevice(Square, 6, 6)
+	syn, err := Synthesize(context.Background(), dev, 3, Options{Mode: ModeFour})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +94,7 @@ func TestEstimateCurveAndMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	curve, err := EstimateCurve(syn, ps, SimConfig{Shots: 500, Seed: 4})
+	curve, err := EstimateCurve(context.Background(), syn, ps, RunConfig{Shots: 500, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,13 +108,13 @@ func TestEstimateThreshold(t *testing.T) {
 		t.Skip("threshold estimation in short mode")
 	}
 	build := func(d int) (*Synthesis, error) {
-		return Synthesize(NewDevice(Square, 2*d, 2*d), d, Options{Mode: ModeFour})
+		return Synthesize(context.Background(), MustDevice(Square, 2*d, 2*d), d, Options{Mode: ModeFour})
 	}
 	ps, err := Sweep(0.002, 0.012, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	th, err := EstimateThreshold(build, ps, SimConfig{Shots: 3000, Seed: 11})
+	th, err := EstimateThreshold(context.Background(), build, ps, RunConfig{Shots: 3000, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,12 +133,12 @@ func TestDefaultIdleError(t *testing.T) {
 }
 
 func TestEstimateXBasisRate(t *testing.T) {
-	dev := NewDevice(Square, 6, 6)
-	syn, err := Synthesize(dev, 3, Options{Mode: ModeFour})
+	dev := MustDevice(Square, 6, 6)
+	syn, err := Synthesize(context.Background(), dev, 3, Options{Mode: ModeFour})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := EstimateLogicalErrorRate(syn, 0.003, SimConfig{Shots: 1500, Seed: 8, Basis: BasisX})
+	res, err := EstimateLogicalErrorRate(context.Background(), syn, 0.003, RunConfig{Shots: 1500, Seed: 8, Basis: BasisX})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +164,7 @@ func TestPresetDeviceAPI(t *testing.T) {
 }
 
 func TestVerifyPublicAPI(t *testing.T) {
-	syn, err := Synthesize(NewDevice(HeavySquare, 5, 4), 3, Options{})
+	syn, err := Synthesize(context.Background(), MustDevice(HeavySquare, 5, 4), 3, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
