@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-core lint chaos verify bench bench-json obs-smoke
+.PHONY: build test vet race race-core lint chaos verify bench bench-json obs-smoke server-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ race:
 	$(GO) test -race ./...
 
 race-core:
-	$(GO) test -race ./internal/mc/... ./internal/threshold/... ./internal/decoder/... ./internal/frame/...
+	$(GO) test -race ./internal/mc/... ./internal/threshold/... ./internal/decoder/... ./internal/frame/... ./internal/server/...
 
 # surflint: the domain-aware analyzer suite (rngstream, errdrop, lockcopy,
 # loopcapture, paniccheck). Zero findings is the merge bar; suppressions
@@ -53,3 +53,11 @@ bench-json:
 obs-smoke:
 	$(GO) build -o bin/threshold ./cmd/threshold
 	$(GO) run ./cmd/obssmoke -bin bin/threshold
+
+# Serving smoke: boot a real surfstitchd, drive the /v1 job API end to end,
+# and assert the live-daemon contracts — an identical resubmission is served
+# from the content-addressed cache without a new synthesis span, and a curve
+# job killed mid-sweep (SIGTERM) resumes from its checkpoint after restart.
+server-smoke:
+	$(GO) build -o bin/surfstitchd ./cmd/surfstitchd
+	$(GO) run ./cmd/serversmoke -bin bin/surfstitchd

@@ -13,7 +13,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -188,12 +187,7 @@ func main() {
 		fmt.Printf("%-6d %12.1f %12.1f %14.3f %14.3f %9.1fx\n",
 			d, fast.NsPerShot, slow.NsPerShot, fast.AllocsPerShot, slow.AllocsPerShot, cmp.Speedup)
 	}
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdecode:", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if err := obs.WriteJSONFile(*out, report); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdecode:", err)
 		os.Exit(1)
 	}

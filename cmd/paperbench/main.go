@@ -78,8 +78,7 @@ func main() {
 			Workers: *workers, TargetRSE: *targRSE, MaxErrors: *maxErrs,
 		})
 		defer func() {
-			manifest.Finish(reg)
-			if err := manifest.WriteFile(*manifestOut); err != nil {
+			if err := manifest.Seal(reg, *manifestOut, false); err != nil {
 				fmt.Fprintln(os.Stderr, "paperbench: manifest:", err)
 			}
 		}()

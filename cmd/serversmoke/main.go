@@ -1,0 +1,363 @@
+// Command serversmoke is the serving-layer smoke test behind
+// `make server-smoke`: it boots a real surfstitchd process, drives the /v1
+// job API end to end, and asserts the two contracts that only a live daemon
+// can prove:
+//
+//  1. Content-addressed caching: an identical resubmission completes
+//     immediately from the cache — the cache-hit counter moves and no new
+//     synthesis span is recorded.
+//  2. Checkpointed resume: a curve job killed mid-sweep (SIGTERM, real
+//     process death) is resumed by a fresh daemon on the same store
+//     directory and finishes with the checkpointed points intact.
+//
+// Usage:
+//
+//	serversmoke -bin ./bin/surfstitchd
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+var addrRe = regexp.MustCompile(`surfstitchd: listening on http://(\S+)`)
+
+// The payload types mirror internal/server's wire schema (kept in lockstep
+// by the API tests; the smoke test speaks raw JSON like any client would).
+type submitResponse struct {
+	JobID    string          `json:"job_id"`
+	State    string          `json:"state"`
+	CacheHit bool            `json:"cache_hit"`
+	Result   json.RawMessage `json:"result"`
+}
+
+type curvePoint struct {
+	P       float64 `json:"p"`
+	Logical float64 `json:"logical"`
+	Shots   int     `json:"shots"`
+	Errors  int     `json:"errors"`
+}
+
+type jobRecord struct {
+	ID         string          `json:"id"`
+	State      string          `json:"state"`
+	ErrorKind  string          `json:"error_kind"`
+	Error      string          `json:"error"`
+	Result     json.RawMessage `json:"result"`
+	Checkpoint []curvePoint    `json:"checkpoint"`
+}
+
+type curveResult struct {
+	Points []curvePoint `json:"points"`
+}
+
+// daemon is one running surfstitchd child process.
+type daemon struct {
+	cmd    *exec.Cmd
+	addr   string
+	exited chan error
+	reaped bool // the single exit notification has been consumed
+}
+
+// wait consumes the child's exit (at most once; cmd.Wait sends exactly one
+// notification), reporting false on timeout. Safe to call after the child
+// is already reaped — later calls return true immediately.
+func (d *daemon) wait(timeout time.Duration) bool {
+	if d.reaped {
+		return true
+	}
+	select {
+	case <-d.exited:
+		d.reaped = true
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+func main() {
+	var (
+		bin     = flag.String("bin", "", "path to the surfstitchd binary (required)")
+		timeout = flag.Duration("timeout", 120*time.Second, "give up after this long")
+	)
+	flag.Parse()
+	if *bin == "" {
+		fail("usage: serversmoke -bin <surfstitchd-binary>")
+	}
+	deadline := time.Now().Add(*timeout)
+
+	work, err := os.MkdirTemp("", "serversmoke-*")
+	if err != nil {
+		fail("tempdir: %v", err)
+	}
+	defer os.RemoveAll(work)
+	storeDir := filepath.Join(work, "store")
+	cacheDir := filepath.Join(work, "cache")
+
+	d := boot(*bin, storeDir, cacheDir, deadline)
+	defer d.kill()
+
+	// ---- Part 1: estimate round trip + content-addressed cache hit.
+	estimate := map[string]any{
+		"device":   map[string]any{"arch": "square", "width": 4, "height": 4},
+		"distance": 3,
+		"p":        0.002,
+		"run":      map[string]any{"shots": 4000, "seed": 7},
+	}
+	sub := d.submit("/v1/estimate", estimate)
+	if sub.State != "queued" {
+		fail("estimate submission state %q, want queued", sub.State)
+	}
+	rec := d.waitJob(sub.JobID, deadline, func(r jobRecord) bool { return terminal(r.State) })
+	if rec.State != "done" {
+		fail("estimate job ended %s: %s", rec.State, rec.Error)
+	}
+	var pt curvePoint
+	if err := json.Unmarshal(rec.Result, &pt); err != nil || pt.Shots != 4000 {
+		fail("estimate result %s (err %v)", rec.Result, err)
+	}
+	fmt.Printf("serversmoke: estimate done (p=%g logical=%g)\n", pt.P, pt.Logical)
+
+	hitsBefore := d.metric("server_cache_hits_total")
+	synthBefore := d.metric(`span_count_total{span="synth.synthesize"}`)
+
+	again := d.submit("/v1/estimate", estimate)
+	if !again.CacheHit || again.State != "done" {
+		fail("identical resubmission not served from cache: hit=%v state=%s", again.CacheHit, again.State)
+	}
+	if !bytes.Equal(bytes.TrimSpace(again.Result), bytes.TrimSpace(rec.Result)) {
+		fail("cached result differs:\n%s\n%s", again.Result, rec.Result)
+	}
+	if hits := d.metric("server_cache_hits_total"); hits != hitsBefore+1 {
+		fail("cache hits went %g -> %g, want +1", hitsBefore, hits)
+	}
+	if synth := d.metric(`span_count_total{span="synth.synthesize"}`); synth != synthBefore {
+		fail("cache hit ran synthesis: span count %g -> %g", synthBefore, synth)
+	}
+	fmt.Println("serversmoke: identical resubmission served from cache, no synthesis span")
+
+	// ---- Part 2: kill a curve job mid-sweep, restart, resume.
+	curve := map[string]any{
+		"device":   map[string]any{"arch": "square", "width": 4, "height": 4},
+		"distance": 3,
+		"ps":       []float64{0.001, 0.002, 0.003, 0.004, 0.006, 0.008},
+		"run":      map[string]any{"shots": 60000, "seed": 42},
+	}
+	csub := d.submit("/v1/curve", curve)
+	var preKill jobRecord
+	for {
+		preKill = d.getJob(csub.JobID)
+		if len(preKill.Checkpoint) >= 1 && preKill.State == "running" {
+			break
+		}
+		if terminal(preKill.State) {
+			fail("curve job ended %s before it could be killed (%d points); shots too small",
+				preKill.State, len(preKill.Checkpoint))
+		}
+		if time.Now().After(deadline) {
+			fail("no curve checkpoint appeared; state %s", preKill.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("serversmoke: SIGTERM with %d/6 points checkpointed\n", len(preKill.Checkpoint))
+	d.terminate(deadline)
+
+	d2 := boot(*bin, storeDir, cacheDir, deadline)
+	defer d2.kill()
+	rec2 := d2.waitJob(csub.JobID, deadline, func(r jobRecord) bool { return terminal(r.State) })
+	if rec2.State != "done" {
+		fail("resumed curve job ended %s: %s", rec2.State, rec2.Error)
+	}
+	var cr curveResult
+	if err := json.Unmarshal(rec2.Result, &cr); err != nil {
+		fail("curve result: %v", err)
+	}
+	if len(cr.Points) != 6 {
+		fail("resumed curve has %d points, want 6", len(cr.Points))
+	}
+	for i, pre := range preKill.Checkpoint {
+		if cr.Points[i] != pre {
+			fail("checkpointed point %d changed across restart: %+v -> %+v", i, pre, cr.Points[i])
+		}
+	}
+	if resumed := d2.metric("server_curve_points_resumed_total"); resumed < 1 {
+		fail("server_curve_points_resumed_total = %g, want >= 1", resumed)
+	}
+	if jobs := d2.metric("server_jobs_resumed_total"); jobs < 1 {
+		fail("server_jobs_resumed_total = %g, want >= 1", jobs)
+	}
+	fmt.Printf("serversmoke: restart resumed the sweep, %d checkpointed points intact\n", len(preKill.Checkpoint))
+	d2.terminate(deadline)
+	fmt.Println("serversmoke: PASS")
+}
+
+// boot launches one daemon on a fresh port over the shared store/cache dirs
+// and waits for its banner.
+func boot(bin, storeDir, cacheDir string, deadline time.Time) *daemon {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-store-dir", storeDir,
+		"-cache-dir", cacheDir,
+		"-workers", "1",
+		"-mc-workers", "1",
+		"-drain-timeout", "500ms",
+	)
+	cmd.Stdout = io.Discard
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		fail("stderr pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		fail("start %s: %v", bin, err)
+	}
+	d := &daemon{cmd: cmd, exited: make(chan error, 1)}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	go func() { d.exited <- cmd.Wait() }()
+	select {
+	case d.addr = <-addrCh:
+	case err := <-d.exited:
+		fail("surfstitchd exited before its banner: %v", err)
+	case <-time.After(time.Until(deadline)):
+		d.kill()
+		fail("timed out waiting for the surfstitchd banner")
+	}
+	fmt.Printf("serversmoke: daemon up at http://%s\n", d.addr)
+	return d
+}
+
+func (d *daemon) submit(path string, body any) submitResponse {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		fail("marshal: %v", err)
+	}
+	resp, err := http.Post("http://"+d.addr+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		fail("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail("reading response: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		fail("POST %s: status %d, body %s", path, resp.StatusCode, out)
+	}
+	var sr submitResponse
+	if err := json.Unmarshal(out, &sr); err != nil {
+		fail("parsing submit response: %v", err)
+	}
+	return sr
+}
+
+func (d *daemon) getJob(id string) jobRecord {
+	resp, err := http.Get("http://" + d.addr + "/v1/jobs/" + id)
+	if err != nil {
+		fail("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		fail("GET job %s: status %d (err %v)", id, resp.StatusCode, err)
+	}
+	var rec jobRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		fail("parsing job record: %v", err)
+	}
+	return rec
+}
+
+func (d *daemon) waitJob(id string, deadline time.Time, pred func(jobRecord) bool) jobRecord {
+	for time.Now().Before(deadline) {
+		rec := d.getJob(id)
+		if pred(rec) {
+			return rec
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	fail("timed out waiting on job %s (state %s)", id, d.getJob(id).State)
+	panic("unreachable")
+}
+
+// metric scrapes /metrics and returns the value of one exact series name
+// (0 when absent).
+func (d *daemon) metric(series string) float64 {
+	resp, err := http.Get("http://" + d.addr + "/metrics")
+	if err != nil {
+		fail("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, series+" "), 64)
+		if err != nil {
+			fail("parsing %s: %v", line, err)
+		}
+		return v
+	}
+	return 0
+}
+
+// terminate sends SIGTERM — the signal a process manager sends — and waits
+// for a clean exit.
+func (d *daemon) terminate(deadline time.Time) {
+	if d.reaped || d.cmd.Process == nil {
+		return
+	}
+	_ = d.cmd.Process.Signal(syscall.SIGTERM)
+	if !d.wait(time.Until(deadline)) {
+		_ = d.cmd.Process.Kill()
+		d.wait(5 * time.Second)
+		fail("surfstitchd did not exit after SIGTERM")
+	}
+}
+
+// kill is the cleanup path: escalate to SIGKILL if needed. A no-op when the
+// child was already reaped by terminate.
+func (d *daemon) kill() {
+	if d.reaped || d.cmd.Process == nil {
+		return
+	}
+	_ = d.cmd.Process.Signal(os.Interrupt)
+	if !d.wait(5 * time.Second) {
+		_ = d.cmd.Process.Kill()
+		d.wait(5 * time.Second)
+	}
+}
+
+// terminal reports whether a job state admits no further transitions.
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "cancelled"
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "serversmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

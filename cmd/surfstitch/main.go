@@ -94,8 +94,7 @@ func main() {
 			Mode: *mode, Fit: *fit, NoRefine: *noRef, Defects: *defects,
 		})
 		defer func() {
-			manifest.Finish(reg)
-			if err := manifest.WriteFile(*manifestOut); err != nil {
+			if err := manifest.Seal(reg, *manifestOut, false); err != nil {
 				fmt.Fprintln(os.Stderr, "surfstitch: manifest:", err)
 			}
 		}()

@@ -21,7 +21,6 @@ package main
 import (
 	"context"
 	"encoding/csv"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -193,12 +192,10 @@ func main() {
 	}
 	// The manifest is flushed on the interrupted path too: a partial curve
 	// with no record of its seed and config cannot be resumed or trusted.
+	if err := manifest.Seal(reg, *manifestOut, interrupted); err != nil {
+		fatal(err)
+	}
 	if *manifestOut != "" {
-		manifest.Interrupted = interrupted
-		manifest.Finish(reg)
-		if err := manifest.WriteFile(*manifestOut); err != nil {
-			fatal(err)
-		}
 		fmt.Printf("wrote %s\n", *manifestOut)
 	}
 	fmt.Printf("\nelapsed: %.1fs\n", time.Since(start).Seconds())
@@ -209,16 +206,12 @@ func main() {
 
 // writeJSON dumps the sweep as versioned, machine-readable JSON.
 func writeJSON(path, title string, interrupted bool, pairs []paper.CurvePair) error {
-	blob, err := json.MarshalIndent(jsonReport{
+	return obs.WriteJSONFile(path, jsonReport{
 		SchemaVersion: obs.SchemaVersion,
 		Title:         title,
 		Interrupted:   interrupted,
 		Pairs:         pairs,
-	}, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(blob, '\n'), 0o644)
+	})
 }
 
 // progressPrinter returns a rate-limited live progress hook: at most a few

@@ -1,0 +1,152 @@
+package surfstitch
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"surfstitch/internal/noise"
+)
+
+// ConfigHash returns the stable content-address of a computation request:
+// the SHA-256 (lowercase hex) of a canonical JSON description of everything
+// that determines the result — the device's coupling graph and calibration
+// overrides, the code distance, the synthesis options, the physical error
+// rates, and the semantically relevant RunConfig fields.
+//
+// The hash deliberately excludes everything that does not change the
+// numbers: the device's display name, RunConfig.Workers (results are
+// bit-identical at any worker count), RunConfig.Registry, and progress
+// hooks. Zero-valued RunConfig fields are normalized to the engine defaults
+// they resolve to (Shots 2000, the fixed default seed, the paper's idle
+// rate, Rounds 3*distance), so "defaults spelled out" and "defaults left
+// zero" address the same cache entry.
+//
+// kind names the computation ("synthesize", "estimate", "curve", ...) so
+// different result shapes over identical inputs never collide. The canonical
+// form is frozen by golden-value tests: changing it invalidates every
+// content-addressed cache, so it must only ever be extended deliberately.
+func ConfigHash(kind string, dev *Device, distance int, opts Options, ps []float64, cfg RunConfig) (string, error) {
+	if kind == "" {
+		return "", fmt.Errorf("%w: empty hash kind", ErrInvalidConfig)
+	}
+	if dev == nil {
+		return "", fmt.Errorf("%w: nil device", ErrInvalidConfig)
+	}
+	if distance < 2 {
+		return "", fmt.Errorf("%w: code distance %d must be at least 2", ErrInvalidConfig, distance)
+	}
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	for _, p := range ps {
+		if p <= 0 || p >= 1 {
+			return "", fmt.Errorf("%w: physical error rate %g outside (0, 1)", ErrInvalidConfig, p)
+		}
+	}
+	doc := map[string]any{
+		"kind":     kind,
+		"device":   canonicalDevice(dev),
+		"distance": distance,
+		"options": map[string]any{
+			"mode":            opts.Mode.String(),
+			"no_refine":       opts.NoRefine,
+			"star_only_trees": opts.StarOnlyTrees,
+			"co_optimize":     opts.CoOptimize,
+			"degrade":         opts.Degrade,
+		},
+		"ps":  append([]float64{}, ps...),
+		"run": canonicalRun(cfg, distance),
+	}
+	// json.Marshal sorts map keys, so the encoding is canonical: one byte
+	// stream per semantic request, independent of Go struct layout.
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		return "", fmt.Errorf("%w: canonicalizing request: %v", ErrInvalidConfig, err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// canonicalDevice projects a device onto its semantic content: qubit
+// coordinates, couplings (endpoint-ordered and sorted), and calibration
+// error-rate overrides. Defects are covered implicitly — WithDefects bakes
+// dead qubits and broken couplers into the graph and overrides — and the
+// display name is excluded: renaming a chip does not change its physics.
+func canonicalDevice(dev *Device) map[string]any {
+	qubits := make([][2]int, dev.Len())
+	var qerr [][2]any
+	for q := 0; q < dev.Len(); q++ {
+		c := dev.Coord(q)
+		qubits[q] = [2]int{c.X, c.Y}
+		if r, ok := dev.QubitErrorRate(q); ok {
+			qerr = append(qerr, [2]any{q, r})
+		}
+	}
+	edges := dev.Graph().Edges()
+	for i, e := range edges {
+		if e[0] > e[1] {
+			edges[i] = [2]int{e[1], e[0]}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	var cerr [][3]any
+	for _, e := range edges {
+		if r, ok := dev.CouplerErrorRate(e[0], e[1]); ok {
+			cerr = append(cerr, [3]any{e[0], e[1], r})
+		}
+	}
+	out := map[string]any{
+		"qubits":    qubits,
+		"couplings": edges,
+	}
+	// Override lists appear only when present so pristine devices keep the
+	// compact (and already-golden) form.
+	if len(qerr) > 0 {
+		out["qubit_errors"] = qerr
+	}
+	if len(cerr) > 0 {
+		out["coupler_errors"] = cerr
+	}
+	return out
+}
+
+// canonicalRun normalizes a RunConfig to the values the estimation engine
+// actually resolves, dropping the non-semantic fields (Workers, Registry).
+func canonicalRun(cfg RunConfig, distance int) map[string]any {
+	shots := cfg.Shots
+	if shots == 0 {
+		shots = 2000 // threshold.Config.withDefaults
+	}
+	rounds := cfg.Rounds
+	if rounds == 0 {
+		rounds = 3 * distance
+	}
+	idle := cfg.IdleError
+	if cfg.NoIdle {
+		idle = 0
+	} else if idle == 0 {
+		idle = noise.DefaultIdleError
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 20220618 // threshold.Config.withDefaults
+	}
+	return map[string]any{
+		"shots":      shots,
+		"rounds":     rounds,
+		"idle_error": idle,
+		"no_idle":    cfg.NoIdle,
+		"seed":       seed,
+		"basis":      cfg.Basis.String(),
+		"target_rse": cfg.TargetRSE,
+		"max_errors": cfg.MaxErrors,
+	}
+}

@@ -67,7 +67,30 @@ func (m *Manifest) Finish(reg *Registry) {
 
 // WriteFile marshals the manifest as indented JSON to path.
 func (m *Manifest) WriteFile(path string) error {
-	blob, err := json.MarshalIndent(m, "", "  ")
+	return WriteJSONFile(path, m)
+}
+
+// Seal is the one manifest-flushing path shared by every CLI and the
+// daemon: it stamps the interruption flag, closes the wall/CPU clocks and
+// final stats snapshot against reg, and writes the manifest to path. An
+// empty path is a no-op so callers can invoke it unconditionally; a nil
+// manifest is likewise a no-op (the flag that would have created it was
+// off).
+func (m *Manifest) Seal(reg *Registry, path string, interrupted bool) error {
+	if m == nil || path == "" {
+		return nil
+	}
+	m.Interrupted = interrupted
+	m.Finish(reg)
+	return m.WriteFile(path)
+}
+
+// WriteJSONFile writes v as indented JSON with a trailing newline — the
+// shared writer behind every versioned JSON document the repository emits
+// (run manifests, CLI reports, benchmark comparisons, job records).
+// Callers embed SchemaVersion in v; this function only fixes the encoding.
+func WriteJSONFile(path string, v any) error {
+	blob, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}

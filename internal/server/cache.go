@@ -1,0 +1,121 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sync"
+
+	"surfstitch/internal/obs"
+)
+
+// Cache is the content-addressed result cache: an in-memory LRU keyed by
+// surfstitch.ConfigHash digests, in front of an optional disk tier so
+// results outlive both eviction and restarts. Values are opaque result
+// blobs (the job's Result payload); the key construction guarantees that
+// identical blobs answer identical requests.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // key → element holding *cacheEntry
+	dir   string
+	m     *obs.ServerMetrics
+}
+
+type cacheEntry struct {
+	key  string
+	blob []byte
+}
+
+// NewCache builds a cache holding up to capacity in-memory entries, backed
+// by dir when non-empty.
+func NewCache(capacity int, dir string, m *obs.ServerMetrics) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("server: cache capacity %d must be positive", capacity)
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: cache dir: %w", err)
+		}
+	}
+	return &Cache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}, dir: dir, m: m}, nil
+}
+
+// Get looks the key up in the LRU, falling back to the disk tier; a disk
+// hit is promoted into memory. Both tiers count as cache hits; the disk
+// subset is additionally counted on its own series.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		blob := el.Value.(*cacheEntry).blob
+		c.mu.Unlock()
+		c.m.CacheHits.Inc()
+		return blob, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		blob, err := os.ReadFile(c.diskPath(key))
+		// Only a well-formed JSON document is served: a torn write from a
+		// crashed predecessor must read as a miss, not as a corrupt result.
+		if err == nil && json.Valid(blob) {
+			c.promote(key, blob)
+			c.m.CacheHits.Inc()
+			c.m.CacheDiskHits.Inc()
+			return blob, true
+		}
+	}
+	c.m.CacheMisses.Inc()
+	return nil, false
+}
+
+// Put stores the result blob under key in both tiers.
+func (c *Cache) Put(key string, blob []byte) {
+	c.promote(key, blob)
+	c.m.CacheStores.Inc()
+	if c.dir != "" {
+		path := c.diskPath(key)
+		tmp := path + ".tmp"
+		// Disk-tier failures degrade the cache, not the daemon: the result
+		// was already delivered, the memory tier already holds it.
+		if err := os.WriteFile(tmp, blob, 0o644); err == nil {
+			//surflint:ignore errdrop best-effort disk tier: a failed rename leaves only a stale .tmp file, never a corrupt entry
+			os.Rename(tmp, path)
+		}
+	}
+}
+
+// promote inserts or refreshes the key at the front of the LRU, evicting
+// from the back past capacity.
+func (c *Cache) promote(key string, blob []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).blob = blob
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, blob: blob})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+		c.m.CacheEvictions.Inc()
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *Cache) diskPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"surfstitch/internal/obs"
+)
+
+func testMetrics() *obs.ServerMetrics {
+	return obs.NewServerMetrics(obs.NewRegistry())
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	m := testMetrics()
+	c, err := NewCache(2, "", m)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	c.Put("a", []byte(`1`))
+	c.Put("b", []byte(`2`))
+	if _, ok := c.Get("a"); !ok { // touch a so b is the LRU victim
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", []byte(`3`))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order wrong")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite being recently used")
+	}
+	if m.CacheEvictions.Value() != 1 {
+		t.Fatalf("evictions = %d, want 1", m.CacheEvictions.Value())
+	}
+}
+
+func TestCacheDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	m1 := testMetrics()
+	c1, err := NewCache(4, dir, m1)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	c1.Put("k", []byte(`{"v":1}`))
+
+	// A fresh cache over the same directory — simulating a restart — serves
+	// the entry from disk and promotes it.
+	m2 := testMetrics()
+	c2, err := NewCache(4, dir, m2)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	blob, ok := c2.Get("k")
+	if !ok || string(blob) != `{"v":1}` {
+		t.Fatalf("disk get = %q, %v", blob, ok)
+	}
+	if m2.CacheDiskHits.Value() != 1 || m2.CacheHits.Value() != 1 {
+		t.Fatalf("disk=%d hits=%d, want 1/1", m2.CacheDiskHits.Value(), m2.CacheHits.Value())
+	}
+	// Promoted: the second read is a memory hit, not another disk hit.
+	if _, ok := c2.Get("k"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if m2.CacheDiskHits.Value() != 1 {
+		t.Fatalf("disk hits = %d after memory hit, want still 1", m2.CacheDiskHits.Value())
+	}
+}
+
+func TestCacheCorruptDiskEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	m := testMetrics()
+	c, err := NewCache(4, dir, m)
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	// A torn write from a crashed process: not valid JSON.
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte(`{"v":`), 0o644); err != nil {
+		t.Fatalf("writing corrupt entry: %v", err)
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Fatal("corrupt disk entry served as a hit")
+	}
+	if m.CacheMisses.Value() != 1 {
+		t.Fatalf("misses = %d, want 1", m.CacheMisses.Value())
+	}
+}
+
+func TestQueueBackpressureAndClose(t *testing.T) {
+	m := testMetrics()
+	q := NewQueue(1, m)
+	j1 := &Job{rec: Record{ID: "j-1", State: StateQueued}}
+	j2 := &Job{rec: Record{ID: "j-2", State: StateQueued}}
+	if !q.Submit(j1) {
+		t.Fatal("first submit rejected")
+	}
+	if q.Submit(j2) {
+		t.Fatal("second submit accepted past capacity")
+	}
+	if m.Backpressure.Value() != 1 {
+		t.Fatalf("backpressure = %d, want 1", m.Backpressure.Value())
+	}
+	q.Close()
+	q.Close() // idempotent
+	if q.Submit(j2) {
+		t.Fatal("submit accepted after close")
+	}
+	if got := <-q.Take(); got != j1 {
+		t.Fatalf("Take = %v, want j1", got)
+	}
+	if _, ok := <-q.Take(); ok {
+		t.Fatal("channel still open after drain + close")
+	}
+}

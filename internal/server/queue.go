@@ -1,0 +1,60 @@
+package server
+
+import (
+	"sync"
+
+	"surfstitch/internal/obs"
+)
+
+// Queue is the bounded job intake. Submit never blocks: a full queue is
+// the backpressure signal the HTTP layer turns into 429 + Retry-After,
+// which is what keeps an overloaded daemon shedding load instead of
+// accumulating unbounded in-flight state.
+type Queue struct {
+	ch chan *Job
+	m  *obs.ServerMetrics
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewQueue builds a queue admitting up to size pending jobs.
+func NewQueue(size int, m *obs.ServerMetrics) *Queue {
+	if size < 1 {
+		size = 1
+	}
+	return &Queue{ch: make(chan *Job, size), m: m}
+}
+
+// Submit enqueues the job, reporting false when the queue is full or
+// closed (both read as "try again later" to the client).
+func (q *Queue) Submit(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.ch <- j:
+		q.m.QueueDepth.Add(1)
+		return true
+	default:
+		q.m.Backpressure.Inc()
+		return false
+	}
+}
+
+// Take returns the intake channel workers receive from. Receivers must
+// decrement the depth gauge themselves (the server's worker loop does).
+func (q *Queue) Take() <-chan *Job { return q.ch }
+
+// Close stops intake; workers drain the remaining buffer and exit. Safe to
+// call once.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}

@@ -1,0 +1,311 @@
+// Package server is the serving layer of the repository: surfstitchd's
+// HTTP API, its bounded job queue and worker pool, the persistent job
+// store, and the content-addressed result cache. The package turns the
+// facade's batch computations (synthesize, estimate a point, sweep a
+// curve) into asynchronous jobs with validation, backpressure,
+// cancellation, checkpointed resume, and cached re-serving of identical
+// requests.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"surfstitch"
+	"surfstitch/internal/device"
+)
+
+// Job kinds, one per async endpoint.
+const (
+	KindSynthesize = "synthesize"
+	KindEstimate   = "estimate"
+	KindCurve      = "curve"
+)
+
+// Request is the wire form of every job submission. Exactly one device
+// source must be given (arch+width+height, preset, or custom); the P / Ps
+// fields select the estimation payload per endpoint.
+type Request struct {
+	Device   DeviceSpec  `json:"device"`
+	Defects  *DefectSpec `json:"defects,omitempty"`
+	Distance int         `json:"distance"`
+	Options  OptionsSpec `json:"options"`
+	// P is the physical error rate of an estimate job.
+	P float64 `json:"p,omitempty"`
+	// Ps are the sweep points of a curve job.
+	Ps []float64 `json:"ps,omitempty"`
+	// Run tunes Monte-Carlo estimation; ignored by synthesize jobs.
+	Run RunSpec `json:"run"`
+	// TimeoutSeconds bounds the job's context; zero inherits the server
+	// default.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// DeviceSpec names the device to synthesize onto.
+type DeviceSpec struct {
+	// Arch + Width + Height select a parametric tiling: square, hexagon,
+	// octagon, heavy-square or heavy-hexagon.
+	Arch   string `json:"arch,omitempty"`
+	Width  int    `json:"width,omitempty"`
+	Height int    `json:"height,omitempty"`
+	// Preset selects a chip preset (surfstitch.PresetNames).
+	Preset string `json:"preset,omitempty"`
+	// Custom is a device coupling-map export (the internal/device JSON
+	// interchange schema).
+	Custom json.RawMessage `json:"custom,omitempty"`
+}
+
+// DefectSpec draws a reproducible defect set onto the device before
+// synthesis, via the preset generators.
+type DefectSpec struct {
+	Generator string  `json:"generator"`
+	Density   float64 `json:"density"`
+	Seed      int64   `json:"seed,omitempty"`
+}
+
+// OptionsSpec mirrors surfstitch.Options on the wire.
+type OptionsSpec struct {
+	Mode          string `json:"mode,omitempty"` // "default" (zero) or "four"
+	NoRefine      bool   `json:"no_refine,omitempty"`
+	StarOnlyTrees bool   `json:"star_only_trees,omitempty"`
+	CoOptimize    bool   `json:"co_optimize,omitempty"`
+	Degrade       bool   `json:"degrade,omitempty"`
+}
+
+// RunSpec mirrors the semantic fields of surfstitch.RunConfig on the wire.
+// Workers is deliberately absent: results are bit-identical at any worker
+// count, so parallelism is a server policy, not a request parameter.
+type RunSpec struct {
+	Shots     int     `json:"shots,omitempty"`
+	Rounds    int     `json:"rounds,omitempty"`
+	IdleError float64 `json:"idle_error,omitempty"`
+	NoIdle    bool    `json:"no_idle,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+	Basis     string  `json:"basis,omitempty"` // "Z" (zero) or "X"
+	TargetRSE float64 `json:"target_rse,omitempty"`
+	MaxErrors int     `json:"max_errors,omitempty"`
+}
+
+// compiled is a validated request resolved into engine inputs: the
+// (possibly defective) device, synthesis options and run config, plus the
+// content-address identifying the computation.
+type compiled struct {
+	kind    string
+	req     Request
+	dev     *surfstitch.Device
+	opts    surfstitch.Options
+	cfg     surfstitch.RunConfig
+	ps      []float64 // estimate: [P]; curve: Ps; synthesize: nil
+	timeout time.Duration
+	key     string
+}
+
+// compile validates req for the given job kind and resolves every wire
+// field into engine types. All failures wrap the facade's typed taxonomy
+// (ErrInvalidConfig / ErrBadDefect), which statusFor maps to HTTP 400.
+func compile(kind string, req Request) (*compiled, error) {
+	dev, err := req.Device.build()
+	if err != nil {
+		return nil, err
+	}
+	if req.Defects != nil {
+		ds, err := surfstitch.GenerateDefects(dev, req.Defects.Generator, req.Defects.Density, req.Defects.Seed)
+		if err != nil {
+			return nil, err
+		}
+		dev, err = dev.WithDefects(ds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	opts, err := req.Options.build()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := req.Run.build()
+	if err != nil {
+		return nil, err
+	}
+	var ps []float64
+	switch kind {
+	case KindSynthesize:
+		if req.P != 0 || len(req.Ps) != 0 {
+			return nil, fmt.Errorf("%w: synthesize takes no error rates (p/ps)", surfstitch.ErrInvalidConfig)
+		}
+	case KindEstimate:
+		if len(req.Ps) != 0 {
+			return nil, fmt.Errorf("%w: estimate takes a single p, not ps", surfstitch.ErrInvalidConfig)
+		}
+		if req.P <= 0 || req.P >= 1 {
+			return nil, fmt.Errorf("%w: physical error rate %g outside (0, 1)", surfstitch.ErrInvalidConfig, req.P)
+		}
+		ps = []float64{req.P}
+	case KindCurve:
+		if req.P != 0 {
+			return nil, fmt.Errorf("%w: curve takes ps, not a single p", surfstitch.ErrInvalidConfig)
+		}
+		if len(req.Ps) == 0 {
+			return nil, fmt.Errorf("%w: curve needs at least one sweep point", surfstitch.ErrInvalidConfig)
+		}
+		seen := map[float64]bool{}
+		for _, p := range req.Ps {
+			if seen[p] {
+				return nil, fmt.Errorf("%w: duplicate sweep point %g", surfstitch.ErrInvalidConfig, p)
+			}
+			seen[p] = true
+		}
+		ps = append([]float64{}, req.Ps...)
+	default:
+		return nil, fmt.Errorf("%w: unknown job kind %q", surfstitch.ErrInvalidConfig, kind)
+	}
+	if req.TimeoutSeconds < 0 {
+		return nil, fmt.Errorf("%w: timeout_seconds %g must not be negative", surfstitch.ErrInvalidConfig, req.TimeoutSeconds)
+	}
+	// ConfigHash re-validates distance, ps and cfg, so malformed requests
+	// cannot even be given a cache address.
+	key, err := surfstitch.ConfigHash(kind, dev, req.Distance, opts, ps, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &compiled{
+		kind: kind, req: req, dev: dev, opts: opts, cfg: cfg, ps: ps,
+		timeout: time.Duration(req.TimeoutSeconds * float64(time.Second)),
+		key:     key,
+	}, nil
+}
+
+func (ds DeviceSpec) build() (*surfstitch.Device, error) {
+	sources := 0
+	if ds.Arch != "" {
+		sources++
+	}
+	if ds.Preset != "" {
+		sources++
+	}
+	if len(ds.Custom) > 0 {
+		sources++
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("%w: device needs exactly one of arch, preset or custom", surfstitch.ErrInvalidConfig)
+	}
+	switch {
+	case ds.Preset != "":
+		return surfstitch.PresetDevice(ds.Preset)
+	case len(ds.Custom) > 0:
+		d, err := device.FromJSON(ds.Custom)
+		if err != nil {
+			return nil, fmt.Errorf("%w: custom device: %v", surfstitch.ErrInvalidConfig, err)
+		}
+		return d, nil
+	default:
+		arch, err := parseArch(ds.Arch)
+		if err != nil {
+			return nil, err
+		}
+		return surfstitch.NewDevice(arch, ds.Width, ds.Height)
+	}
+}
+
+func parseArch(s string) (surfstitch.Architecture, error) {
+	switch s {
+	case "square":
+		return surfstitch.Square, nil
+	case "hexagon":
+		return surfstitch.Hexagon, nil
+	case "octagon":
+		return surfstitch.Octagon, nil
+	case "heavy-square":
+		return surfstitch.HeavySquare, nil
+	case "heavy-hexagon":
+		return surfstitch.HeavyHexagon, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown architecture %q", surfstitch.ErrInvalidConfig, s)
+	}
+}
+
+func (spec OptionsSpec) build() (surfstitch.Options, error) {
+	var mode surfstitch.Mode
+	switch spec.Mode {
+	case "", "default":
+		mode = surfstitch.ModeDefault
+	case "four":
+		mode = surfstitch.ModeFour
+	default:
+		return surfstitch.Options{}, fmt.Errorf("%w: unknown mode %q (want default or four)", surfstitch.ErrInvalidConfig, spec.Mode)
+	}
+	return surfstitch.Options{
+		Mode: mode, NoRefine: spec.NoRefine, StarOnlyTrees: spec.StarOnlyTrees,
+		CoOptimize: spec.CoOptimize, Degrade: spec.Degrade,
+	}, nil
+}
+
+func (rs RunSpec) build() (surfstitch.RunConfig, error) {
+	var basis surfstitch.Basis
+	switch rs.Basis {
+	case "", "Z":
+		basis = surfstitch.BasisZ
+	case "X":
+		basis = surfstitch.BasisX
+	default:
+		return surfstitch.RunConfig{}, fmt.Errorf("%w: unknown basis %q (want Z or X)", surfstitch.ErrInvalidConfig, rs.Basis)
+	}
+	cfg := surfstitch.RunConfig{
+		Shots: rs.Shots, Rounds: rs.Rounds, IdleError: rs.IdleError,
+		NoIdle: rs.NoIdle, Seed: rs.Seed, Basis: basis,
+		TargetRSE: rs.TargetRSE, MaxErrors: rs.MaxErrors,
+	}
+	if err := cfg.Validate(); err != nil {
+		return surfstitch.RunConfig{}, err
+	}
+	return cfg, nil
+}
+
+// statusFor maps the facade's typed error taxonomy to HTTP statuses:
+// malformed requests are the client's fault (400), infeasible but
+// well-formed synthesis problems are unprocessable (422), exhausted budgets
+// read as timeouts (504), and anything untyped is a server error (500).
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, surfstitch.ErrInvalidConfig), errors.Is(err, surfstitch.ErrBadDefect):
+		return http.StatusBadRequest
+	case errors.Is(err, surfstitch.ErrNoPlacement), errors.Is(err, surfstitch.ErrDisconnected):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errorKind names the typed sentinel an error chain reaches, for the
+// machine-readable `error_kind` field of failed job records. Order matters:
+// budget/cancellation checks come first because the facade wraps context
+// errors into ErrBudgetExceeded.
+func errorKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline_exceeded"
+	case errors.Is(err, surfstitch.ErrBudgetExceeded):
+		return "budget_exceeded"
+	case errors.Is(err, surfstitch.ErrInvalidConfig):
+		return "invalid_config"
+	case errors.Is(err, surfstitch.ErrBadDefect):
+		return "bad_defect"
+	case errors.Is(err, surfstitch.ErrNoPlacement):
+		return "no_placement"
+	case errors.Is(err, surfstitch.ErrDisconnected):
+		return "disconnected"
+	default:
+		return "internal"
+	}
+}

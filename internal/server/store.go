@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"surfstitch/internal/obs"
+)
+
+// Store holds every job the daemon knows about, in memory and — when given
+// a directory — mirrored to disk as one JSON record per job, so queued and
+// running work survives a restart. Persistence is strictly best-ordered:
+// Save is called after every state transition and after every checkpointed
+// curve point, and writes go through a temp-file rename so a crash never
+// leaves a half-written record.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	jobs map[string]*Job
+	ids  []string // submission order, for listing
+}
+
+// NewStore opens a store; dir == "" keeps jobs in memory only.
+func NewStore(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: store dir: %w", err)
+		}
+	}
+	return &Store{dir: dir, jobs: map[string]*Job{}}, nil
+}
+
+// Add registers a new job and persists its initial record.
+func (st *Store) Add(j *Job) error {
+	st.mu.Lock()
+	st.jobs[j.ID()] = j
+	st.ids = append(st.ids, j.ID())
+	st.mu.Unlock()
+	return st.Save(j)
+}
+
+// Get returns the job by ID.
+func (st *Store) Get(id string) (*Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// List returns every job in submission order (loaded jobs first, sorted by
+// creation time at load).
+func (st *Store) List() []*Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*Job, 0, len(st.ids))
+	for _, id := range st.ids {
+		out = append(out, st.jobs[id])
+	}
+	return out
+}
+
+// Save persists the job's current record; a memory-only store is a no-op.
+func (st *Store) Save(j *Job) error {
+	if st.dir == "" {
+		return nil
+	}
+	rec := j.Snapshot()
+	blob, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: marshaling job %s: %w", rec.ID, err)
+	}
+	path := st.recordPath(rec.ID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("server: persisting job %s: %w", rec.ID, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("server: persisting job %s: %w", rec.ID, err)
+	}
+	return nil
+}
+
+func (st *Store) recordPath(id string) string {
+	return filepath.Join(st.dir, id+".json")
+}
+
+// Load reads every persisted record into the store and returns the jobs
+// that need to be re-enqueued: anything the previous process left queued or
+// running (the latter are sent back to queued — their run was interrupted,
+// and their checkpoints carry whatever finished). Records that fail to
+// parse are skipped with an error list rather than aborting the boot; a
+// daemon with one corrupt record still serves the rest.
+func (st *Store) Load() (resumable []*Job, errs []error) {
+	if st.dir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, []error{fmt.Errorf("server: reading store dir: %w", err)}
+	}
+	var loaded []*Job
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(st.dir, name))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("server: reading %s: %w", name, err))
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(blob, &rec); err != nil {
+			errs = append(errs, fmt.Errorf("server: parsing %s: %w", name, err))
+			continue
+		}
+		if rec.ID == "" || rec.Kind == "" {
+			errs = append(errs, fmt.Errorf("server: %s is not a job record", name))
+			continue
+		}
+		if rec.SchemaVersion == 0 {
+			rec.SchemaVersion = obs.SchemaVersion
+		}
+		loaded = append(loaded, &Job{rec: rec})
+	}
+	sort.Slice(loaded, func(i, k int) bool { return loaded[i].rec.Created.Before(loaded[k].rec.Created) })
+
+	st.mu.Lock()
+	for _, j := range loaded {
+		if _, dup := st.jobs[j.ID()]; dup {
+			continue
+		}
+		st.jobs[j.ID()] = j
+		st.ids = append(st.ids, j.ID())
+		if !j.rec.State.terminal() {
+			j.rec.State = StateQueued
+			resumable = append(resumable, j)
+		}
+	}
+	st.mu.Unlock()
+	return resumable, errs
+}

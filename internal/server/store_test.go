@@ -1,0 +1,83 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func storedJob(id string, state State, created time.Time) *Job {
+	return &Job{rec: Record{
+		ID: id, Kind: KindSynthesize, State: state, Created: created,
+		Request: Request{Device: DeviceSpec{Arch: "square", Width: 4, Height: 4}, Distance: 3},
+	}}
+}
+
+func TestStorePersistAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	t0 := time.Now()
+	// done stays done; queued and running both come back resumable (running
+	// was interrupted mid-flight), in creation order.
+	for _, j := range []*Job{
+		storedJob("j-done", StateDone, t0),
+		storedJob("j-running", StateRunning, t0.Add(2*time.Second)),
+		storedJob("j-queued", StateQueued, t0.Add(1*time.Second)),
+	} {
+		if err := st.Add(j); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	// A corrupt record must not poison the boot.
+	if err := os.WriteFile(filepath.Join(dir, "j-torn.json"), []byte(`{"id": "j-t`), 0o644); err != nil {
+		t.Fatalf("writing torn record: %v", err)
+	}
+
+	st2, err := NewStore(dir)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	resumable, errs := st2.Load()
+	if len(errs) != 1 {
+		t.Fatalf("Load errs = %v, want exactly the torn record", errs)
+	}
+	if len(resumable) != 2 {
+		t.Fatalf("resumable = %d jobs, want 2", len(resumable))
+	}
+	if resumable[0].ID() != "j-queued" || resumable[1].ID() != "j-running" {
+		t.Fatalf("resume order = %s, %s; want creation order", resumable[0].ID(), resumable[1].ID())
+	}
+	for _, j := range resumable {
+		if j.State() != StateQueued {
+			t.Fatalf("resumable job %s is %s, want queued", j.ID(), j.State())
+		}
+	}
+	done, ok := st2.Get("j-done")
+	if !ok || done.State() != StateDone {
+		t.Fatalf("terminal job: ok=%v state=%v", ok, done.State())
+	}
+	if n := len(st2.List()); n != 3 {
+		t.Fatalf("List = %d jobs, want 3", n)
+	}
+}
+
+func TestStoreMemoryOnly(t *testing.T) {
+	st, err := NewStore("")
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	if err := st.Add(storedJob("j-m", StateQueued, time.Now())); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	resumable, errs := st.Load()
+	if len(resumable) != 0 || len(errs) != 0 {
+		t.Fatalf("memory-only Load = %v, %v", resumable, errs)
+	}
+	if _, ok := st.Get("j-m"); !ok {
+		t.Fatal("job lost in memory-only store")
+	}
+}
