@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-core lint chaos verify bench bench-json obs-smoke server-smoke
+.PHONY: build test vet race race-core lint chaos distcheck verify bench bench-json obs-smoke server-smoke
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,11 @@ race:
 	$(GO) test -race ./...
 
 race-core:
-	$(GO) test -race ./internal/mc/... ./internal/threshold/... ./internal/decoder/... ./internal/frame/... ./internal/server/...
+	$(GO) test -race ./internal/mc/... ./internal/threshold/... ./internal/decoder/... ./internal/frame/... ./internal/server/... ./internal/obs/...
 
 # surflint: the domain-aware analyzer suite (rngstream, errdrop, lockcopy,
-# loopcapture, paniccheck). Zero findings is the merge bar; suppressions
+# loopcapture, paniccheck, ctxleak, atomicmix). Zero findings is the merge
+# bar; suppressions
 # require an inline justification. Run `go run ./cmd/surflint -list` for
 # the full contracts.
 lint: build
@@ -35,7 +36,14 @@ chaos:
 	$(GO) test ./internal/chaos -run Chaos -short -count=1
 	$(GO) test ./internal/chaos -run=^$$ -fuzz FuzzChaos -fuzztime 30s
 
-verify: vet race lint chaos
+# Distance certification gate (internal/distance): the static certifier
+# must return exactly the nominal distance for all five architectures at
+# d=3/5 clean, and exactly the degradation ladder's claimed effective
+# distance on a random defect preset each.
+distcheck:
+	$(GO) test ./internal/distance -run TestDistCheck -count=1
+
+verify: vet race lint chaos distcheck
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -134,6 +134,32 @@ func Run(ctx context.Context, sc Scenario) (res Result, v *Violation) {
 	return res, nil
 }
 
+// CheckDistance asserts the certification invariant on a successful result:
+// the distance the synthesis claims — nominal for clean runs, the
+// degradation ladder's EffectiveDistance after sacrifices — must exactly
+// equal the statically certified circuit-level fault distance. A mismatch
+// in either direction is a synthesis bug: claiming more protection than the
+// circuit delivers is unsound, claiming less means the ladder's accounting
+// is wrong.
+func CheckDistance(res Result) *Violation {
+	if res.Synth == nil {
+		return nil
+	}
+	claimed := res.Synth.Layout.Code.Distance()
+	if res.Synth.Degradation != nil {
+		claimed = res.Synth.Degradation.EffectiveDistance
+	}
+	cert, err := verify.CertifiedDistance(res.Synth)
+	if err != nil {
+		return &Violation{res.Scenario, fmt.Sprintf("distance certification failed: %v", err)}
+	}
+	if cert != claimed {
+		return &Violation{res.Scenario, fmt.Sprintf(
+			"claimed effective distance %d but certified fault distance is %d", claimed, cert)}
+	}
+	return nil
+}
+
 // Sweep runs `count` scenarios for one tiling, cycling through every defect
 // generator and the density ladder, and returns the first violation (nil if
 // the contract held throughout) together with outcome tallies.

@@ -30,7 +30,19 @@ func TestChaos(t *testing.T) {
 			t.Parallel()
 			tally, v := chaos.Sweep(context.Background(), baseSeed, ti, kind, 3, perTiling,
 				func(i int, res chaos.Result) {
-					if res.Synth == nil || i%deepEvery != 0 {
+					if res.Synth == nil {
+						return
+					}
+					// Certification invariant, on every degraded synthesis:
+					// the ladder's claimed effective distance must exactly
+					// equal the statically certified fault distance of the
+					// degraded circuit.
+					if res.Degraded() {
+						if dv := chaos.CheckDistance(res); dv != nil {
+							t.Errorf("distance invariant: %v", dv)
+						}
+					}
+					if i%deepEvery != 0 {
 						return
 					}
 					// Subsampled deep check: the degraded circuit must still
@@ -41,6 +53,12 @@ func TestChaos(t *testing.T) {
 					r := verify.Synthesis(res.Synth, verify.Options{Rounds: 2})
 					if len(r.Structural) != 0 || len(r.Static) != 0 || !r.Deterministic {
 						t.Errorf("%v: deep verify failed:\n%v", res.Scenario, r)
+					}
+					// Clean syntheses must certify the full nominal distance.
+					if !res.Degraded() {
+						if dv := chaos.CheckDistance(res); dv != nil {
+							t.Errorf("distance invariant: %v", dv)
+						}
 					}
 				})
 			if v != nil {

@@ -1,0 +1,77 @@
+package distance_test
+
+import (
+	"context"
+	"testing"
+
+	"surfstitch/internal/device"
+	"surfstitch/internal/distance"
+	"surfstitch/internal/synth"
+	"surfstitch/internal/verify"
+)
+
+// TestDistCheck is the `make distcheck` gate: every architecture must
+// certify exactly its nominal distance on clean fits at d=3 and d=5, and
+// one degraded defect preset per architecture must certify exactly the
+// degradation ladder's claimed effective distance.
+func TestDistCheck(t *testing.T) {
+	for _, kind := range device.AllKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			dists := []int{3, 5}
+			if testing.Short() {
+				dists = dists[:1]
+			}
+			for _, d := range dists {
+				model := memoryDEM(t, kind, d, 2)
+				res, err := distance.Certify(model)
+				if err != nil {
+					t.Fatalf("d=%d: certify: %v", d, err)
+				}
+				if res.Distance != d {
+					t.Errorf("d=%d clean: certified %d, want %d", d, res.Distance, d)
+				}
+			}
+			degradedDistCheck(t, kind)
+		})
+	}
+}
+
+// degradedDistCheck injects a random defect preset — the first seed the
+// degradation ladder survives — and holds the ladder's claimed effective
+// distance against the certificate.
+func degradedDistCheck(t *testing.T, kind device.Kind) {
+	t.Helper()
+	dev, _, err := synth.FitDevice(kind, 3, synth.ModeDefault)
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	for seed := int64(1); seed <= 32; seed++ {
+		ds, err := device.GenerateDefects(dev, "random", 0.02, seed)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		damaged, err := dev.WithDefects(ds)
+		if err != nil {
+			t.Fatalf("seed %d: apply: %v", seed, err)
+		}
+		s, err := synth.SynthesizeDegraded(context.Background(), damaged, 3, synth.Options{})
+		if err != nil {
+			continue // this preset killed the patch; try the next seed
+		}
+		claimed := s.Layout.Code.Distance()
+		if s.Degradation != nil {
+			claimed = s.Degradation.EffectiveDistance
+		}
+		cert, err := verify.CertifiedDistance(s)
+		if err != nil {
+			t.Fatalf("seed %d: certify: %v", seed, err)
+		}
+		if cert != claimed {
+			t.Errorf("seed %d: ladder claims effective distance %d, certificate says %d", seed, claimed, cert)
+		}
+		return
+	}
+	t.Fatalf("no random preset at density 0.02 synthesized for %v in 32 seeds", kind)
+}

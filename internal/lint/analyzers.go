@@ -10,6 +10,8 @@ func All() []*analysis.Analyzer {
 		LockCopy,
 		LoopCapture,
 		PanicCheck,
+		CtxLeak,
+		AtomicMix,
 	}
 }
 

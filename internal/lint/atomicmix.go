@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"surfstitch/internal/lint/analysis"
+)
+
+// AtomicMix flags struct fields accessed both through sync/atomic
+// package functions and through plain loads or stores in the same
+// package. Mixing the two races: the plain access can observe a torn or
+// stale value, and the race detector only catches it when both sides
+// actually interleave under test. The job table and metrics counters are
+// exactly the kind of state where one forgotten plain read slips in.
+//
+// Old-style atomics only — fields passed by address to atomic.AddInt64,
+// LoadUint32, StoreInt64, SwapPointer, CompareAndSwap... The typed
+// atomic.Int64 family makes this mistake unrepresentable and is the
+// recommended fix. Composite-literal initialization is exempt: before
+// the value escapes, plain writes are unshared and safe.
+var AtomicMix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "flag struct fields accessed both via sync/atomic functions and " +
+		"plainly; mixed access races — migrate the field to the typed " +
+		"atomic.Int64 family or make every access atomic",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *analysis.Pass) error {
+	// Pass 1: fields whose address is taken by an old-style atomic call,
+	// and the selector nodes consumed that way (excluded from pass 2).
+	atomicFields := map[*types.Var]bool{}
+	atomicSels := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			unary, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			sel, ok := unary.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fld := selectedField(pass, sel); fld != nil {
+				atomicFields[fld] = true
+				atomicSels[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: plain accesses of those fields. Composite literals key
+	// fields by bare ident, not selector, so initialization is naturally
+	// exempt; &x.f handed to another atomic call was excluded above.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSels[sel] {
+				return true
+			}
+			fld := selectedField(pass, sel)
+			if fld == nil || !atomicFields[fld] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access to field %s, which is accessed atomically elsewhere in this package; use sync/atomic consistently or migrate to atomic.%s",
+				fieldLabel(pass, sel, fld), typedAtomicName(fld.Type()))
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether the call targets a sync/atomic package
+// function (old-style; methods on atomic.Int64 et al. have no receiver
+// aliasing problem and are ignored).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// selectedField resolves a selector expression to the struct field it
+// reads or writes, nil when it is not a field selection.
+func selectedField(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// fieldLabel renders the field as Type.name for diagnostics, using the
+// selector's receiver to name the owning struct.
+func fieldLabel(pass *analysis.Pass, sel *ast.SelectorExpr, fld *types.Var) string {
+	recv := pass.TypesInfo.Types[sel.X].Type
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	if recv != nil {
+		name := types.TypeString(recv, types.RelativeTo(pass.Pkg))
+		return strings.TrimPrefix(name, "*") + "." + fld.Name()
+	}
+	return fld.Name()
+}
+
+// typedAtomicName suggests the sync/atomic wrapper type for the field.
+func typedAtomicName(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64:
+		return "Uint64"
+	case types.Uintptr:
+		return "Uintptr"
+	default:
+		return "Value"
+	}
+}

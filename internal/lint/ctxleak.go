@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"surfstitch/internal/lint/analysis"
+)
+
+// CtxLeak flags context cancel functions that are not released on every
+// path. context.WithCancel, WithTimeout, WithDeadline and WithCancelCause
+// all return a cancel function that must eventually be called: until it
+// is, the derived context — and its timer, for the deadline variants —
+// stays pinned in the parent's children set. The serving layer creates
+// one such context per job; a leaked cancel func is a slow memory leak
+// that only shows under production request volume.
+//
+// Reported shapes:
+//
+//  1. the cancel result bound to the blank identifier
+//     (ctx, _ := context.WithCancel(...));
+//  2. a cancel variable that is never used at all;
+//  3. a cancel variable whose only calls sit inside conditional
+//     statements (if/switch/select arms) with no unconditional call or
+//     defer — the happy path leaks it.
+//
+// Passing, storing or returning the cancel func transfers the release
+// obligation to the receiver and is accepted, as is any use inside a
+// nested function literal (the closure may run on every path; deciding
+// that statically is out of scope).
+var CtxLeak = &analysis.Analyzer{
+	Name: "ctxleak",
+	Doc: "flag context cancel functions that are dropped or only called " +
+		"conditionally; every WithCancel/WithTimeout/WithDeadline result " +
+		"must be canceled on all paths, usually via an immediate defer",
+	Run: runCtxLeak,
+}
+
+// cancelReturningFuncs are the context constructors whose second result
+// is a cancel function.
+var cancelReturningFuncs = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true, "WithCancelCause": true,
+}
+
+func runCtxLeak(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkCancelScope(pass, n.Body)
+				}
+				return false // nested FuncLits are handled by checkCancelScope
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCancelScope audits one function body for cancel-func hygiene, then
+// recurses into nested function literals as independent scopes.
+func checkCancelScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isCancelReturning(pass, call) {
+			return true
+		}
+		id, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(id.Pos(), "context cancel function discarded as _; the derived context is never released")
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			auditCancelUses(pass, body, as, id, obj)
+		}
+		return true
+	})
+	for _, lit := range lits {
+		checkCancelScope(pass, lit.Body)
+	}
+}
+
+// isCancelReturning reports whether the call is one of the context
+// package's cancel-returning constructors.
+func isCancelReturning(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "context" && cancelReturningFuncs[fn.Name()]
+}
+
+// auditCancelUses classifies every use of the cancel object within the
+// declaring body and reports never-called and conditionally-called leaks.
+func auditCancelUses(pass *analysis.Pass, body *ast.BlockStmt, decl *ast.AssignStmt, id *ast.Ident, obj types.Object) {
+	var (
+		released        bool // unconditional call/defer, or escaped our analysis
+		conditionalCall bool
+		anyUse          bool
+	)
+	seen := map[*ast.Ident]bool{} // uses classified by the in-body walk
+	var stack []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if released {
+			return
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A closure may call or capture the cancel func; whether it
+			// runs on every path is undecidable here, but capture alone
+			// means the obligation moved — accept it.
+			if referencesObject(pass, n, obj) {
+				released = true
+			}
+			return
+		}
+		stack = append(stack, n)
+		defer func() { stack = stack[:len(stack)-1] }()
+
+		if use, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[use] == obj {
+			seen[use] = true
+			if use == id {
+				// The declaring assignment's own LHS (plain `=` puts it
+				// in Uses) is not a release.
+				return
+			}
+			anyUse = true
+			switch classifyCancelUse(stack) {
+			case useCalled:
+				if underConditional(stack) {
+					conditionalCall = true
+				} else {
+					released = true
+				}
+			case useDeferred:
+				if underConditional(stack) {
+					conditionalCall = true
+				} else {
+					released = true
+				}
+			case useEscaped:
+				released = true
+			}
+			return
+		}
+		for _, child := range childNodes(n) {
+			walk(child)
+		}
+	}
+	for _, child := range childNodes(body) {
+		walk(child)
+	}
+	if !released && obj.Parent() == pass.Pkg.Scope() {
+		// A package-scoped cancel var may be released by another function
+		// in the package; any reference outside the declaring assignment
+		// counts as a hand-off.
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if use, ok := n.(*ast.Ident); ok && use != id && !seen[use] && pass.TypesInfo.Uses[use] == obj {
+					released = true
+				}
+				return !released
+			})
+		}
+	}
+	switch {
+	case released:
+	case !anyUse:
+		pass.Reportf(decl.Pos(), "context cancel function %s is never called; defer it right after this assignment", id.Name)
+	case conditionalCall:
+		pass.Reportf(decl.Pos(), "context cancel function %s is only called conditionally; defer it so every path releases the context", id.Name)
+	}
+}
+
+type cancelUse int
+
+const (
+	useOther cancelUse = iota
+	useCalled
+	useDeferred
+	useEscaped
+)
+
+// classifyCancelUse inspects the ancestor stack of a cancel-func ident
+// (stack[len-1] is the ident itself).
+func classifyCancelUse(stack []ast.Node) cancelUse {
+	if len(stack) < 2 {
+		return useEscaped
+	}
+	parent := stack[len(stack)-2]
+	if call, ok := parent.(*ast.CallExpr); ok {
+		if call.Fun == stack[len(stack)-1] {
+			// cancel(...) — statement call or deferred?
+			if len(stack) >= 3 {
+				switch stack[len(stack)-3].(type) {
+				case *ast.DeferStmt:
+					return useDeferred
+				case *ast.GoStmt:
+					return useEscaped // runs concurrently; treat as handed off
+				}
+			}
+			return useCalled
+		}
+		return useEscaped // passed as an argument
+	}
+	// Stored, returned, compared, wrapped — the obligation moved.
+	return useEscaped
+}
+
+// underConditional reports whether any ancestor on the stack is a
+// conditional construct, meaning the use does not execute on every path.
+func underConditional(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt,
+			*ast.CaseClause, *ast.CommClause:
+			return true
+		}
+	}
+	return false
+}
+
+// referencesObject reports whether the subtree references obj.
+func referencesObject(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// childNodes collects the immediate AST children of n, preserving source
+// order, via a depth-one Inspect.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			out = append(out, m)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,57 @@
+// Package fixture seeds deliberate atomicmix violations for the golden
+// tests, alongside the accepted access shapes.
+package fixture
+
+import "sync/atomic"
+
+// counter mixes atomic and plain access on hits — the violation — while
+// misses stays consistently atomic and name consistently plain.
+type counter struct {
+	hits   int64
+	misses int64
+	name   string
+}
+
+func (c *counter) hit() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func (c *counter) snapshot() (int64, int64) {
+	return c.hits, atomic.LoadInt64(&c.misses) // want `plain access to field counter.hits, which is accessed atomically elsewhere`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `plain access to field counter.hits, which is accessed atomically elsewhere`
+	atomic.StoreInt64(&c.misses, 0)
+}
+
+func (c *counter) label() string {
+	return c.name // consistently plain: fine
+}
+
+// newCounter shows the composite-literal exemption: initialization before
+// the value is shared is not a mixed access.
+func newCounter() *counter {
+	return &counter{hits: 0, misses: 0, name: "fresh"}
+}
+
+// gate mixes a CompareAndSwap field with a plain write.
+type gate struct {
+	state uint32
+}
+
+func (g *gate) open() bool {
+	return atomic.CompareAndSwapUint32(&g.state, 0, 1)
+}
+
+func (g *gate) slam() {
+	g.state = 2 // want `plain access to field gate.state, which is accessed atomically elsewhere in this package; use sync/atomic consistently or migrate to atomic.Uint32`
+}
+
+// localAtomics on non-field addresses are out of scope.
+func localAtomics() int64 {
+	var n int64
+	atomic.AddInt64(&n, 1)
+	return n
+}

@@ -1,0 +1,108 @@
+// Package fixture seeds deliberate ctxleak violations for the golden
+// tests, alongside every accepted release shape.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func sink(ctx context.Context) { _ = ctx }
+
+func keep(cancel context.CancelFunc) { cancel() }
+
+// blankCancel drops the cancel func outright.
+func blankCancel() {
+	ctx, _ := context.WithCancel(context.Background()) // want `context cancel function discarded as _`
+	sink(ctx)
+}
+
+// bgCancel mimics a package-level cancel nobody ever calls.
+var bgCancel context.CancelFunc
+
+func neverCalled() context.Context {
+	ctx := context.Background()
+	ctx, bgCancel = context.WithTimeout(ctx, time.Second) // want `context cancel function bgCancel is never called`
+	return ctx
+}
+
+// conditionalOnly releases the context on the error path but leaks it on
+// the happy path.
+func conditionalOnly(fail bool) {
+	ctx, cancel := context.WithCancel(context.Background()) // want `context cancel function cancel is only called conditionally`
+	if fail {
+		cancel()
+		return
+	}
+	sink(ctx)
+}
+
+// selectOnly calls cancel only from one select arm.
+func selectOnly(done chan struct{}) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(time.Second)) // want `context cancel function cancel is only called conditionally`
+	select {
+	case <-done:
+		cancel()
+	case <-ctx.Done():
+	}
+}
+
+// deferred is the canonical clean shape: cancel deferred immediately.
+func deferred() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	sink(ctx)
+}
+
+// earlyPlusDefer cancels early on one path but also defers; fine.
+func earlyPlusDefer(fail bool) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if fail {
+		cancel()
+		return
+	}
+	sink(ctx)
+}
+
+// handedOff passes the cancel func on; the callee owns the release.
+func handedOff() {
+	ctx, cancel := context.WithCancel(context.Background())
+	keep(cancel)
+	sink(ctx)
+}
+
+// returned transfers the obligation to the caller.
+func returned() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	return ctx, func() { cancel(nil) }
+}
+
+// stored parks the cancel in a struct for a later Close.
+type holder struct {
+	cancel context.CancelFunc
+}
+
+func stored() *holder {
+	ctx, cancel := context.WithCancel(context.Background())
+	sink(ctx)
+	return &holder{cancel: cancel}
+}
+
+// captured hands the cancel to a goroutine closure.
+func captured(done chan struct{}) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-done
+		cancel()
+	}()
+	sink(ctx)
+}
+
+// nested audits function literals as independent scopes.
+func nested() func() {
+	return func() {
+		ctx, _ := context.WithCancel(context.Background()) // want `context cancel function discarded as _`
+		sink(ctx)
+	}
+}

@@ -445,12 +445,29 @@ func (s *Server) runCfg(c *compiled) surfstitch.RunConfig {
 	return cfg
 }
 
+// SynthesizeResult is the wire form of a completed synthesize job: the
+// synthesis report plus the statically certified fault distance of the
+// layout (internal/distance via the facade) — the number a client can gate
+// deployment on without running its own verification.
+type SynthesizeResult struct {
+	surfstitch.SynthReport
+	// CertifiedDistance is the exact minimum fault count flipping a logical
+	// observable undetected, over both bases; 0 = no such fault set exists.
+	CertifiedDistance int `json:"certified_distance"`
+}
+
 func (s *Server) runSynthesize(ctx context.Context, j *Job, c *compiled) error {
 	syn, err := surfstitch.Synthesize(ctx, c.dev, c.req.Distance, c.opts)
 	if err != nil {
 		return err
 	}
-	blob, err := json.Marshal(syn.Report())
+	cert, err := surfstitch.CertifiedDistance(syn)
+	if err != nil {
+		return fmt.Errorf("distance certification: %w", err)
+	}
+	s.reg.Gauge("distance_certified").Set(float64(cert))
+	s.reg.Counter("distance_certifications_total").Inc()
+	blob, err := json.Marshal(SynthesizeResult{SynthReport: syn.Report(), CertifiedDistance: cert})
 	if err != nil {
 		return err
 	}

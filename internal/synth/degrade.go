@@ -21,10 +21,11 @@ type Degradation struct {
 	// RetainedX/Z and TotalX/Z count measured vs. nominal checks per type.
 	RetainedX, TotalX int
 	RetainedZ, TotalZ int
-	// EffectiveDistance estimates the surviving code distance: each dropped
-	// check of a type can merge two logical-error mechanisms of the opposite
-	// basis, so the nominal distance shrinks by the larger per-type drop
-	// count (floored at 1). A heuristic, not a minimum-weight computation.
+	// EffectiveDistance is the exact code-capacity distance that survives
+	// the sacrifice: the minimum number of data-qubit errors forming a
+	// chain undetectable by every retained check yet flipping a logical
+	// operator, computed per error basis by the internal/distance
+	// minimum-odd-cycle search and taken over the weaker basis.
 	EffectiveDistance int
 }
 
@@ -46,7 +47,7 @@ func (dg *Degradation) Retained() int {
 
 // String renders a one-line summary for logs and CLI output.
 func (dg *Degradation) String() string {
-	return fmt.Sprintf("degraded: %d/%d X + %d/%d Z checks retained, %d dropped, effective distance ~%d",
+	return fmt.Sprintf("degraded: %d/%d X + %d/%d Z checks retained, %d dropped, effective distance %d",
 		dg.RetainedX, dg.TotalX, dg.RetainedZ, dg.TotalZ, len(dg.Dropped), dg.EffectiveDistance)
 }
 
@@ -137,7 +138,10 @@ func SynthesizeDegraded(ctx context.Context, dev *device.Device, distance int, o
 				}
 			}
 		}
-		dg.EffectiveDistance = max(1, distance-max(droppedX, droppedZ))
+		dg.EffectiveDistance = effectiveDistance(layout.Code, func(si int) bool {
+			_, gone := droppedErrs[si]
+			return !gone
+		})
 		out.Degradation = dg
 		reg.Counter("synth_dropped_stabilizers_total").Add(int64(len(dg.Dropped)))
 	}

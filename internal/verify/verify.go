@@ -20,6 +20,7 @@ import (
 	"surfstitch/internal/code"
 	"surfstitch/internal/decoder"
 	"surfstitch/internal/dem"
+	"surfstitch/internal/distance"
 	"surfstitch/internal/experiment"
 	"surfstitch/internal/lint/circ"
 	"surfstitch/internal/noise"
@@ -58,18 +59,63 @@ type Report struct {
 	// UndetectableLogical is true when some mechanism flips the observable
 	// without tripping any detector — a fatal code defect.
 	UndetectableLogical bool
+
+	// ClaimedDistance is the distance the synthesis claims to deliver: the
+	// nominal code distance, or the degradation ladder's effective distance
+	// when stabilizers were sacrificed. Zero when the certification stage
+	// did not run.
+	ClaimedDistance int
+	// CertifiedDistance is the statically certified fault distance of the
+	// memory's error model: the exact minimum number of elementary faults
+	// that flip the logical observable while tripping no detector
+	// (internal/distance). Zero means no undetectable logical fault set
+	// exists at all — stronger than any finite claim. A certified value
+	// below ClaimedDistance is a hard FAIL.
+	CertifiedDistance int
+	// DistanceWitness is one minimum-weight undetectable logical fault set
+	// realizing CertifiedDistance.
+	DistanceWitness []distance.Fault
+	// DistanceGraphlike reports whether every error mechanism flipped at
+	// most two detectors; DistanceUndecomposable counts hyperedge
+	// mechanisms the certifier could not prove redundant — when non-zero
+	// the certificate covers the graphlike sub-model only.
+	DistanceGraphlike      bool
+	DistanceUndecomposable int
+	// DistanceHookMismatch is non-empty when the certifier and the
+	// VerticalXHooks heuristic disagree about distance loss on a
+	// non-degraded synthesis — either direction is a synthesis bug.
+	DistanceHookMismatch string
+
+	// MaxMisdecodeRatio is the single-fault misdecode ratio Pass tolerates,
+	// copied from Options (DefaultMaxMisdecodeRatio when zero there).
+	MaxMisdecodeRatio float64
 }
 
+// DefaultMaxMisdecodeRatio is the single-fault misdecode ratio Pass
+// tolerates when Options leave it unset: 2% of elementary mechanisms may
+// hit tie degeneracies.
+const DefaultMaxMisdecodeRatio = 0.02
+
 // Pass reports whether the synthesis meets the strict bar: structurally
-// sound, deterministic, no undetectable logicals, no vertical X hooks, and
-// a sub-percent single-fault misdecode ratio.
+// sound, deterministic, no undetectable logicals, no vertical X hooks, a
+// certified fault distance meeting the claim (and agreeing with the hook
+// heuristic), and a single-fault misdecode ratio within MaxMisdecodeRatio.
 func (r Report) Pass() bool {
+	maxRatio := r.MaxMisdecodeRatio
+	if maxRatio == 0 {
+		maxRatio = DefaultMaxMisdecodeRatio
+	}
+	distanceOK := r.ClaimedDistance == 0 || // stage did not run
+		r.CertifiedDistance == 0 || // no undetectable logical error at all
+		r.CertifiedDistance >= r.ClaimedDistance
 	return len(r.Structural) == 0 &&
 		len(r.Static) == 0 &&
 		r.Deterministic &&
 		!r.UndetectableLogical &&
 		r.VerticalXHooks == 0 &&
-		(r.SingleFaultTotal == 0 || 50*r.SingleFaultMisdecoded <= r.SingleFaultTotal)
+		distanceOK &&
+		r.DistanceHookMismatch == "" &&
+		float64(r.SingleFaultMisdecoded) <= maxRatio*float64(r.SingleFaultTotal)
 }
 
 // String renders the report for humans.
@@ -95,6 +141,23 @@ func (r Report) String() string {
 		r.SingleFaultMisdecoded, r.SingleFaultTotal, r.MisdecodedProb)
 	fmt.Fprintf(&b, "  vertical X hooks: %d\n", r.VerticalXHooks)
 	fmt.Fprintf(&b, "  undetectable logical mechanisms: %v\n", r.UndetectableLogical)
+	if r.ClaimedDistance > 0 {
+		cert := fmt.Sprintf("%d", r.CertifiedDistance)
+		if r.CertifiedDistance == 0 {
+			cert = "none (no undetectable logical fault set)"
+		}
+		fmt.Fprintf(&b, "  certified distance: %s (claimed %d, graphlike %v", cert, r.ClaimedDistance, r.DistanceGraphlike)
+		if r.DistanceUndecomposable > 0 {
+			fmt.Fprintf(&b, ", %d undecomposable hyperedges", r.DistanceUndecomposable)
+		}
+		b.WriteString(")\n")
+		if len(r.DistanceWitness) > 0 {
+			fmt.Fprintf(&b, "  distance witness: %v\n", r.DistanceWitness)
+		}
+		if r.DistanceHookMismatch != "" {
+			fmt.Fprintf(&b, "  hook/certificate mismatch: %s\n", r.DistanceHookMismatch)
+		}
+	}
 	return b.String()
 }
 
@@ -104,6 +167,10 @@ type Options struct {
 	Rounds int
 	// GateError used when building the error model (default 0.001).
 	GateError float64
+	// MaxMisdecodeRatio is the tolerated fraction of elementary mechanisms
+	// the decoder may misdecode before Pass fails (default
+	// DefaultMaxMisdecodeRatio).
+	MaxMisdecodeRatio float64
 }
 
 // Synthesis verifies a surface-code synthesis end to end.
@@ -115,6 +182,10 @@ func Synthesis(s *synth.Synthesis, opts Options) Report {
 	if opts.GateError == 0 {
 		opts.GateError = 0.001
 	}
+	if opts.MaxMisdecodeRatio == 0 {
+		opts.MaxMisdecodeRatio = DefaultMaxMisdecodeRatio
+	}
+	r.MaxMisdecodeRatio = opts.MaxMisdecodeRatio
 
 	r.Structural = structuralChecks(s)
 	r.VerticalXHooks = countVerticalXHooks(s)
@@ -165,6 +236,42 @@ func Synthesis(s *synth.Synthesis, opts Options) Report {
 	if dec.UndetectableObs != 0 {
 		r.UndetectableLogical = true
 	}
+
+	// Static distance certification: prove the minimum-weight undetectable
+	// logical fault set of the very model the decoder consumes, and hold
+	// it against the synthesis' claim.
+	nominal := s.Layout.Code.Distance()
+	r.ClaimedDistance = nominal
+	if s.Degradation != nil {
+		r.ClaimedDistance = s.Degradation.EffectiveDistance
+	}
+	cert, err := distance.Certify(model)
+	if err != nil {
+		r.Structural = append(r.Structural, fmt.Sprintf("distance certification failed: %v", err))
+		return r
+	}
+	r.CertifiedDistance = cert.Distance
+	r.DistanceWitness = cert.Witness
+	r.DistanceGraphlike = cert.Graphlike
+	r.DistanceUndecomposable = cert.Undecomposable
+	if s.Degradation == nil {
+		// On a non-degraded synthesis the certificate and the vertical-hook
+		// heuristic must tell the same story: hooks halve the distance, so
+		// a hook finding without certified distance loss — or distance loss
+		// without a hook finding — means one of the two analyses is wrong.
+		lost := cert.Distance != 0 && cert.Distance < nominal
+		switch {
+		case r.VerticalXHooks > 0 && !lost:
+			r.DistanceHookMismatch = fmt.Sprintf(
+				"heuristic flags %d vertical X hooks but certified distance %d shows no loss vs nominal %d",
+				r.VerticalXHooks, cert.Distance, nominal)
+		case r.VerticalXHooks == 0 && lost:
+			r.DistanceHookMismatch = fmt.Sprintf(
+				"certified distance %d below nominal %d with no vertical-hook finding",
+				cert.Distance, nominal)
+		}
+	}
+
 	for _, mech := range model.Mechanisms {
 		if len(mech.Detectors) == 0 {
 			continue
@@ -177,6 +284,40 @@ func Synthesis(s *synth.Synthesis, opts Options) Report {
 		}
 	}
 	return r
+}
+
+// CertifiedDistance statically certifies the fault distance of the
+// synthesized memory in both logical bases (a Z-basis memory only measures
+// protection against X errors and vice versa) and returns the weaker one —
+// the number the degradation ladder's EffectiveDistance claims. Zero means
+// neither basis admits any undetectable logical fault set. This is the
+// cheap certification entry point: no stabilizer simulation, no decoding —
+// just circuit assembly, error-model extraction, and the static
+// minimum-odd-cycle search.
+func CertifiedDistance(s *synth.Synthesis) (int, error) {
+	worst := 0
+	for _, basis := range []experiment.Basis{experiment.BasisZ, experiment.BasisX} {
+		mem, err := experiment.NewMemory(s, 2, experiment.Options{SkipVerify: true, Basis: basis})
+		if err != nil {
+			return 0, fmt.Errorf("%v memory: %w", basis, err)
+		}
+		noisy, err := mem.Noisy(noise.Model{GateError: 0.001, IdleError: noise.DefaultIdleError})
+		if err != nil {
+			return 0, fmt.Errorf("%v noise: %w", basis, err)
+		}
+		model, err := dem.FromCircuit(noisy)
+		if err != nil {
+			return 0, fmt.Errorf("%v dem: %w", basis, err)
+		}
+		res, err := distance.Certify(model)
+		if err != nil {
+			return 0, fmt.Errorf("%v certify: %w", basis, err)
+		}
+		if res.Distance != 0 && (worst == 0 || res.Distance < worst) {
+			worst = res.Distance
+		}
+	}
+	return worst, nil
 }
 
 // Structural runs only the linear-time structural invariants — schedule

@@ -75,6 +75,71 @@ func TestReportFieldsPopulated(t *testing.T) {
 	if len(rep.Structural) != 0 {
 		t.Errorf("structural problems: %v", rep.Structural)
 	}
+	if rep.ClaimedDistance != 3 {
+		t.Errorf("claimed distance = %d, want 3", rep.ClaimedDistance)
+	}
+	if rep.CertifiedDistance != 3 {
+		t.Errorf("certified distance = %d, want 3", rep.CertifiedDistance)
+	}
+	if len(rep.DistanceWitness) != rep.CertifiedDistance {
+		t.Errorf("witness has %d faults, want %d", len(rep.DistanceWitness), rep.CertifiedDistance)
+	}
+	if rep.DistanceHookMismatch != "" {
+		t.Errorf("unexpected hook mismatch: %s", rep.DistanceHookMismatch)
+	}
+	if rep.MaxMisdecodeRatio != DefaultMaxMisdecodeRatio {
+		t.Errorf("misdecode ratio = %v, want default %v", rep.MaxMisdecodeRatio, DefaultMaxMisdecodeRatio)
+	}
+}
+
+func TestPassGatesOnCertifiedDistance(t *testing.T) {
+	base := Report{Deterministic: true, SingleFaultTotal: 100}
+	if !base.Pass() {
+		t.Fatal("baseline report should pass")
+	}
+
+	r := base
+	r.ClaimedDistance, r.CertifiedDistance = 3, 2
+	if r.Pass() {
+		t.Error("certified below claimed must fail")
+	}
+	r.CertifiedDistance = 3
+	if !r.Pass() {
+		t.Error("certified == claimed must pass")
+	}
+	r.CertifiedDistance = 0 // no undetectable logical fault set at all
+	if !r.Pass() {
+		t.Error("certified 0 (no logical faults) must pass")
+	}
+	r.DistanceHookMismatch = "heuristic disagrees"
+	if r.Pass() {
+		t.Error("hook/certificate mismatch must fail")
+	}
+}
+
+func TestMaxMisdecodeRatio(t *testing.T) {
+	r := Report{Deterministic: true, SingleFaultTotal: 100, SingleFaultMisdecoded: 5}
+	if r.Pass() {
+		t.Error("5% misdecodes must fail the default 2% bar")
+	}
+	r.MaxMisdecodeRatio = 0.10
+	if !r.Pass() {
+		t.Error("5% misdecodes must pass a 10% bar")
+	}
+	r.MaxMisdecodeRatio = 0.01
+	if r.Pass() {
+		t.Error("5% misdecodes must fail a 1% bar")
+	}
+
+	// Options plumb the ratio into the report.
+	s, err := synth.Synthesize(context.Background(), device.Square(6, 6), 3, synth.Options{Mode: synth.ModeFour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Synthesis(s, Options{Rounds: 2, MaxMisdecodeRatio: 0.5})
+	if rep.MaxMisdecodeRatio != 0.5 {
+		t.Errorf("ratio not plumbed: got %v", rep.MaxMisdecodeRatio)
+	}
 }
 
 func TestStaticPreGateRejectsOffDeviceCoupling(t *testing.T) {

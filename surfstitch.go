@@ -510,3 +510,20 @@ func Verify(s *Synthesis) VerifyReport {
 	}
 	return verify.Synthesis(s, verify.Options{})
 }
+
+// SynthReport is the machine-readable synthesis report (schema_version,
+// lattice, stabilizers, schedule, metrics, degradation).
+type SynthReport = synth.Report
+
+// CertifiedDistance statically certifies the fault distance of a synthesis:
+// the exact minimum number of elementary circuit faults that flip a logical
+// observable without tripping any detector, taken over both logical bases.
+// Zero means no undetectable logical fault set exists. Much cheaper than
+// Verify — no stabilizer simulation or decoding — so it is the right call
+// for serving paths that only need the certificate.
+func CertifiedDistance(s *Synthesis) (int, error) {
+	if s == nil {
+		return 0, fmt.Errorf("%w: nil synthesis", ErrInvalidConfig)
+	}
+	return verify.CertifiedDistance(s)
+}
