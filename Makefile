@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-core lint chaos distcheck verify bench bench-json obs-smoke server-smoke
+.PHONY: build test vet race race-core lint chaos chaos-fidelity distcheck verify bench bench-json obs-smoke server-smoke
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ race:
 	$(GO) test -race ./...
 
 race-core:
-	$(GO) test -race ./internal/mc/... ./internal/threshold/... ./internal/decoder/... ./internal/frame/... ./internal/server/... ./internal/obs/...
+	$(GO) test -race ./internal/mc/... ./internal/threshold/... ./internal/decoder/... ./internal/frame/... ./internal/server/... ./internal/obs/... ./internal/device/... ./internal/noise/...
 
 # surflint: the domain-aware analyzer suite (rngstream, errdrop, lockcopy,
 # loopcapture, paniccheck, ctxleak, atomicmix). Zero findings is the merge
@@ -36,6 +36,13 @@ chaos:
 	$(GO) test ./internal/chaos -run Chaos -short -count=1
 	$(GO) test ./internal/chaos -run=^$$ -fuzz FuzzChaos -fuzztime 30s
 
+# Fidelity-degradation harness: every minimal tiling (pristine and lightly
+# defected) through the good/median/bad calibration snapshots, asserting
+# finite logical rates, Wilson-tolerant good<=median<=bad ordering, and an
+# unchanged certified fault distance under calibration-aware routing.
+chaos-fidelity:
+	$(GO) test ./internal/chaos -run Fidelity -count=1
+
 # Distance certification gate (internal/distance): the static certifier
 # must return exactly the nominal distance for all five architectures at
 # d=3/5 clean, and exactly the degradation ladder's claimed effective
@@ -43,7 +50,7 @@ chaos:
 distcheck:
 	$(GO) test ./internal/distance -run TestDistCheck -count=1
 
-verify: vet race lint chaos distcheck
+verify: vet race lint chaos chaos-fidelity distcheck
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -6,9 +6,16 @@
 //  1. Content-addressed caching: an identical resubmission completes
 //     immediately from the cache — the cache-hit counter moves and no new
 //     synthesis span is recorded.
-//  2. Checkpointed resume: a curve job killed mid-sweep (SIGTERM, real
+//  2. Calibration round trip: calibrated submissions run to completion and
+//     different snapshots get different content addresses, while an
+//     identical submission still in flight coalesces onto the running job
+//     (single-flight) without a second synthesis span.
+//  3. Checkpointed resume: a curve job killed mid-sweep (SIGTERM, real
 //     process death) is resumed by a fresh daemon on the same store
 //     directory and finishes with the checkpointed points intact.
+//
+// All traffic goes through the retrying API client (internal/server.Client),
+// so transient backpressure never fails the smoke test.
 //
 // Usage:
 //
@@ -18,6 +25,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +39,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"surfstitch/internal/server"
 )
 
 var addrRe = regexp.MustCompile(`surfstitchd: listening on http://(\S+)`)
@@ -38,10 +48,11 @@ var addrRe = regexp.MustCompile(`surfstitchd: listening on http://(\S+)`)
 // The payload types mirror internal/server's wire schema (kept in lockstep
 // by the API tests; the smoke test speaks raw JSON like any client would).
 type submitResponse struct {
-	JobID    string          `json:"job_id"`
-	State    string          `json:"state"`
-	CacheHit bool            `json:"cache_hit"`
-	Result   json.RawMessage `json:"result"`
+	JobID     string          `json:"job_id"`
+	State     string          `json:"state"`
+	CacheHit  bool            `json:"cache_hit"`
+	Coalesced bool            `json:"coalesced"`
+	Result    json.RawMessage `json:"result"`
 }
 
 type curvePoint struct {
@@ -54,6 +65,7 @@ type curvePoint struct {
 type jobRecord struct {
 	ID         string          `json:"id"`
 	State      string          `json:"state"`
+	CacheKey   string          `json:"cache_key"`
 	ErrorKind  string          `json:"error_kind"`
 	Error      string          `json:"error"`
 	Result     json.RawMessage `json:"result"`
@@ -68,6 +80,7 @@ type curveResult struct {
 type daemon struct {
 	cmd    *exec.Cmd
 	addr   string
+	client *server.Client
 	exited chan error
 	reaped bool // the single exit notification has been consumed
 }
@@ -149,7 +162,64 @@ func main() {
 	}
 	fmt.Println("serversmoke: identical resubmission served from cache, no synthesis span")
 
-	// ---- Part 2: kill a curve job mid-sweep, restart, resume.
+	// ---- Part 2: calibration round trip + single-flight coalescing.
+	calibrated := func(preset string, shots int, seed int64) map[string]any {
+		return map[string]any{
+			"device":      map[string]any{"arch": "square", "width": 4, "height": 4},
+			"distance":    3,
+			"p":           0.002,
+			"run":         map[string]any{"shots": shots, "seed": seed},
+			"calibration": map[string]any{"preset": preset, "seed": 1},
+		}
+	}
+	uncalKey := d.getJob(sub.JobID).CacheKey
+	goodSub := d.submit("/v1/estimate", calibrated("good", 4000, 7))
+	goodRec := d.waitJob(goodSub.JobID, deadline, func(r jobRecord) bool { return terminal(r.State) })
+	badSub := d.submit("/v1/estimate", calibrated("bad", 4000, 7))
+	badRec := d.waitJob(badSub.JobID, deadline, func(r jobRecord) bool { return terminal(r.State) })
+	if goodRec.State != "done" || badRec.State != "done" {
+		fail("calibrated estimates ended %s/%s: %s %s", goodRec.State, badRec.State, goodRec.Error, badRec.Error)
+	}
+	if uncalKey == "" || goodRec.CacheKey == "" || badRec.CacheKey == "" {
+		fail("job records lost their cache keys")
+	}
+	if goodRec.CacheKey == uncalKey || badRec.CacheKey == uncalKey || goodRec.CacheKey == badRec.CacheKey {
+		fail("calibrations do not separate content addresses: uncal=%s good=%s bad=%s",
+			uncalKey, goodRec.CacheKey, badRec.CacheKey)
+	}
+	fmt.Println("serversmoke: good/bad calibrations ran and got distinct content addresses")
+
+	// Single-flight: park a long calibrated estimate, wait for its one
+	// synthesis span, then resubmit it verbatim — the duplicate must fold
+	// onto the running job without another span.
+	synthBase := d.metric(`span_count_total{span="synth.synthesize"}`)
+	slow := calibrated("good", 50_000_000, 99)
+	owner := d.submit("/v1/estimate", slow)
+	if owner.CacheHit || owner.Coalesced {
+		fail("slow owner submission answered hit=%v coalesced=%v", owner.CacheHit, owner.Coalesced)
+	}
+	for d.metric(`span_count_total{span="synth.synthesize"}`) != synthBase+1 {
+		if time.Now().After(deadline) {
+			fail("owner job never recorded its synthesis span")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	dup := d.submit("/v1/estimate", slow)
+	if !dup.Coalesced || dup.JobID != owner.JobID {
+		fail("identical in-flight submission not coalesced: coalesced=%v job=%s (owner %s)",
+			dup.Coalesced, dup.JobID, owner.JobID)
+	}
+	if got := d.metric("server_singleflight_total"); got < 1 {
+		fail("server_singleflight_total = %g, want >= 1", got)
+	}
+	if synth := d.metric(`span_count_total{span="synth.synthesize"}`); synth != synthBase+1 {
+		fail("coalesced submission changed the synth span count: %g -> %g", synthBase+1, synth)
+	}
+	d.cancel(owner.JobID)
+	d.waitJob(owner.JobID, deadline, func(r jobRecord) bool { return terminal(r.State) })
+	fmt.Println("serversmoke: identical in-flight submission coalesced, synth span count unchanged")
+
+	// ---- Part 3: kill a curve job mid-sweep, restart, resume.
 	curve := map[string]any{
 		"device":   map[string]any{"arch": "square", "width": 4, "height": 4},
 		"distance": 3,
@@ -245,6 +315,7 @@ func boot(bin, storeDir, cacheDir string, deadline time.Time) *daemon {
 		d.kill()
 		fail("timed out waiting for the surfstitchd banner")
 	}
+	d.client = &server.Client{BaseURL: "http://" + d.addr}
 	fmt.Printf("serversmoke: daemon up at http://%s\n", d.addr)
 	return d
 }
@@ -254,17 +325,12 @@ func (d *daemon) submit(path string, body any) submitResponse {
 	if err != nil {
 		fail("marshal: %v", err)
 	}
-	resp, err := http.Post("http://"+d.addr+path, "application/json", bytes.NewReader(blob))
+	status, out, err := d.client.Post(context.Background(), path, blob)
 	if err != nil {
 		fail("POST %s: %v", path, err)
 	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	if err != nil {
-		fail("reading response: %v", err)
-	}
-	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
-		fail("POST %s: status %d, body %s", path, resp.StatusCode, out)
+	if status != http.StatusAccepted && status != http.StatusOK {
+		fail("POST %s: status %d, body %s", path, status, out)
 	}
 	var sr submitResponse
 	if err := json.Unmarshal(out, &sr); err != nil {
@@ -273,15 +339,17 @@ func (d *daemon) submit(path string, body any) submitResponse {
 	return sr
 }
 
-func (d *daemon) getJob(id string) jobRecord {
-	resp, err := http.Get("http://" + d.addr + "/v1/jobs/" + id)
-	if err != nil {
-		fail("GET job: %v", err)
+func (d *daemon) cancel(id string) {
+	status, out, err := d.client.Delete(context.Background(), "/v1/jobs/"+id)
+	if err != nil || status != http.StatusAccepted {
+		fail("DELETE job %s: status %d, body %s (err %v)", id, status, out, err)
 	}
-	defer resp.Body.Close()
-	blob, err := io.ReadAll(resp.Body)
-	if err != nil || resp.StatusCode != http.StatusOK {
-		fail("GET job %s: status %d (err %v)", id, resp.StatusCode, err)
+}
+
+func (d *daemon) getJob(id string) jobRecord {
+	status, blob, err := d.client.Get(context.Background(), "/v1/jobs/"+id)
+	if err != nil || status != http.StatusOK {
+		fail("GET job %s: status %d (err %v)", id, status, err)
 	}
 	var rec jobRecord
 	if err := json.Unmarshal(blob, &rec); err != nil {
@@ -305,12 +373,11 @@ func (d *daemon) waitJob(id string, deadline time.Time, pred func(jobRecord) boo
 // metric scrapes /metrics and returns the value of one exact series name
 // (0 when absent).
 func (d *daemon) metric(series string) float64 {
-	resp, err := http.Get("http://" + d.addr + "/metrics")
-	if err != nil {
-		fail("GET /metrics: %v", err)
+	status, blob, err := d.client.Get(context.Background(), "/metrics")
+	if err != nil || status != http.StatusOK {
+		fail("GET /metrics: status %d (err %v)", status, err)
 	}
-	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
+	sc := bufio.NewScanner(bytes.NewReader(blob))
 	for sc.Scan() {
 		line := sc.Text()
 		if !strings.HasPrefix(line, series+" ") {

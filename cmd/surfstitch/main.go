@@ -10,6 +10,7 @@
 //	surfstitch -arch heavy-square -d 5 -fit
 //	surfstitch -arch square -w 8 -h 4 -d 3 -defects random:0.03
 //	surfstitch -arch square -w 8 -h 4 -d 3 -defects faults.json -json
+//	surfstitch -arch square -w 8 -h 4 -d 3 -calibration median:7
 //
 // SIGINT/SIGTERM cancel the run context: the synthesis search stops at the
 // next budget check and the command exits with status 130.
@@ -30,6 +31,7 @@ import (
 	"surfstitch/internal/circuit"
 	"surfstitch/internal/device"
 	"surfstitch/internal/experiment"
+	"surfstitch/internal/noise"
 	"surfstitch/internal/obs"
 	"surfstitch/internal/render"
 	"surfstitch/internal/synth"
@@ -38,15 +40,16 @@ import (
 
 // synthSettings is the resolved flag set recorded in the run manifest.
 type synthSettings struct {
-	Arch     string `json:"arch,omitempty"`
-	Preset   string `json:"preset,omitempty"`
-	W        int    `json:"w"`
-	H        int    `json:"h"`
-	Distance int    `json:"d"`
-	Mode     string `json:"mode"`
-	Fit      bool   `json:"fit,omitempty"`
-	NoRefine bool   `json:"norefine,omitempty"`
-	Defects  string `json:"defects,omitempty"`
+	Arch        string `json:"arch,omitempty"`
+	Preset      string `json:"preset,omitempty"`
+	W           int    `json:"w"`
+	H           int    `json:"h"`
+	Distance    int    `json:"d"`
+	Mode        string `json:"mode"`
+	Fit         bool   `json:"fit,omitempty"`
+	NoRefine    bool   `json:"norefine,omitempty"`
+	Defects     string `json:"defects,omitempty"`
+	Calibration string `json:"calibration,omitempty"`
 }
 
 func main() {
@@ -67,6 +70,7 @@ func main() {
 		circOut  = flag.String("circuit", "", "write the memory-experiment circuit (stim-flavoured text) to this file")
 		rounds   = flag.Int("rounds", 0, "error-detection rounds for -circuit (default 3*d)")
 		defects  = flag.String("defects", "", "impose device defects: a DefectSet JSON file, or <generator>:<density>[:<seed>] with generator random, clustered or edge (e.g. random:0.03)")
+		calArg   = flag.String("calibration", "", "attach a calibration snapshot: a Calibration JSON file, or <snapshot>[:<seed>] with snapshot good, median or bad (e.g. median:7); synthesis then minimizes the calibration-weighted expected error")
 
 		traceOut    = flag.String("trace-out", "", "write JSONL trace spans of the synthesis stages to this file")
 		manifestOut = flag.String("manifest-out", "", "write the run manifest (config, git revision, timings, stage stats) to this file")
@@ -93,6 +97,7 @@ func main() {
 		manifest = obs.NewManifest("surfstitch", 0, synthSettings{
 			Arch: *arch, Preset: *preset, W: *w, H: *h, Distance: *d,
 			Mode: *mode, Fit: *fit, NoRefine: *noRef, Defects: *defects,
+			Calibration: *calArg,
 		})
 		defer func() {
 			if err := manifest.Seal(reg, *manifestOut, false); err != nil {
@@ -155,6 +160,19 @@ func main() {
 			dead, broken, derated, dd)
 		dev = dd
 		degraded = true
+	}
+	if *calArg != "" {
+		cal, err := loadCalibration(dev, *calArg)
+		if err != nil {
+			fatal(err)
+		}
+		cd, err := dev.WithCalibration(cal)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(info, "calibration: %s (reference error rate %.3g) — routing minimizes calibration-weighted error\n",
+			cal.Name, noise.ReferenceRate(cal))
+		dev = cd
 	}
 	if *ascii {
 		fmt.Println(dev.ASCII())
@@ -269,6 +287,37 @@ func loadDefects(dev *device.Device, arg string) (device.DefectSet, error) {
 		return device.DefectSet{}, err
 	}
 	return ds, nil
+}
+
+// loadCalibration parses the -calibration argument: either a snapshot spec
+// "<snapshot>[:<seed>]" (good, median, bad) drawn reproducibly for this
+// device, or a path to a Calibration JSON file.
+func loadCalibration(dev *device.Device, arg string) (*device.Calibration, error) {
+	if name, seedStr, hasSeed := strings.Cut(arg, ":"); isSnapshot(name) {
+		seed := int64(1)
+		if hasSeed {
+			var err error
+			seed, err = strconv.ParseInt(seedStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad calibration seed %q: %v", seedStr, err)
+			}
+		}
+		return device.GenerateCalibration(dev, name, seed)
+	}
+	blob, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, err
+	}
+	return device.ParseCalibration(blob)
+}
+
+func isSnapshot(name string) bool {
+	for _, s := range device.CalibrationSnapshots() {
+		if s == name {
+			return true
+		}
+	}
+	return false
 }
 
 func isGenerator(name string) bool {

@@ -37,6 +37,7 @@ import (
 	"surfstitch/internal/device"
 	"surfstitch/internal/experiment"
 	"surfstitch/internal/mc"
+	"surfstitch/internal/noise"
 	"surfstitch/internal/obs"
 	"surfstitch/internal/paper"
 	"surfstitch/internal/synth"
@@ -46,15 +47,16 @@ import (
 // runSettings is the resolved flag set recorded in the run manifest, so an
 // interrupted or archived run stays reproducible from its manifest alone.
 type runSettings struct {
-	Fig       string    `json:"fig,omitempty"`
-	Arch      string    `json:"arch,omitempty"`
-	Mode      string    `json:"mode"`
-	Basis     string    `json:"basis"`
-	Shots     int       `json:"shots"`
-	Ps        []float64 `json:"ps"`
-	Workers   int       `json:"workers"`
-	TargetRSE float64   `json:"target_rse,omitempty"`
-	MaxErrors int       `json:"max_errors,omitempty"`
+	Fig         string    `json:"fig,omitempty"`
+	Arch        string    `json:"arch,omitempty"`
+	Mode        string    `json:"mode"`
+	Basis       string    `json:"basis"`
+	Shots       int       `json:"shots"`
+	Ps          []float64 `json:"ps"`
+	Workers     int       `json:"workers"`
+	TargetRSE   float64   `json:"target_rse,omitempty"`
+	MaxErrors   int       `json:"max_errors,omitempty"`
+	Calibration string    `json:"calibration,omitempty"`
 }
 
 // jsonReport is the versioned machine-readable output behind -json.
@@ -79,6 +81,7 @@ func main() {
 		targRSE  = flag.Float64("target-rse", 0, "stop a sweep point once the Wilson interval's relative half-width reaches this (0 = fixed budget)")
 		maxErrs  = flag.Int("max-errors", 0, "stop a sweep point after this many logical errors (0 = fixed budget)")
 		progress = flag.Bool("progress", false, "print live sampling progress to stderr")
+		calArg   = flag.String("calibration", "", "sweep a calibrated chip (-arch only): a Calibration JSON file, or <snapshot>[:<seed>] with snapshot good, median or bad; synthesis and the noise model both follow the snapshot")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/pprof and /debug/vars on this address (e.g. 127.0.0.1:8080)")
 		traceOut    = flag.String("trace-out", "", "write JSONL trace spans to this file")
@@ -87,7 +90,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*shots, *workers, *targRSE, *maxErrs, *fig, *arch, *mode, *basis); err != nil {
+	if err := validateFlags(*shots, *workers, *targRSE, *maxErrs, *fig, *arch, *mode, *basis, *calArg); err != nil {
 		fmt.Fprintln(os.Stderr, "threshold: invalid flags:", err)
 		fmt.Fprintln(os.Stderr, "run with -h for usage")
 		os.Exit(2)
@@ -124,7 +127,7 @@ func main() {
 	settings := runSettings{
 		Fig: *fig, Arch: *arch, Mode: *mode, Basis: *basis,
 		Shots: *shots, Ps: sweep, Workers: *workers,
-		TargetRSE: *targRSE, MaxErrors: *maxErrs,
+		TargetRSE: *targRSE, MaxErrors: *maxErrs, Calibration: *calArg,
 	}
 	manifest := obs.NewManifest("threshold", *seed, settings)
 
@@ -163,9 +166,12 @@ func main() {
 			b = experiment.BasisX
 		}
 		var pair paper.CurvePair
-		pair, err = sweepArch(ctx, kind, m, b, cfg)
+		pair, err = sweepArch(ctx, kind, m, b, cfg, *calArg)
 		pairs = []paper.CurvePair{pair}
 		title = fmt.Sprintf("threshold sweep: %s (mode %v)", *arch, m)
+		if *calArg != "" {
+			title += fmt.Sprintf(", calibration %s", *calArg)
+		}
 	default:
 		fatal(fmt.Errorf("specify -fig 9a|9b or -arch <name>"))
 	}
@@ -231,7 +237,7 @@ func progressPrinter() func(p float64, pr mc.Progress) {
 	}
 }
 
-func sweepArch(ctx context.Context, kind device.Kind, m synth.Mode, basis experiment.Basis, cfg paper.Config) (paper.CurvePair, error) {
+func sweepArch(ctx context.Context, kind device.Kind, m synth.Mode, basis experiment.Basis, cfg paper.Config, calArg string) (paper.CurvePair, error) {
 	var pair paper.CurvePair
 	pair.Name = kind.String()
 	tc := threshold.Config{
@@ -240,20 +246,41 @@ func sweepArch(ctx context.Context, kind device.Kind, m synth.Mode, basis experi
 		Registry: cfg.Registry,
 	}
 	for _, d := range []int{3, 5} {
-		_, layout, err := synth.FitDevice(kind, d, m)
+		fd, layout, err := synth.FitDevice(kind, d, m)
 		if err != nil {
 			return pair, err
 		}
-		s, err := synth.SynthesizeOnLayoutContext(ctx, layout, synth.Options{Mode: m})
-		if err != nil {
-			return pair, err
+		var s *synth.Synthesis
+		tcd := tc
+		if calArg != "" {
+			// A calibrated sweep re-synthesizes on the calibrated device (so
+			// routing follows the snapshot) and samples its device-aware
+			// noise instead of the uniform channel.
+			cal, err := loadCalibration(fd, calArg)
+			if err != nil {
+				return pair, err
+			}
+			calDev, err := fd.WithCalibration(cal)
+			if err != nil {
+				return pair, err
+			}
+			s, err = synth.Synthesize(ctx, calDev, d, synth.Options{Mode: m})
+			if err != nil {
+				return pair, err
+			}
+			tcd.Noise = noise.BuilderFor(calDev)
+		} else {
+			s, err = synth.SynthesizeOnLayoutContext(ctx, layout, synth.Options{Mode: m})
+			if err != nil {
+				return pair, err
+			}
 		}
 		mem, err := experiment.NewMemory(s, 3*d, experiment.Options{Basis: basis})
 		if err != nil {
 			return pair, err
 		}
 		curve, err := threshold.EstimateCurveContext(ctx, fmt.Sprintf("%v d=%d", kind, d), d,
-			threshold.Provider(mem.Circuit, s.AllQubits()), cfg.Ps, tc)
+			threshold.Provider(mem.Circuit, s.AllQubits()), cfg.Ps, tcd)
 		// Keep whatever points finished: an interrupt mid-curve still
 		// produces a printable partial sweep.
 		if d == 3 {
@@ -353,6 +380,37 @@ func parsePs(s string) ([]float64, error) {
 	return out, nil
 }
 
+// loadCalibration parses the -calibration argument: either a snapshot spec
+// "<snapshot>[:<seed>]" (good, median, bad) drawn reproducibly for this
+// device, or a path to a Calibration JSON file.
+func loadCalibration(dev *device.Device, arg string) (*device.Calibration, error) {
+	if name, seedStr, hasSeed := strings.Cut(arg, ":"); isSnapshot(name) {
+		seed := int64(1)
+		if hasSeed {
+			var err error
+			seed, err = strconv.ParseInt(seedStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad calibration seed %q: %v", seedStr, err)
+			}
+		}
+		return device.GenerateCalibration(dev, name, seed)
+	}
+	blob, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, err
+	}
+	return device.ParseCalibration(blob)
+}
+
+func isSnapshot(name string) bool {
+	for _, s := range device.CalibrationSnapshots() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
 func parseArch(s string) (device.Kind, error) {
 	switch s {
 	case "square":
@@ -374,8 +432,10 @@ func parseArch(s string) (device.Kind, error) {
 // silently substituted defaults: a sweep with zero shots, a negative
 // worker pool, a disabled-by-typo stopping rule, or conflicting artifact
 // selectors.
-func validateFlags(shots, workers int, targRSE float64, maxErrs int, fig, arch, mode, basis string) error {
+func validateFlags(shots, workers int, targRSE float64, maxErrs int, fig, arch, mode, basis, calibration string) error {
 	switch {
+	case calibration != "" && arch == "":
+		return fmt.Errorf("-calibration requires -arch (the paper figures sweep uncalibrated chips)")
 	case shots <= 0:
 		return fmt.Errorf("-shots must be positive, got %d", shots)
 	case workers < 0:

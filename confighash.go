@@ -115,6 +115,36 @@ func canonicalDevice(dev *Device) map[string]any {
 	if len(cerr) > 0 {
 		out["coupler_errors"] = cerr
 	}
+	// Likewise the calibration snapshot: it changes noise channels, routing
+	// and decoder weights, so it must separate cache entries — but only
+	// appears when attached, keeping uncalibrated hashes frozen.
+	if cal := dev.Calibration(); cal != nil {
+		var qcal [][5]any
+		for _, qc := range cal.Qubits {
+			q, _ := dev.QubitAt(qc.At)
+			qcal = append(qcal, [5]any{q, qc.T1Us, qc.T2Us, qc.Fidelity1Q, qc.ReadoutError})
+		}
+		var ccal [][3]any
+		for _, cc := range cal.Couplers {
+			a, _ := dev.QubitAt(cc.Between[0])
+			b, _ := dev.QubitAt(cc.Between[1])
+			if a > b {
+				a, b = b, a
+			}
+			ccal = append(ccal, [3]any{a, b, cc.Fidelity2Q})
+		}
+		sort.Slice(qcal, func(i, j int) bool { return qcal[i][0].(int) < qcal[j][0].(int) })
+		sort.Slice(ccal, func(i, j int) bool {
+			if ccal[i][0].(int) != ccal[j][0].(int) {
+				return ccal[i][0].(int) < ccal[j][0].(int)
+			}
+			return ccal[i][1].(int) < ccal[j][1].(int)
+		})
+		out["calibration"] = map[string]any{
+			"qubits":   qcal,
+			"couplers": ccal,
+		}
+	}
 	return out
 }
 

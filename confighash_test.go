@@ -103,17 +103,35 @@ func TestConfigHashSeparatesSemanticFields(t *testing.T) {
 	if err != nil {
 		t.Fatalf("WithDefects: %v", err)
 	}
+	calGood, err := GenerateCalibration(dev, "good", 1)
+	if err != nil {
+		t.Fatalf("GenerateCalibration: %v", err)
+	}
+	calibrated, err := dev.WithCalibration(calGood)
+	if err != nil {
+		t.Fatalf("WithCalibration: %v", err)
+	}
+	calBad, err := GenerateCalibration(dev, "bad", 1)
+	if err != nil {
+		t.Fatalf("GenerateCalibration: %v", err)
+	}
+	calibratedBad, err := dev.WithCalibration(calBad)
+	if err != nil {
+		t.Fatalf("WithCalibration: %v", err)
+	}
 	variants := map[string]variant{
-		"kind":     {"curve", dev, 3, Options{}, []float64{0.002}, RunConfig{Seed: 1}},
-		"device":   {"estimate", MustDevice(Square, 5, 4), 3, Options{}, []float64{0.002}, RunConfig{Seed: 1}},
-		"defects":  {"estimate", damaged, 3, Options{}, []float64{0.002}, RunConfig{Seed: 1}},
-		"distance": {"estimate", dev, 4, Options{}, []float64{0.002}, RunConfig{Seed: 1}},
-		"options":  {"estimate", dev, 3, Options{NoRefine: true}, []float64{0.002}, RunConfig{Seed: 1}},
-		"ps":       {"estimate", dev, 3, Options{}, []float64{0.003}, RunConfig{Seed: 1}},
-		"seed":     {"estimate", dev, 3, Options{}, []float64{0.002}, RunConfig{Seed: 2}},
-		"shots":    {"estimate", dev, 3, Options{}, []float64{0.002}, RunConfig{Seed: 1, Shots: 4000}},
-		"basis":    {"estimate", dev, 3, Options{}, []float64{0.002}, RunConfig{Seed: 1, Basis: BasisX}},
-		"no_idle":  {"estimate", dev, 3, Options{}, []float64{0.002}, RunConfig{Seed: 1, NoIdle: true}},
+		"kind":            {"curve", dev, 3, Options{}, []float64{0.002}, RunConfig{Seed: 1}},
+		"calibration":     {"estimate", calibrated, 3, Options{}, []float64{0.002}, RunConfig{Seed: 1}},
+		"calibration bad": {"estimate", calibratedBad, 3, Options{}, []float64{0.002}, RunConfig{Seed: 1}},
+		"device":          {"estimate", MustDevice(Square, 5, 4), 3, Options{}, []float64{0.002}, RunConfig{Seed: 1}},
+		"defects":         {"estimate", damaged, 3, Options{}, []float64{0.002}, RunConfig{Seed: 1}},
+		"distance":        {"estimate", dev, 4, Options{}, []float64{0.002}, RunConfig{Seed: 1}},
+		"options":         {"estimate", dev, 3, Options{NoRefine: true}, []float64{0.002}, RunConfig{Seed: 1}},
+		"ps":              {"estimate", dev, 3, Options{}, []float64{0.003}, RunConfig{Seed: 1}},
+		"seed":            {"estimate", dev, 3, Options{}, []float64{0.002}, RunConfig{Seed: 2}},
+		"shots":           {"estimate", dev, 3, Options{}, []float64{0.002}, RunConfig{Seed: 1, Shots: 4000}},
+		"basis":           {"estimate", dev, 3, Options{}, []float64{0.002}, RunConfig{Seed: 1, Basis: BasisX}},
+		"no_idle":         {"estimate", dev, 3, Options{}, []float64{0.002}, RunConfig{Seed: 1, NoIdle: true}},
 	}
 	seen := map[string]string{base: "base"}
 	for name, v := range variants {

@@ -92,7 +92,10 @@ func (d *Device) WithDefects(ds DefectSet) (*Device, error) {
 	out := b.freeze(d.name+"+defects", d.kind)
 
 	for _, qe := range ds.QubitErrors {
-		if qe.Rate < 0 || qe.Rate > 1 {
+		// Containment, not exclusion: NaN fails both ordered comparisons, so
+		// `rate < 0 || rate > 1` would let a NaN override through and poison
+		// every downstream weight.
+		if !(qe.Rate >= 0 && qe.Rate <= 1) {
 			return nil, fmt.Errorf("device: %w: qubit %v error rate %g outside [0,1]", ErrBadDefect, qe.At, qe.Rate)
 		}
 		if _, ok := d.byCoord[qe.At]; !ok {
@@ -108,7 +111,7 @@ func (d *Device) WithDefects(ds DefectSet) (*Device, error) {
 		out.qerr[q] = qe.Rate
 	}
 	for _, ce := range ds.CouplerErrors {
-		if ce.Rate < 0 || ce.Rate > 1 {
+		if !(ce.Rate >= 0 && ce.Rate <= 1) {
 			return nil, fmt.Errorf("device: %w: coupler %v-%v error rate %g outside [0,1]",
 				ErrBadDefect, ce.Between[0], ce.Between[1], ce.Rate)
 		}
@@ -127,6 +130,30 @@ func (d *Device) WithDefects(ds DefectSet) (*Device, error) {
 			out.cerr = map[[2]int]float64{}
 		}
 		out.cerr[[2]int{a, bq}] = ce.Rate
+	}
+	// A calibration snapshot on the source device survives defect
+	// application with the entries of removed elements filtered out, so
+	// coverage of the derived device stays exact regardless of whether the
+	// caller applies defects or calibration first.
+	if d.cal != nil {
+		filtered := &Calibration{Name: d.cal.Name}
+		for _, qc := range d.cal.Qubits {
+			if _, ok := out.byCoord[qc.At]; ok {
+				filtered.Qubits = append(filtered.Qubits, qc)
+			}
+		}
+		for _, cc := range d.cal.Couplers {
+			a, aok := out.byCoord[cc.Between[0]]
+			bq, bok := out.byCoord[cc.Between[1]]
+			if aok && bok && out.g.HasEdge(a, bq) {
+				filtered.Couplers = append(filtered.Couplers, cc)
+			}
+		}
+		canon, err := filtered.canonical(out)
+		if err != nil {
+			return nil, fmt.Errorf("device: calibration after defects: %w", err)
+		}
+		out.cal = canon
 	}
 	return out, nil
 }

@@ -46,7 +46,7 @@ var (
 func IsTyped(err error) bool {
 	for _, sentinel := range []error{
 		ErrDuplicateQubit, ErrDuplicateCoupling, ErrSelfLoop,
-		ErrUnknownQubit, ErrUnknownCoupling, ErrBadDefect,
+		ErrUnknownQubit, ErrUnknownCoupling, ErrBadDefect, ErrBadCalibration,
 	} {
 		if errors.Is(err, sentinel) {
 			return true
@@ -100,6 +100,10 @@ type Device struct {
 	// pristine device. Coupler keys are sorted qubit-id pairs.
 	qerr map[int]float64
 	cerr map[[2]int]float64
+
+	// cal is a full calibration snapshot attached via WithCalibration; nil
+	// means an uncalibrated device (uniform noise, hop-count routing).
+	cal *Calibration
 }
 
 // builder accumulates qubits and couplings before freezing into a Device.
@@ -216,10 +220,11 @@ func (d *Device) QubitAt(c grid.Coord) (int, bool) {
 // Degree returns the coupling degree of qubit q.
 func (d *Device) Degree(q int) int { return d.g.Degree(q) }
 
-// HasErrorOverrides reports whether the device carries calibration
-// overrides from a DefectSet; when true the synthesis routes bridge trees
-// with defect-weighted searches instead of plain BFS.
-func (d *Device) HasErrorOverrides() bool { return len(d.qerr) > 0 || len(d.cerr) > 0 }
+// HasErrorOverrides reports whether the device carries per-element error
+// information — DefectSet overrides or a full calibration snapshot; when
+// true the synthesis routes bridge trees with error-weighted searches
+// instead of plain BFS.
+func (d *Device) HasErrorOverrides() bool { return len(d.qerr) > 0 || len(d.cerr) > 0 || d.cal != nil }
 
 // QubitErrorRate returns the calibration error-rate override of qubit q, if
 // one was set.

@@ -1,0 +1,188 @@
+package noise_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"surfstitch/internal/dem"
+	"surfstitch/internal/device"
+	"surfstitch/internal/experiment"
+	"surfstitch/internal/grid"
+	"surfstitch/internal/noise"
+	"surfstitch/internal/synth"
+)
+
+// flatCalibration builds a snapshot whose derived channel strengths all
+// equal p: F1 = 1 - 2p/3, F2 = 1 - 4p/5, readout = p, and T1 = T2 = 100us
+// (the paper's coherence anchor, reproducing the default idle rate up to
+// the exp() linearization).
+func flatCalibration(d *device.Device, p float64) *device.Calibration {
+	cal := &device.Calibration{Name: "flat"}
+	for q := 0; q < d.Len(); q++ {
+		cal.Qubits = append(cal.Qubits, device.QubitCalibration{
+			At: d.Coord(q), T1Us: 100, T2Us: 100,
+			Fidelity1Q: 1 - 2*p/3, ReadoutError: p,
+		})
+	}
+	for _, e := range d.Graph().Edges() {
+		cal.Couplers = append(cal.Couplers, device.CouplerCalibration{
+			Between:    [2]grid.Coord{d.Coord(e[0]), d.Coord(e[1])},
+			Fidelity2Q: 1 - 4*p/5,
+		})
+	}
+	return cal
+}
+
+func memoryCircuit(t *testing.T, dev *device.Device) (*experiment.Memory, *synth.Synthesis) {
+	t.Helper()
+	s, err := synth.Synthesize(context.Background(), dev, 3, synth.Options{Mode: synth.ModeFour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := experiment.NewMemory(s, 2, experiment.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+func demSignatures(t *testing.T, md *dem.Model) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64, len(md.Mechanisms))
+	for _, m := range md.Mechanisms {
+		key := fmt.Sprintf("%v|%d", m.Detectors, m.Obs)
+		out[key] = m.Prob
+	}
+	return out
+}
+
+// A flat calibration must reproduce the uniform model's detector error
+// model location by location: same mechanisms, same probabilities (up to
+// the exp() vs linear idle-rate difference, ~1e-8 absolute).
+func TestDeviceAwareMatchesUniformOnFlatCalibration(t *testing.T) {
+	const p = 0.002
+	dev := device.Square(6, 6)
+	m, s := memoryCircuit(t, dev)
+	calDev, err := dev.WithCalibration(flatCalibration(dev, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := noise.NewDeviceAware(calDev, p, true, s.AllQubits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisyDA, err := da.Apply(m.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisyU, err := (noise.Model{GateError: p, IdleError: noise.DefaultIdleError, IdleOnly: s.AllQubits()}).Apply(m.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demDA, err := dem.FromCircuit(noisyDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demU, err := dem.FromCircuit(noisyU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigDA, sigU := demSignatures(t, demDA), demSignatures(t, demU)
+	if len(sigDA) != len(sigU) {
+		t.Fatalf("mechanism counts differ: device-aware %d, uniform %d", len(sigDA), len(sigU))
+	}
+	for key, pu := range sigU {
+		pda, ok := sigDA[key]
+		if !ok {
+			t.Fatalf("mechanism %s missing from device-aware DEM", key)
+		}
+		if math.Abs(pda-pu) > 1e-6 {
+			t.Errorf("mechanism %s: device-aware prob %g, uniform %g", key, pda, pu)
+		}
+	}
+}
+
+func TestNewDeviceAwareRequiresCalibration(t *testing.T) {
+	dev := device.Square(4, 4)
+	if _, err := noise.NewDeviceAware(dev, 0.001, true, nil); err == nil {
+		t.Fatal("NewDeviceAware accepted an uncalibrated device")
+	}
+	if b := noise.BuilderFor(dev); b != nil {
+		t.Fatal("BuilderFor must return nil for an uncalibrated device")
+	}
+	if b := noise.BuilderFor(nil); b != nil {
+		t.Fatal("BuilderFor must return nil for a nil device")
+	}
+}
+
+func TestNewDeviceAwareRejectsOutOfRangeP(t *testing.T) {
+	dev := device.Square(4, 4)
+	calDev, err := dev.WithCalibration(flatCalibration(dev, 0.002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{-0.1, 1.5, math.NaN()} {
+		if _, err := noise.NewDeviceAware(calDev, p, true, nil); err == nil {
+			t.Fatalf("NewDeviceAware accepted p=%v", p)
+		}
+	}
+}
+
+func TestDeviceAwareRejectsNoisyInput(t *testing.T) {
+	dev := device.Square(6, 6)
+	m, s := memoryCircuit(t, dev)
+	calDev, err := dev.WithCalibration(flatCalibration(dev, 0.002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := noise.NewDeviceAware(calDev, 0.002, true, s.AllQubits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := da.Apply(m.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := da.Apply(noisy); err == nil || !strings.Contains(err.Error(), "noise") {
+		t.Fatalf("double application error = %v", err)
+	}
+}
+
+func TestReferenceRateAnchorsScaling(t *testing.T) {
+	const p = 0.004
+	dev := device.Square(4, 4)
+	cal := flatCalibration(dev, p)
+	ref := noise.ReferenceRate(cal)
+	if math.Abs(ref-p) > 1e-12 {
+		t.Fatalf("flat calibration reference rate = %g, want %g", ref, p)
+	}
+	if noise.ReferenceRate(nil) != 0 {
+		t.Fatal("nil calibration must have zero reference rate")
+	}
+	// Doubling the swept p must double every derived strength.
+	calDev, err := dev.WithCalibration(cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da1, err := noise.NewDeviceAware(calDev, p, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da2, err := noise.NewDeviceAware(calDev, 2*p, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range da1.Gate1 {
+		if math.Abs(da2.Gate1[q]-2*da1.Gate1[q]) > 1e-12 {
+			t.Fatalf("qubit %d: gate1 did not scale linearly", q)
+		}
+	}
+	for key, v := range da1.Gate2 {
+		if math.Abs(da2.Gate2[key]-2*v) > 1e-12 {
+			t.Fatalf("coupler %v: gate2 did not scale linearly", key)
+		}
+	}
+}

@@ -25,6 +25,13 @@ type ServerMetrics struct {
 	CacheStores    *Counter
 	CacheEvictions *Counter
 	CacheDiskHits  *Counter
+	// CacheDiskCorrupt counts disk-tier entries rejected by the integrity
+	// check (truncated file, invalid JSON, checksum or key mismatch); each
+	// reads as a miss and the bad file is dropped.
+	CacheDiskCorrupt *Counter
+	// SingleFlight counts submissions coalesced onto an identical job
+	// already queued or running (`server_singleflight_total`).
+	SingleFlight *Counter
 	// JobsResumed counts jobs re-enqueued from a persisted store at
 	// startup; PointsResumed counts curve sweep points served from a
 	// job's checkpoint instead of being re-simulated.
@@ -36,16 +43,18 @@ type ServerMetrics struct {
 // nil, yielding no-op instruments).
 func NewServerMetrics(r *Registry) *ServerMetrics {
 	return &ServerMetrics{
-		reg:            r,
-		QueueDepth:     r.Gauge("server_queue_depth"),
-		Backpressure:   r.Counter("server_backpressure_total"),
-		CacheHits:      r.Counter("server_cache_hits_total"),
-		CacheMisses:    r.Counter("server_cache_misses_total"),
-		CacheStores:    r.Counter("server_cache_stores_total"),
-		CacheEvictions: r.Counter("server_cache_evictions_total"),
-		CacheDiskHits:  r.Counter("server_cache_disk_hits_total"),
-		JobsResumed:    r.Counter("server_jobs_resumed_total"),
-		PointsResumed:  r.Counter("server_curve_points_resumed_total"),
+		reg:              r,
+		QueueDepth:       r.Gauge("server_queue_depth"),
+		Backpressure:     r.Counter("server_backpressure_total"),
+		CacheHits:        r.Counter("server_cache_hits_total"),
+		CacheMisses:      r.Counter("server_cache_misses_total"),
+		CacheStores:      r.Counter("server_cache_stores_total"),
+		CacheEvictions:   r.Counter("server_cache_evictions_total"),
+		CacheDiskHits:    r.Counter("server_cache_disk_hits_total"),
+		CacheDiskCorrupt: r.Counter("server_cache_disk_corrupt_total"),
+		SingleFlight:     r.Counter("server_singleflight_total"),
+		JobsResumed:      r.Counter("server_jobs_resumed_total"),
+		PointsResumed:    r.Counter("server_curve_points_resumed_total"),
 	}
 }
 

@@ -2,6 +2,8 @@ package server
 
 import (
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -60,18 +62,61 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Unlock()
 
 	if c.dir != "" {
-		blob, err := os.ReadFile(c.diskPath(key))
-		// Only a well-formed JSON document is served: a torn write from a
-		// crashed predecessor must read as a miss, not as a corrupt result.
-		if err == nil && json.Valid(blob) {
-			c.promote(key, blob)
-			c.m.CacheHits.Inc()
-			c.m.CacheDiskHits.Inc()
-			return blob, true
+		raw, err := os.ReadFile(c.diskPath(key))
+		if err == nil {
+			blob, ok := decodeDiskEntry(key, raw)
+			if ok {
+				c.promote(key, blob)
+				c.m.CacheHits.Inc()
+				c.m.CacheDiskHits.Inc()
+				return blob, true
+			}
+			// The file exists but fails the integrity check: a torn write,
+			// truncation or bit rot. Count it, drop it so the recomputed
+			// result can take its place, and read it as a miss — garbage is
+			// never served.
+			c.m.CacheDiskCorrupt.Inc()
+			//surflint:ignore errdrop best-effort cleanup of a provably corrupt entry; Put overwrites it anyway
+			os.Remove(c.diskPath(key))
 		}
 	}
 	c.m.CacheMisses.Inc()
 	return nil, false
+}
+
+// diskEntry is the self-checking on-disk envelope: the key it answers, the
+// hex SHA-256 of the blob, and the blob itself. A disk file is only served
+// when all three agree, so truncation, partial JSON, or a file renamed onto
+// the wrong key all read as corruption.
+type diskEntry struct {
+	Key  string          `json:"key"`
+	Sum  string          `json:"sum"`
+	Blob json.RawMessage `json:"blob"`
+}
+
+// decodeDiskEntry validates raw against key and returns the enclosed blob.
+func decodeDiskEntry(key string, raw []byte) ([]byte, bool) {
+	var e diskEntry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return nil, false
+	}
+	sum := sha256.Sum256(e.Blob)
+	if e.Key != key || e.Sum != hex.EncodeToString(sum[:]) || !json.Valid(e.Blob) {
+		return nil, false
+	}
+	return e.Blob, true
+}
+
+// encodeDiskEntry wraps blob in the envelope decodeDiskEntry expects.
+func encodeDiskEntry(key string, blob []byte) []byte {
+	sum := sha256.Sum256(blob)
+	raw, err := json.Marshal(diskEntry{Key: key, Sum: hex.EncodeToString(sum[:]), Blob: blob})
+	if err != nil {
+		// Result blobs are JSON documents the daemon itself produced;
+		// marshalling the envelope around one cannot fail.
+		panic(fmt.Sprintf("server: disk cache envelope: %v", err))
+	}
+	return raw
 }
 
 // Put stores the result blob under key in both tiers.
@@ -83,7 +128,7 @@ func (c *Cache) Put(key string, blob []byte) {
 		tmp := path + ".tmp"
 		// Disk-tier failures degrade the cache, not the daemon: the result
 		// was already delivered, the memory tier already holds it.
-		if err := os.WriteFile(tmp, blob, 0o644); err == nil {
+		if err := os.WriteFile(tmp, encodeDiskEntry(key, blob), 0o644); err == nil {
 			//surflint:ignore errdrop best-effort disk tier: a failed rename leaves only a stale .tmp file, never a corrupt entry
 			os.Rename(tmp, path)
 		}

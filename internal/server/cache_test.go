@@ -70,22 +70,74 @@ func TestCacheDiskTier(t *testing.T) {
 	}
 }
 
+// Every flavor of disk corruption — truncated envelope, partial JSON inside
+// an intact envelope, a checksum that no longer matches the blob, and a file
+// renamed onto the wrong key — must read as a counted miss, never as a
+// served result, and the offending file must be dropped so the next Put can
+// recompute over it.
 func TestCacheCorruptDiskEntryIsMiss(t *testing.T) {
-	dir := t.TempDir()
+	good := string(encodeDiskEntry("bad", []byte(`{"v":1}`)))
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"truncated file", good[:len(good)/2]},
+		{"partial json blob", `{"key":"bad","sum":"00","blob":{"v":`},
+		{"wrong hash", string(encodeDiskEntry("bad", []byte(`{"v":1}`))[:20]) + `x` + good[21:]},
+		{"wrong key", string(encodeDiskEntry("other", []byte(`{"v":1}`)))},
+		{"legacy bare blob", `{"v":1}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			m := testMetrics()
+			c, err := NewCache(4, dir, m)
+			if err != nil {
+				t.Fatalf("NewCache: %v", err)
+			}
+			path := filepath.Join(dir, "bad.json")
+			if err := os.WriteFile(path, []byte(tc.raw), 0o644); err != nil {
+				t.Fatalf("writing corrupt entry: %v", err)
+			}
+			if blob, ok := c.Get("bad"); ok {
+				t.Fatalf("corrupt disk entry served as a hit: %q", blob)
+			}
+			if m.CacheMisses.Value() != 1 {
+				t.Fatalf("misses = %d, want 1", m.CacheMisses.Value())
+			}
+			if m.CacheDiskCorrupt.Value() != 1 {
+				t.Fatalf("disk corrupt counter = %d, want 1", m.CacheDiskCorrupt.Value())
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt file not dropped: stat err = %v", err)
+			}
+			// Recompute path: a fresh Put over the dropped entry round-trips
+			// through a restarted cache.
+			c.Put("bad", []byte(`{"v":2}`))
+			c2, err := NewCache(4, dir, testMetrics())
+			if err != nil {
+				t.Fatalf("NewCache: %v", err)
+			}
+			if blob, ok := c2.Get("bad"); !ok || string(blob) != `{"v":2}` {
+				t.Fatalf("recomputed entry = %q, %v; want {\"v\":2}", blob, ok)
+			}
+		})
+	}
+}
+
+// A missing disk file (as opposed to a corrupt one) is a plain miss and must
+// not touch the corruption counter.
+func TestCacheAbsentDiskEntryIsPlainMiss(t *testing.T) {
 	m := testMetrics()
-	c, err := NewCache(4, dir, m)
+	c, err := NewCache(4, t.TempDir(), m)
 	if err != nil {
 		t.Fatalf("NewCache: %v", err)
 	}
-	// A torn write from a crashed process: not valid JSON.
-	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte(`{"v":`), 0o644); err != nil {
-		t.Fatalf("writing corrupt entry: %v", err)
+	if _, ok := c.Get("nope"); ok {
+		t.Fatal("absent entry served as a hit")
 	}
-	if _, ok := c.Get("bad"); ok {
-		t.Fatal("corrupt disk entry served as a hit")
-	}
-	if m.CacheMisses.Value() != 1 {
-		t.Fatalf("misses = %d, want 1", m.CacheMisses.Value())
+	if m.CacheDiskCorrupt.Value() != 0 {
+		t.Fatalf("disk corrupt counter = %d on a plain miss, want 0", m.CacheDiskCorrupt.Value())
 	}
 }
 

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client is a retrying HTTP client for the surfstitchd API. It retries
+// backpressure (429, honoring the advertised Retry-After), draining (503)
+// and transport errors with jittered exponential backoff, and gives up
+// cleanly when the context is cancelled. Retrying POSTs is safe against this
+// API by construction: submissions are content-addressed, so a duplicate
+// either hits the result cache or coalesces onto the in-flight job instead
+// of running twice.
+//
+// The zero value is not usable; set BaseURL. Every other field defaults
+// sensibly.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient performs the requests (default http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call, first attempt included (default 8).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms); attempt n
+	// waits jitter * BaseDelay * 2^n, capped at MaxDelay (default 5s). A
+	// Retry-After header overrides the computed delay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter returns the backoff multiplier, uniform in [0.5, 1) by default;
+	// tests inject a constant.
+	Jitter func() float64
+	// Sleep waits between attempts (default: timer racing the context);
+	// tests inject a recorder.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	jitterOnce sync.Once
+	jitterMu   sync.Mutex
+	jitterRNG  *rand.Rand
+}
+
+// Post issues a retrying JSON POST and returns the final status and body.
+func (c *Client) Post(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	return c.do(ctx, http.MethodPost, path, body)
+}
+
+// Get issues a retrying GET and returns the final status and body.
+func (c *Client) Get(ctx context.Context, path string) (int, []byte, error) {
+	return c.do(ctx, http.MethodGet, path, nil)
+}
+
+// Delete issues a retrying DELETE and returns the final status and body.
+func (c *Client) Delete(ctx context.Context, path string) (int, []byte, error) {
+	return c.do(ctx, http.MethodDelete, path, nil)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = 8
+	}
+	var lastErr error
+	var advertised time.Duration // pending Retry-After from the last answer
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff(attempt - 1)
+			if advertised > 0 {
+				// The server named its own backpressure horizon; believe it
+				// instead of the exponential step.
+				delay, advertised = advertised, 0
+			}
+			if err := c.sleep(ctx, delay); err != nil {
+				return 0, nil, fmt.Errorf("client: %s %s: %w (last failure: %v)", method, path, err, lastErr)
+			}
+		}
+		status, blob, retryIn, err := c.once(ctx, method, path, body)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return 0, nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err())
+			}
+			lastErr = err
+		case retryIn >= 0:
+			lastErr = fmt.Errorf("server answered %d", status)
+			advertised = retryIn
+		default:
+			return status, blob, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("client: %s %s: gave up after %d attempts: %w", method, path, attempts, lastErr)
+}
+
+// once performs a single attempt. retryIn is -1 for a final answer, 0 for
+// "retry on the backoff schedule", and positive when the server advertised a
+// Retry-After to honor instead.
+func (c *Client) once(ctx context.Context, method, path string, body []byte) (status int, blob []byte, retryIn time.Duration, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return 0, nil, -1, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	defer resp.Body.Close()
+	blob, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		retryIn = time.Duration(0)
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retryIn = time.Duration(secs) * time.Second
+		}
+		return resp.StatusCode, blob, retryIn, nil
+	default:
+		return resp.StatusCode, blob, -1, nil
+	}
+}
+
+// backoff computes the jittered exponential delay for one retry.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxDelay := c.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 5 * time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > maxDelay { // shifted past the cap (or overflowed)
+		d = maxDelay
+	}
+	jitter := c.Jitter
+	if jitter == nil {
+		jitter = c.defaultJitter
+	}
+	return time.Duration(float64(d) * jitter())
+}
+
+// defaultJitter draws uniformly from [0.5, 1) on a per-client RNG seeded
+// from the wall clock — retry smearing wants decorrelation across clients,
+// not reproducibility, so no simulation seed is threaded through.
+func (c *Client) defaultJitter() float64 {
+	c.jitterOnce.Do(func() {
+		//surflint:ignore rngstream retry jitter exists to decorrelate clients, so a wall-clock seed is the desired behavior; nothing simulated or replayed flows from it
+		c.jitterRNG = rand.New(rand.NewSource(time.Now().UnixNano()))
+	})
+	c.jitterMu.Lock()
+	defer c.jitterMu.Unlock()
+	return 0.5 + 0.5*c.jitterRNG.Float64()
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

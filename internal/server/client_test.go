@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestClient wires a Client to ts with a recording no-op sleeper, so the
+// backoff schedule is observable without wall-clock waits.
+func newTestClient(ts *httptest.Server, slept *[]time.Duration) *Client {
+	return &Client{
+		BaseURL:    ts.URL,
+		HTTPClient: ts.Client(),
+		Jitter:     func() float64 { return 1 }, // deterministic backoff
+		Sleep: func(_ context.Context, d time.Duration) error {
+			*slept = append(*slept, d)
+			return nil
+		},
+	}
+}
+
+func TestClientRetriesBackpressureThenSucceeds(t *testing.T) {
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls++
+		if calls <= 3 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+	var slept []time.Duration
+	c := newTestClient(ts, &slept)
+	status, blob, err := c.Post(context.Background(), "/v1/estimate", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || string(blob) != `{"ok":true}` {
+		t.Fatalf("got %d %q", status, blob)
+	}
+	if calls != 4 {
+		t.Fatalf("server saw %d calls, want 4", calls)
+	}
+	// No Retry-After: pure exponential 100ms, 200ms, 400ms (jitter pinned
+	// at 1).
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v", slept, want)
+		}
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`ok`))
+	}))
+	defer ts.Close()
+	var slept []time.Duration
+	c := newTestClient(ts, &slept)
+	if _, _, err := c.Get(context.Background(), "/v1/jobs/x"); err != nil {
+		t.Fatal(err)
+	}
+	// The advertised horizon replaces the exponential step outright.
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Fatalf("slept %v, want exactly the advertised [2s]", slept)
+	}
+}
+
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	var slept []time.Duration
+	c := newTestClient(ts, &slept)
+	c.MaxAttempts = 3
+	_, _, err := c.Get(context.Background(), "/readyz")
+	if err == nil {
+		t.Fatal("exhausted retries did not error")
+	}
+	if !strings.Contains(err.Error(), "503") {
+		t.Fatalf("error %q does not name the last status", err)
+	}
+	if calls != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls)
+	}
+}
+
+func TestClientStopsOnContextCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{
+		BaseURL:    ts.URL,
+		HTTPClient: ts.Client(),
+		Jitter:     func() float64 { return 1 },
+		Sleep: func(ctx context.Context, _ time.Duration) error {
+			cancel() // the user gives up mid-backoff
+			return ctx.Err()
+		},
+	}
+	start := time.Now()
+	_, _, err := c.Post(ctx, "/v1/estimate", []byte(`{}`))
+	if err == nil {
+		t.Fatal("cancelled context did not abort the retry loop")
+	}
+	if !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("error %q does not surface the cancellation", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancellation did not short-circuit the backoff")
+	}
+}
+
+func TestClientPassesNonRetryableStatusThrough(t *testing.T) {
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"nope"}`))
+	}))
+	defer ts.Close()
+	var slept []time.Duration
+	c := newTestClient(ts, &slept)
+	status, blob, err := c.Post(context.Background(), "/v1/estimate", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusBadRequest || calls != 1 || len(slept) != 0 {
+		t.Fatalf("status %d after %d calls (slept %v); want one un-retried 400", status, calls, slept)
+	}
+	if string(blob) != `{"error":"nope"}` {
+		t.Fatalf("body %q lost", blob)
+	}
+}

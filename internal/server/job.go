@@ -152,6 +152,14 @@ func (j *Job) State() State {
 	return j.rec.State
 }
 
+// cacheKey returns the job's content address (set at compile time, immutable
+// afterwards).
+func (j *Job) cacheKey() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec.CacheKey
+}
+
 // compiled returns the validated request, recompiling it after a store
 // load. Recompilation re-runs the same validation as submission, so a
 // hand-edited store file cannot smuggle an invalid request past it.

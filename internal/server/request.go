@@ -30,10 +30,13 @@ const (
 // source must be given (arch+width+height, preset, or custom); the P / Ps
 // fields select the estimation payload per endpoint.
 type Request struct {
-	Device   DeviceSpec  `json:"device"`
-	Defects  *DefectSpec `json:"defects,omitempty"`
-	Distance int         `json:"distance"`
-	Options  OptionsSpec `json:"options"`
+	Device  DeviceSpec  `json:"device"`
+	Defects *DefectSpec `json:"defects,omitempty"`
+	// Calibration attaches a calibration snapshot, switching the job's noise
+	// model (and the content address) to the calibrated chip.
+	Calibration *CalibrationSpec `json:"calibration,omitempty"`
+	Distance    int              `json:"distance"`
+	Options     OptionsSpec      `json:"options"`
 	// P is the physical error rate of an estimate job.
 	P float64 `json:"p,omitempty"`
 	// Ps are the sweep points of a curve job.
@@ -65,6 +68,38 @@ type DefectSpec struct {
 	Generator string  `json:"generator"`
 	Density   float64 `json:"density"`
 	Seed      int64   `json:"seed,omitempty"`
+}
+
+// CalibrationSpec selects a calibration snapshot: either a named preset
+// (drawn reproducibly from Seed) or a full custom snapshot in the
+// internal/device calibration JSON schema. Exactly one source must be given.
+type CalibrationSpec struct {
+	Preset string          `json:"preset,omitempty"`
+	Seed   int64           `json:"seed,omitempty"`
+	Custom json.RawMessage `json:"custom,omitempty"`
+}
+
+// build resolves the spec against dev, returning the calibrated device.
+func (cs CalibrationSpec) build(dev *surfstitch.Device) (*surfstitch.Device, error) {
+	var cal *surfstitch.Calibration
+	var err error
+	switch {
+	case cs.Preset != "" && len(cs.Custom) > 0:
+		return nil, fmt.Errorf("%w: calibration needs exactly one of preset or custom", surfstitch.ErrBadCalibration)
+	case cs.Preset != "":
+		cal, err = surfstitch.GenerateCalibration(dev, cs.Preset, cs.Seed)
+	case len(cs.Custom) > 0:
+		if cs.Seed != 0 {
+			return nil, fmt.Errorf("%w: seed only applies to preset snapshots", surfstitch.ErrBadCalibration)
+		}
+		cal, err = surfstitch.ParseCalibration(cs.Custom)
+	default:
+		return nil, fmt.Errorf("%w: calibration needs exactly one of preset or custom", surfstitch.ErrBadCalibration)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return dev.WithCalibration(cal)
 }
 
 // OptionsSpec mirrors surfstitch.Options on the wire.
@@ -118,6 +153,12 @@ func compile(kind string, req Request) (*compiled, error) {
 			return nil, err
 		}
 		dev, err = dev.WithDefects(ds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if req.Calibration != nil {
+		dev, err = req.Calibration.build(dev)
 		if err != nil {
 			return nil, err
 		}
@@ -272,7 +313,8 @@ func statusFor(err error) int {
 	switch {
 	case err == nil:
 		return http.StatusOK
-	case errors.Is(err, surfstitch.ErrInvalidConfig), errors.Is(err, surfstitch.ErrBadDefect):
+	case errors.Is(err, surfstitch.ErrInvalidConfig), errors.Is(err, surfstitch.ErrBadDefect),
+		errors.Is(err, surfstitch.ErrBadCalibration):
 		return http.StatusBadRequest
 	case errors.Is(err, surfstitch.ErrNoPlacement), errors.Is(err, surfstitch.ErrDisconnected):
 		return http.StatusUnprocessableEntity
@@ -301,6 +343,8 @@ func errorKind(err error) string {
 		return "invalid_config"
 	case errors.Is(err, surfstitch.ErrBadDefect):
 		return "bad_defect"
+	case errors.Is(err, surfstitch.ErrBadCalibration):
+		return "bad_calibration"
 	case errors.Is(err, surfstitch.ErrNoPlacement):
 		return "no_placement"
 	case errors.Is(err, surfstitch.ErrDisconnected):

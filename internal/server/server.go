@@ -85,6 +85,12 @@ type Server struct {
 	queue *Queue
 	mux   *http.ServeMux
 
+	// flights maps a cache key to the non-terminal job already computing it,
+	// so identical submissions coalesce instead of burning queue slots on
+	// work the cache is about to answer.
+	flightMu sync.Mutex
+	flights  map[string]*Job
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup // worker goroutines
@@ -111,6 +117,7 @@ func New(cfg Config) (*Server, error) {
 		store: store, cache: cache,
 		queue:   NewQueue(cfg.QueueSize, m),
 		mux:     http.NewServeMux(),
+		flights: map[string]*Job{},
 		baseCtx: baseCtx, baseCancel: baseCancel,
 	}
 	s.routes()
@@ -159,6 +166,7 @@ func (s *Server) Start() error {
 	}
 	for _, j := range resumable {
 		s.m.JobState(string(StateQueued)).Add(1)
+		s.claimFlight(j.cacheKey(), j)
 		if s.queue.Submit(j) {
 			s.m.JobsResumed.Inc()
 		} else {
@@ -224,11 +232,37 @@ func (s *Server) worker() {
 
 // submitResponse answers POST /v1/*.
 type submitResponse struct {
-	JobID     string          `json:"job_id"`
-	State     State           `json:"state"`
-	CacheHit  bool            `json:"cache_hit,omitempty"`
+	JobID    string `json:"job_id"`
+	State    State  `json:"state"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	// Coalesced marks a submission folded onto an identical job that was
+	// already queued or running; JobID names that job.
+	Coalesced bool            `json:"coalesced,omitempty"`
 	StatusURL string          `json:"status_url"`
 	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// claimFlight registers j as the in-flight job for key unless another
+// non-terminal job already owns it; the owner and whether j claimed the
+// flight are returned. A terminal owner (completed, failed, or cancelled
+// while queued) is displaced — its result lives in the cache or nowhere.
+func (s *Server) claimFlight(key string, j *Job) (*Job, bool) {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if owner, ok := s.flights[key]; ok && !owner.State().terminal() {
+		return owner, false
+	}
+	s.flights[key] = j
+	return j, true
+}
+
+// forgetFlight releases key if j still owns it.
+func (s *Server) forgetFlight(key string, j *Job) {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if s.flights[key] == j {
+		delete(s.flights, key)
+	}
 }
 
 // errorResponse is the uniform error body.
@@ -289,7 +323,20 @@ func (s *Server) handleSubmit(kind string) http.HandlerFunc {
 			return
 		}
 
+		// Single-flight: an identical job already queued or running answers
+		// this submission too — the caller polls the owner instead of
+		// spending a queue slot and a duplicate simulation.
+		if owner, claimed := s.claimFlight(c.key, job); !claimed {
+			s.m.SingleFlight.Inc()
+			s.respond(w, http.StatusAccepted, submitResponse{
+				JobID: owner.ID(), State: owner.State(), Coalesced: true,
+				StatusURL: "/v1/jobs/" + owner.ID(),
+			})
+			return
+		}
+
 		if !s.queue.Submit(job) {
+			s.forgetFlight(c.key, job)
 			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
 			s.respond(w, http.StatusTooManyRequests, errorResponse{Error: "job queue is full", Kind: "backpressure"})
 			return
@@ -371,6 +418,9 @@ func (s *Server) saveJob(j *Job) {
 // runJob executes one job under its own context and settles its terminal
 // (or requeued) state.
 func (s *Server) runJob(j *Job) {
+	// Release the single-flight claim however the job settles; by then the
+	// cache (on success) or a fresh submission (otherwise) takes over.
+	defer s.forgetFlight(j.cacheKey(), j)
 	if j.State().terminal() {
 		return // cancelled while queued
 	}

@@ -1,0 +1,96 @@
+package synth
+
+import (
+	"surfstitch/internal/device"
+	"surfstitch/internal/noise"
+)
+
+// calCoster holds per-element expected-error figures derived from a device
+// calibration snapshot, indexed for the hot loops of routing and
+// co-optimization. qubit[q] combines the single-qubit gate depolarizing
+// strength with the readout error — the two channels a bridge qubit pays per
+// cycle — and coupler is keyed by sorted qubit-id pairs.
+type calCoster struct {
+	qubit     []float64
+	idle      []float64
+	coupler   map[[2]int]float64
+	totalIdle float64
+}
+
+// newCalCoster derives the per-element figures, or returns nil for an
+// uncalibrated device.
+func newCalCoster(dev *device.Device) *calCoster {
+	cal := dev.Calibration()
+	if cal == nil {
+		return nil
+	}
+	cc := &calCoster{
+		qubit:   make([]float64, dev.Len()),
+		idle:    make([]float64, dev.Len()),
+		coupler: make(map[[2]int]float64, len(cal.Couplers)),
+	}
+	for _, qc := range cal.Qubits {
+		q, ok := dev.QubitAt(qc.At)
+		if !ok {
+			continue // canonical snapshots always resolve; stay safe anyway
+		}
+		cc.qubit[q] = noise.Gate1Rate(qc.Fidelity1Q) + qc.ReadoutError
+		cc.idle[q] = noise.IdleRate(qc.T1Us, qc.T2Us)
+		cc.totalIdle += cc.idle[q]
+	}
+	for _, e := range cal.Couplers {
+		a, aok := dev.QubitAt(e.Between[0])
+		b, bok := dev.QubitAt(e.Between[1])
+		if !aok || !bok {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		cc.coupler[[2]int{a, b}] = noise.Gate2Rate(e.Fidelity2Q)
+	}
+	return cc
+}
+
+func (cc *calCoster) couplerRate(u, v int) float64 {
+	if u > v {
+		u, v = v, u
+	}
+	return cc.coupler[[2]int{u, v}]
+}
+
+// CalibrationCost scores a synthesis by the calibration-weighted expected
+// error it accumulates per error-detection cycle:
+//
+//	E(s) = sum over trees [ 2 * sum_edges p2(e)  +  sum_bridges (p1(b) + ro(b)) ]
+//	     + TotalSteps * sum_qubits idle(q)
+//
+// Every tree edge carries a two-qubit gate in both the encoding and the
+// decoding half of the cycle (hence the factor 2); every bridge qubit pays
+// its single-qubit gate channel and is measured once; and each extra time
+// step leaves the whole chip idling for one more moment. The proxy is
+// deliberately linear — it ranks candidate tree assignments, it does not
+// predict logical error rates. The second return is false when the device
+// carries no calibration snapshot.
+func CalibrationCost(s *Synthesis) (float64, bool) {
+	cc := newCalCoster(s.Layout.Dev)
+	if cc == nil {
+		return 0, false
+	}
+	cost := 0.0
+	for _, tree := range s.Trees {
+		if tree == nil {
+			continue
+		}
+		for _, e := range tree.Edges() {
+			cost += 2 * cc.couplerRate(e[0], e[1])
+		}
+		for _, n := range tree.Nodes() {
+			if !s.Layout.IsData[n] {
+				cost += cc.qubit[n]
+			}
+		}
+	}
+	cost += float64(s.Schedule.TotalSteps()) * cc.totalIdle
+	return cost, true
+}

@@ -11,9 +11,13 @@ import (
 // and the stabilizer measurement scheduler": when the schedule fragments
 // into extra sets because of bridge-tree conflicts, the plans of the
 // smallest sets retry their tree search avoiding the trees of a target set,
-// and the move is kept when the total error-detection cycle shrinks. The
-// returned synthesis is never worse than the input. A canceled context
-// aborts the remaining rounds with a BudgetError.
+// and the move is kept when the objective improves. On an uncalibrated
+// device the objective is the paper's: the total error-detection cycle in
+// time steps. On a calibrated device it is the calibration-weighted expected
+// error per cycle (CalibrationCost), so a move that trades a slightly longer
+// schedule for routing off a lossy coupler is accepted. Either way the
+// returned synthesis is never worse than the input under the objective in
+// force. A canceled context aborts the remaining rounds with a BudgetError.
 func CoOptimize(ctx context.Context, s *Synthesis) (*Synthesis, error) {
 	best := s
 	const maxRounds = 8
@@ -33,12 +37,22 @@ func CoOptimize(ctx context.Context, s *Synthesis) (*Synthesis, error) {
 	return best, nil
 }
 
+// synthCost is the co-optimizer's objective: calibration-weighted expected
+// error on a calibrated device, schedule length in time steps otherwise.
+func synthCost(s *Synthesis) float64 {
+	if c, ok := CalibrationCost(s); ok {
+		return c
+	}
+	return float64(s.Schedule.TotalSteps())
+}
+
 // coOptimizeOnce attempts one improving move; nil means no improvement found.
 func coOptimizeOnce(s *Synthesis) (*Synthesis, error) {
 	if len(s.Schedule) <= 1 || s.Degradation != nil {
 		return nil, nil
 	}
 	layout := s.Layout
+	base := synthCost(s)
 	planIdx := map[*flagbridge.Plan]int{}
 	for si, p := range s.Plans {
 		if p != nil {
@@ -78,7 +92,7 @@ func coOptimizeOnce(s *Synthesis) (*Synthesis, error) {
 			if err != nil {
 				continue
 			}
-			if candidate.Schedule.TotalSteps() < s.Schedule.TotalSteps() {
+			if synthCost(candidate) < base {
 				return candidate, nil
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"surfstitch/internal/device"
 	"surfstitch/internal/graph"
 	"surfstitch/internal/grid"
+	"surfstitch/internal/noise"
 )
 
 // maxRectExpand bounds how far a syndrome rectangle may grow when the tight
@@ -183,17 +184,63 @@ func terminalBFS(layout *Layout, src int, interior func(int) bool, terminals map
 	return parent
 }
 
-// defectEdgeCost prices one hop u→v in milli-hops: a unit step plus a
-// penalty proportional to the calibration overrides on the entered qubit
-// and the traversed coupler. A 5% error rate costs about one extra hop, so
-// routes detour around derated hardware without ballooning tree sizes.
-func defectEdgeCost(dev *device.Device, u, v int) int {
+// edgeCoster prices hops for the defect-weighted Dijkstra. The base price of
+// a hop is 1000 milli-hops; error-rate overrides on the entered qubit and
+// the traversed coupler add 20000·rate (a 5% rate costs about one extra
+// hop), and a calibration snapshot adds the same 20000-scaled penalty from
+// its derived channel strengths — 1q depolarizing plus readout for the
+// entered qubit, 2q depolarizing for the coupler. Routes therefore detour
+// around derated hardware, and among equal-hop routes prefer the
+// best-calibrated one, without ballooning tree sizes.
+type edgeCoster struct {
+	dev  *device.Device
+	qpen []int          // per-qubit calibration penalty, milli-hops
+	cpen map[[2]int]int // per-coupler calibration penalty, milli-hops
+}
+
+func newEdgeCoster(dev *device.Device) *edgeCoster {
+	ec := &edgeCoster{dev: dev}
+	cal := dev.Calibration()
+	if cal == nil {
+		return ec
+	}
+	ec.qpen = make([]int, dev.Len())
+	ec.cpen = make(map[[2]int]int, len(cal.Couplers))
+	for _, qc := range cal.Qubits {
+		if q, ok := dev.QubitAt(qc.At); ok {
+			ec.qpen[q] = int(20000 * (noise.Gate1Rate(qc.Fidelity1Q) + qc.ReadoutError))
+		}
+	}
+	for _, cc := range cal.Couplers {
+		a, aok := dev.QubitAt(cc.Between[0])
+		b, bok := dev.QubitAt(cc.Between[1])
+		if !aok || !bok {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		ec.cpen[[2]int{a, b}] = int(20000 * noise.Gate2Rate(cc.Fidelity2Q))
+	}
+	return ec
+}
+
+// cost prices one hop u→v in milli-hops.
+func (ec *edgeCoster) cost(u, v int) int {
 	cost := 1000
-	if r, ok := dev.QubitErrorRate(v); ok {
+	if r, ok := ec.dev.QubitErrorRate(v); ok {
 		cost += int(20000 * r)
 	}
-	if r, ok := dev.CouplerErrorRate(u, v); ok {
+	if r, ok := ec.dev.CouplerErrorRate(u, v); ok {
 		cost += int(20000 * r)
+	}
+	if ec.qpen != nil {
+		cost += ec.qpen[v]
+		key := [2]int{u, v}
+		if u > v {
+			key = [2]int{v, u}
+		}
+		cost += ec.cpen[key]
 	}
 	return cost
 }
@@ -202,7 +249,7 @@ func defectEdgeCost(dev *device.Device, u, v int) int {
 // toward the smaller qubit id, keeping routes deterministic.
 func terminalDijkstra(layout *Layout, src int, interior func(int) bool, terminals map[int]bool) []int {
 	g := layout.Dev.Graph()
-	dev := layout.Dev
+	ec := newEdgeCoster(layout.Dev)
 	n := layout.Dev.Len()
 	parent := make([]int, n)
 	dist := make([]int, n)
@@ -228,7 +275,7 @@ func terminalDijkstra(layout *Layout, src int, interior func(int) bool, terminal
 			if done[v] || (!interior(v) && !terminals[v]) {
 				continue
 			}
-			nd := dist[u] + defectEdgeCost(dev, u, v)
+			nd := dist[u] + ec.cost(u, v)
 			if nd < dist[v] || (nd == dist[v] && u < parent[v]) {
 				dist[v] = nd
 				parent[v] = u

@@ -79,6 +79,11 @@ type Config struct {
 	// histogram, decode-path breakdown and cache hit/miss counters,
 	// promoted from per-worker tallies at chunk boundaries.
 	Registry *obs.Registry
+	// Noise, when non-nil, builds the channel applier for each sweep point
+	// (e.g. noise.BuilderFor on a calibrated device, which derives
+	// per-location strengths); nil applies the uniform Model exactly as
+	// before, keeping uncalibrated results bit-identical.
+	Noise noise.Builder
 }
 
 func (c Config) withDefaults() Config {
@@ -136,8 +141,15 @@ func EstimatePointContext(ctx context.Context, prov CircuitProvider, p float64, 
 	ctx, span := obs.StartSpan(ctx, "threshold.point")
 	span.SetAttr("p", p)
 	defer span.End()
-	model := noise.Model{GateError: p, IdleError: cfg.IdleError, IdleOnly: prov.IdleQubits()}
-	noisy, err := model.Apply(prov.ExperimentCircuit())
+	var applier noise.Applier = noise.Model{GateError: p, IdleError: cfg.IdleError, IdleOnly: prov.IdleQubits()}
+	if cfg.Noise != nil {
+		var err error
+		applier, err = cfg.Noise(p, cfg.IdleError, prov.IdleQubits())
+		if err != nil {
+			return Point{}, fmt.Errorf("threshold: %w", err)
+		}
+	}
+	noisy, err := applier.Apply(prov.ExperimentCircuit())
 	if err != nil {
 		return Point{}, fmt.Errorf("threshold: %w", err)
 	}

@@ -63,6 +63,10 @@ var (
 	// ErrBadDefect: a defect entry is malformed (rate outside [0,1],
 	// unknown generator, out-of-range density).
 	ErrBadDefect = device.ErrBadDefect
+	// ErrBadCalibration: a calibration snapshot is malformed (non-finite or
+	// out-of-range figure, duplicate entry, incomplete device coverage,
+	// unknown snapshot preset).
+	ErrBadCalibration = device.ErrBadCalibration
 )
 
 // Registry is a process-local metrics registry: counters, gauges and
@@ -234,6 +238,33 @@ func GenerateDefects(d *Device, generator string, density float64, seed int64) (
 	return device.GenerateDefects(d, generator, density, seed)
 }
 
+// Calibration is a full calibration snapshot of a device: per-qubit T1/T2,
+// single-qubit gate fidelity and readout error, plus per-coupler two-qubit
+// gate fidelity. Attach one with Device.WithCalibration; a calibrated
+// device drives per-location noise channels, calibration-weighted bridge
+// routing, and participates in ConfigHash.
+type Calibration = device.Calibration
+
+// ParseCalibration decodes a calibration snapshot from JSON. Unknown fields
+// fail with ErrBadCalibration; full validation happens when the snapshot is
+// attached to a device.
+func ParseCalibration(data []byte) (*Calibration, error) {
+	return device.ParseCalibration(data)
+}
+
+// GenerateCalibration draws a reproducible full-coverage snapshot from one
+// of the preset bands ("good", "median", "bad"). Unknown names fail with
+// ErrBadCalibration.
+func GenerateCalibration(d *Device, snapshot string, seed int64) (*Calibration, error) {
+	if d == nil {
+		return nil, fmt.Errorf("%w: nil device", ErrInvalidConfig)
+	}
+	return device.GenerateCalibration(d, snapshot, seed)
+}
+
+// CalibrationSnapshots lists the preset snapshot names, best chip first.
+func CalibrationSnapshots() []string { return device.CalibrationSnapshots() }
+
 // Memory is an assembled logical-memory experiment over a synthesis.
 type Memory = experiment.Memory
 
@@ -388,11 +419,16 @@ func EstimateLogicalErrorRate(ctx context.Context, s *Synthesis, p float64, cfg 
 	if err != nil {
 		return Result{}, err
 	}
+	tc := cfg.thresholdConfig()
+	// A calibrated device swaps the uniform model for per-location channels;
+	// BuilderFor returns nil on uncalibrated devices, keeping their results
+	// bit-identical.
+	tc.Noise = noise.BuilderFor(s.Layout.Dev)
 	pt, err := threshold.EstimatePointContext(
 		ctx,
 		threshold.Provider(m.Circuit, s.AllQubits()),
 		p,
-		cfg.thresholdConfig(),
+		tc,
 	)
 	if err != nil {
 		return Result{}, err
@@ -422,13 +458,15 @@ func EstimateCurve(ctx context.Context, s *Synthesis, ps []float64, cfg RunConfi
 	if err != nil {
 		return Curve{}, err
 	}
+	tc := cfg.thresholdConfig()
+	tc.Noise = noise.BuilderFor(s.Layout.Dev)
 	return threshold.EstimateCurveContext(
 		ctx,
 		fmt.Sprintf("%s-d%d", s.Layout.Dev.Name(), s.Layout.Code.Distance()),
 		s.Layout.Code.Distance(),
 		threshold.Provider(m.Circuit, s.AllQubits()),
 		ps,
-		cfg.thresholdConfig(),
+		tc,
 	)
 }
 
