@@ -19,7 +19,7 @@ race:
 	$(GO) test -race ./...
 
 race-core:
-	$(GO) test -race ./internal/mc/... ./internal/threshold/... ./internal/decoder/... ./internal/frame/... ./internal/server/... ./internal/obs/... ./internal/device/... ./internal/noise/...
+	$(GO) test -race ./internal/mc/... ./internal/threshold/... ./internal/decoder/... ./internal/uf/... ./internal/frame/... ./internal/server/... ./internal/obs/... ./internal/device/... ./internal/noise/...
 
 # surflint: the domain-aware analyzer suite (rngstream, errdrop, lockcopy,
 # loopcapture, paniccheck, ctxleak, atomicmix). Zero findings is the merge
@@ -55,9 +55,11 @@ verify: vet race lint chaos chaos-fidelity distcheck
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
-# Decoder fast-path vs. slow-path comparison on synthesized square-tiling
-# memories at d=3/5/7; writes ns/shot, allocs/shot and cache hit rate for
-# both paths to BENCH_decode.json.
+# Decoder comparisons on synthesized square-tiling memories at d=3/5/7:
+# fast path vs. slow path, union-find vs. blossom on a forced-k>=3
+# workload, and sliding-window streaming decode; writes ns/shot and
+# allocs/shot for every row (plus cache hit rate for the cached paths)
+# to BENCH_decode.json.
 bench-json:
 	$(GO) run ./cmd/benchdecode -out BENCH_decode.json
 

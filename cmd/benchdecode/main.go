@@ -1,15 +1,21 @@
 // Command benchdecode measures the decoder's sparse-syndrome fast path
 // against the pre-fast-path baseline (eager all-pairs Dijkstra, blossom on
 // every shot, per-shot allocation) and writes the comparison to a JSON file.
+// It also benchmarks the union-find decoder against the blossom on a
+// forced-k>=3 workload (only shots whose syndromes route past the closed
+// forms, sampled at a higher physical rate) and the sliding-window streaming
+// decode, reporting allocs/shot for each.
 //
 // Usage:
 //
 //	benchdecode                       # print the table, write BENCH_decode.json
 //	benchdecode -out bench.json       # alternate output path
 //	benchdecode -shots 8192 -p 0.002  # heavier batches
+//	benchdecode -pk3 0.03             # hotter k>=3 workload
 //
-// Both configurations decode the identical fixed-seed syndrome stream, so the
-// ratio columns are apples to apples; `make bench-json` wraps this command.
+// Both configurations of each comparison decode the identical fixed-seed
+// syndrome stream, so the ratio columns are apples to apples; `make
+// bench-json` wraps this command.
 package main
 
 import (
@@ -49,43 +55,115 @@ type Comparison struct {
 	AllocRatio float64 `json:"alloc_ratio"` // slow allocs/shot over fast allocs/shot (+Inf -> 0 sentinel avoided via fast+1)
 }
 
+// K3Comparison pairs the union-find and blossom decoders on the same
+// forced-k>=3 syndrome stream at one distance. Both run cache-disabled with
+// a reused scratch, so the columns compare the decode algorithms themselves.
+type K3Comparison struct {
+	Distance  int     `json:"distance"`
+	K3Shots   int     `json:"k3_shots"` // shots surviving the k>=3 filter
+	MeanK     float64 `json:"mean_k"`   // mean defect count of those shots
+	UF        Run     `json:"uf"`
+	Blossom   Run     `json:"blossom"`
+	UFSpeedup float64 `json:"uf_speedup"` // blossom ns/shot over uf ns/shot
+}
+
+// StreamRun measures the sliding-window streaming decode (round-by-round
+// PushRound/Finish) over the standard-rate batch at one distance.
+type StreamRun struct {
+	Distance       int     `json:"distance"`
+	Window         int     `json:"window"`
+	Commit         int     `json:"commit"`
+	Shots          int     `json:"shots"`
+	NsPerShot      float64 `json:"ns_per_shot"`
+	AllocsPerShot  float64 `json:"allocs_per_shot"`
+	BytesPerShot   float64 `json:"bytes_per_shot"`
+	CommitsPerShot float64 `json:"commits_per_shot"`
+}
+
 // Report is the BENCH_decode.json document.
 type Report struct {
-	SchemaVersion int          `json:"schema_version"`
-	PhysicalError float64      `json:"physical_error"`
-	ShotsPerBatch int          `json:"shots_per_batch"`
-	Comparisons   []Comparison `json:"comparisons"`
+	SchemaVersion   int            `json:"schema_version"`
+	PhysicalError   float64        `json:"physical_error"`
+	K3PhysicalError float64        `json:"k3_physical_error"`
+	ShotsPerBatch   int            `json:"shots_per_batch"`
+	Comparisons     []Comparison   `json:"comparisons"`
+	K3Comparisons   []K3Comparison `json:"k3_comparisons"`
+	StreamRuns      []StreamRun    `json:"stream_runs"`
 }
 
 // buildBatch synthesizes a distance-d square-tiling surface code memory (d
 // rounds) via the paper pipeline, applies uniform noise at rate p, and
 // samples a fixed-seed shot batch from it.
-func buildBatch(d int, p float64, shots int) (*dem.Model, *frame.Batch, error) {
+func buildBatch(d int, p float64, shots int) (*dem.Model, []int, *frame.Batch, error) {
 	_, layout, err := synth.FitDevice(device.KindSquare, d, synth.ModeDefault)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	syn, err := synth.SynthesizeOnLayout(layout, synth.Options{})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	mem, err := experiment.NewMemory(syn, d, experiment.Options{})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	c, err := mem.Noisy(noise.Uniform(p))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	model, err := dem.FromCircuit(c)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	s, err := frame.NewSampler(c, rand.New(rand.NewSource(int64(1000+d))))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return model, s.Sample(shots), nil
+	return model, mem.DetectorRound, s.Sample(shots), nil
+}
+
+// filterK3 repacks the shots whose syndromes carry at least minK defects
+// into a fresh batch — the workload that skips the k<=2 closed forms and
+// exercises the union-find/blossom comparison directly. The second return
+// is the mean defect count of the surviving shots.
+func filterK3(b *frame.Batch, minK int) (*frame.Batch, float64) {
+	var kept []int
+	totalK := 0
+	for shot := 0; shot < b.Shots; shot++ {
+		w, bit := shot/64, uint(shot%64)
+		k := 0
+		for i := range b.DetFlips {
+			if b.DetFlips[i][w]&(1<<bit) != 0 {
+				k++
+			}
+		}
+		if k >= minK {
+			kept = append(kept, shot)
+			totalK += k
+		}
+	}
+	out := &frame.Batch{Shots: len(kept), Words: (len(kept) + 63) / 64}
+	repack := func(src [][]uint64) [][]uint64 {
+		dst := make([][]uint64, len(src))
+		for i := range src {
+			row := make([]uint64, out.Words)
+			for j, shot := range kept {
+				if src[i][shot/64]&(1<<uint(shot%64)) != 0 {
+					row[j/64] |= 1 << uint(j%64)
+				}
+			}
+			dst[i] = row
+		}
+		return dst
+	}
+	out.DetFlips = repack(b.DetFlips)
+	out.ObsFlips = repack(b.ObsFlips)
+	out.RecordFlips = repack(b.RecordFlips)
+	meanK := 0.0
+	if len(kept) > 0 {
+		meanK = float64(totalK) / float64(len(kept))
+	}
+	return out, meanK
 }
 
 func measureFast(model *dem.Model, batch *frame.Batch, d int) (Run, error) {
@@ -137,6 +215,90 @@ func measureSlow(model *dem.Model, batch *frame.Batch, d int) (Run, error) {
 	return runFromResult("slow", d, batch.Shots, res, 0), nil
 }
 
+// measureScratchPath benchmarks DecodeRangeScratch under opts on the given
+// batch with the cache disabled — the per-algorithm hot loop, no cache hits
+// in the numbers.
+func measureScratchPath(model *dem.Model, batch *frame.Batch, d int, path string, opts decoder.Options) (Run, error) {
+	opts.CacheSize = -1
+	dec, err := decoder.NewWithOptions(model, opts)
+	if err != nil {
+		return Run{}, err
+	}
+	s := dec.NewScratch()
+	// Warm lazy Dijkstra rows, the union-find graph and the scratch arenas.
+	if _, err := dec.DecodeRangeScratch(batch, 0, batch.Shots, s); err != nil {
+		return Run{}, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dec.DecodeRangeScratch(batch, 0, batch.Shots, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return runFromResult(path, d, batch.Shots, res, 0), nil
+}
+
+// measureStream benchmarks the sliding-window streaming decode: per shot, a
+// Reset, one PushRound per syndrome round, and a Finish.
+func measureStream(model *dem.Model, detRound []int, batch *frame.Batch, d int) (StreamRun, error) {
+	dec, err := decoder.NewWithOptions(model, decoder.Options{UnionFind: true, CacheSize: -1})
+	if err != nil {
+		return StreamRun{}, err
+	}
+	cfg := decoder.StreamConfig{Window: 3, Commit: 1}
+	if n := detRound[len(detRound)-1] + 1; cfg.Window > n {
+		cfg.Window = n
+	}
+	st, err := dec.NewStream(detRound, cfg)
+	if err != nil {
+		return StreamRun{}, err
+	}
+	buf := make([]int, 0, 64)
+	runBatch := func() error {
+		for shot := 0; shot < batch.Shots; shot++ {
+			st.Reset()
+			for r := 0; r < st.NumRounds(); r++ {
+				lo, hi := st.RoundRange(r)
+				buf = batch.AppendShotDetectorsRange(buf[:0], shot, lo, hi)
+				if err := st.PushRound(buf); err != nil {
+					return err
+				}
+			}
+			if _, err := st.Finish(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := runBatch(); err != nil { // warm the union-find scratch
+		return StreamRun{}, err
+	}
+	st.TakeStats()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := runBatch(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	stats := st.TakeStats()
+	benchedShots := int64(res.N) * int64(batch.Shots)
+	perShot := func(v float64) float64 { return v / float64(batch.Shots) }
+	return StreamRun{
+		Distance:       d,
+		Window:         cfg.Window,
+		Commit:         cfg.Commit,
+		Shots:          batch.Shots,
+		NsPerShot:      perShot(float64(res.NsPerOp())),
+		AllocsPerShot:  perShot(float64(res.AllocsPerOp())),
+		BytesPerShot:   perShot(float64(res.AllocedBytesPerOp())),
+		CommitsPerShot: float64(stats.WindowCommits) / float64(benchedShots),
+	}, nil
+}
+
 func runFromResult(path string, d, shots int, res testing.BenchmarkResult, hitRate float64) Run {
 	perShot := func(v float64) float64 { return v / float64(shots) }
 	return Run{
@@ -155,14 +317,15 @@ func main() {
 		out   = flag.String("out", "BENCH_decode.json", "output JSON path")
 		shots = flag.Int("shots", 4096, "shots per sampled batch")
 		p     = flag.Float64("p", 0.002, "physical error rate of the benchmark memories")
+		pk3   = flag.Float64("pk3", 0.02, "physical error rate of the forced-k>=3 workload")
 	)
 	flag.Parse()
 
-	report := Report{SchemaVersion: obs.SchemaVersion, PhysicalError: *p, ShotsPerBatch: *shots}
+	report := Report{SchemaVersion: obs.SchemaVersion, PhysicalError: *p, K3PhysicalError: *pk3, ShotsPerBatch: *shots}
 	fmt.Printf("%-6s %12s %12s %14s %14s %10s\n",
 		"d", "fast ns/shot", "slow ns/shot", "fast allocs/sh", "slow allocs/sh", "speedup")
 	for _, d := range []int{3, 5, 7} {
-		model, batch, err := buildBatch(d, *p, *shots)
+		model, detRound, batch, err := buildBatch(d, *p, *shots)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchdecode: d=%d: %v\n", d, err)
 			os.Exit(1)
@@ -186,7 +349,55 @@ func main() {
 		report.Comparisons = append(report.Comparisons, cmp)
 		fmt.Printf("%-6d %12.1f %12.1f %14.3f %14.3f %9.1fx\n",
 			d, fast.NsPerShot, slow.NsPerShot, fast.AllocsPerShot, slow.AllocsPerShot, cmp.Speedup)
+
+		sr, err := measureStream(model, detRound, batch, d)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdecode: d=%d stream: %v\n", d, err)
+			os.Exit(1)
+		}
+		report.StreamRuns = append(report.StreamRuns, sr)
 	}
+
+	fmt.Printf("\n%-6s %8s %7s %12s %14s %14s %16s %10s\n",
+		"d", "k3shots", "mean k", "uf ns/shot", "blossom ns/sh", "uf allocs/sh", "blossom alloc/sh", "uf speedup")
+	for _, d := range []int{3, 5, 7} {
+		model, _, raw, err := buildBatch(d, *pk3, *shots)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdecode: d=%d k3: %v\n", d, err)
+			os.Exit(1)
+		}
+		k3batch, meanK := filterK3(raw, 3)
+		if k3batch.Shots == 0 {
+			fmt.Fprintf(os.Stderr, "benchdecode: d=%d: no k>=3 shots at p=%g; raise -pk3\n", d, *pk3)
+			os.Exit(1)
+		}
+		ufRun, err := measureScratchPath(model, k3batch, d, "uf", decoder.Options{UnionFind: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdecode: d=%d uf: %v\n", d, err)
+			os.Exit(1)
+		}
+		blossomRun, err := measureScratchPath(model, k3batch, d, "blossom_k3", decoder.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdecode: d=%d blossom_k3: %v\n", d, err)
+			os.Exit(1)
+		}
+		k3 := K3Comparison{Distance: d, K3Shots: k3batch.Shots, MeanK: meanK, UF: ufRun, Blossom: blossomRun}
+		if ufRun.NsPerShot > 0 {
+			k3.UFSpeedup = blossomRun.NsPerShot / ufRun.NsPerShot
+		}
+		report.K3Comparisons = append(report.K3Comparisons, k3)
+		fmt.Printf("%-6d %8d %7.1f %12.1f %14.1f %14.3f %16.3f %9.1fx\n",
+			d, k3.K3Shots, meanK, ufRun.NsPerShot, blossomRun.NsPerShot,
+			ufRun.AllocsPerShot, blossomRun.AllocsPerShot, k3.UFSpeedup)
+	}
+
+	fmt.Printf("\n%-6s %6s %6s %12s %14s %14s\n",
+		"d", "W", "C", "ns/shot", "allocs/shot", "commits/shot")
+	for _, sr := range report.StreamRuns {
+		fmt.Printf("%-6d %6d %6d %12.1f %14.3f %14.2f\n",
+			sr.Distance, sr.Window, sr.Commit, sr.NsPerShot, sr.AllocsPerShot, sr.CommitsPerShot)
+	}
+
 	if err := obs.WriteJSONFile(*out, report); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdecode:", err)
 		os.Exit(1)

@@ -34,6 +34,7 @@ import (
 
 	"surfstitch/internal/stats"
 
+	"surfstitch/internal/decoder"
 	"surfstitch/internal/device"
 	"surfstitch/internal/experiment"
 	"surfstitch/internal/mc"
@@ -57,6 +58,9 @@ type runSettings struct {
 	TargetRSE   float64   `json:"target_rse,omitempty"`
 	MaxErrors   int       `json:"max_errors,omitempty"`
 	Calibration string    `json:"calibration,omitempty"`
+	UnionFind   bool      `json:"union_find,omitempty"`
+	StreamWin   int       `json:"stream_window,omitempty"`
+	StreamCom   int       `json:"stream_commit,omitempty"`
 }
 
 // jsonReport is the versioned machine-readable output behind -json.
@@ -82,6 +86,9 @@ func main() {
 		maxErrs  = flag.Int("max-errors", 0, "stop a sweep point after this many logical errors (0 = fixed budget)")
 		progress = flag.Bool("progress", false, "print live sampling progress to stderr")
 		calArg   = flag.String("calibration", "", "sweep a calibrated chip (-arch only): a Calibration JSON file, or <snapshot>[:<seed>] with snapshot good, median or bad; synthesis and the noise model both follow the snapshot")
+		ufFlag   = flag.Bool("uf", false, "decode k>=3 syndromes with the almost-linear union-find decoder (-arch only; bounded-accuracy ablation)")
+		streamW  = flag.Int("stream-window", 0, "stream the decode with this sliding-window size in rounds (-arch only; implies -uf)")
+		streamC  = flag.Int("stream-commit", 1, "rounds committed per window advance (with -stream-window)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/pprof and /debug/vars on this address (e.g. 127.0.0.1:8080)")
 		traceOut    = flag.String("trace-out", "", "write JSONL trace spans to this file")
@@ -90,7 +97,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*shots, *workers, *targRSE, *maxErrs, *fig, *arch, *mode, *basis, *calArg); err != nil {
+	if err := validateFlags(*shots, *workers, *targRSE, *maxErrs, *fig, *arch, *mode, *basis, *calArg, *ufFlag, *streamW, *streamC); err != nil {
 		fmt.Fprintln(os.Stderr, "threshold: invalid flags:", err)
 		fmt.Fprintln(os.Stderr, "run with -h for usage")
 		os.Exit(2)
@@ -128,6 +135,7 @@ func main() {
 		Fig: *fig, Arch: *arch, Mode: *mode, Basis: *basis,
 		Shots: *shots, Ps: sweep, Workers: *workers,
 		TargetRSE: *targRSE, MaxErrors: *maxErrs, Calibration: *calArg,
+		UnionFind: *ufFlag || *streamW > 0, StreamWin: *streamW, StreamCom: *streamC,
 	}
 	manifest := obs.NewManifest("threshold", *seed, settings)
 
@@ -165,8 +173,17 @@ func main() {
 		if *basis == "X" {
 			b = experiment.BasisX
 		}
+		var dcfg decoderSettings
+		if *ufFlag || *streamW > 0 {
+			// Streaming rides on the union-find decoder, so -stream-window
+			// implies -uf even when the flag is not given explicitly.
+			dcfg.opts = decoder.Options{UnionFind: true}
+		}
+		if *streamW > 0 {
+			dcfg.stream = &decoder.StreamConfig{Window: *streamW, Commit: *streamC}
+		}
 		var pair paper.CurvePair
-		pair, err = sweepArch(ctx, kind, m, b, cfg, *calArg)
+		pair, err = sweepArch(ctx, kind, m, b, cfg, *calArg, dcfg)
 		pairs = []paper.CurvePair{pair}
 		title = fmt.Sprintf("threshold sweep: %s (mode %v)", *arch, m)
 		if *calArg != "" {
@@ -237,13 +254,19 @@ func progressPrinter() func(p float64, pr mc.Progress) {
 	}
 }
 
-func sweepArch(ctx context.Context, kind device.Kind, m synth.Mode, basis experiment.Basis, cfg paper.Config, calArg string) (paper.CurvePair, error) {
+// decoderSettings bundles the decoder ablation flags for sweepArch.
+type decoderSettings struct {
+	opts   decoder.Options
+	stream *decoder.StreamConfig
+}
+
+func sweepArch(ctx context.Context, kind device.Kind, m synth.Mode, basis experiment.Basis, cfg paper.Config, calArg string, dcfg decoderSettings) (paper.CurvePair, error) {
 	var pair paper.CurvePair
 	pair.Name = kind.String()
 	tc := threshold.Config{
 		Shots: cfg.Shots, Seed: cfg.Seed, Workers: cfg.Workers,
 		TargetRSE: cfg.TargetRSE, MaxErrors: cfg.MaxErrors, Progress: cfg.Progress,
-		Registry: cfg.Registry,
+		Registry: cfg.Registry, Decoder: dcfg.opts, Stream: dcfg.stream,
 	}
 	for _, d := range []int{3, 5} {
 		fd, layout, err := synth.FitDevice(kind, d, m)
@@ -279,8 +302,14 @@ func sweepArch(ctx context.Context, kind device.Kind, m synth.Mode, basis experi
 		if err != nil {
 			return pair, err
 		}
+		prov := threshold.Provider(mem.Circuit, s.AllQubits())
+		if dcfg.stream != nil {
+			// Streaming decode needs the detector->round map to slice the
+			// syndrome into windows.
+			prov = threshold.ProviderWithRounds(mem.Circuit, s.AllQubits(), mem.DetectorRound)
+		}
 		curve, err := threshold.EstimateCurveContext(ctx, fmt.Sprintf("%v d=%d", kind, d), d,
-			threshold.Provider(mem.Circuit, s.AllQubits()), cfg.Ps, tcd)
+			prov, cfg.Ps, tcd)
 		// Keep whatever points finished: an interrupt mid-curve still
 		// produces a printable partial sweep.
 		if d == 3 {
@@ -432,10 +461,16 @@ func parseArch(s string) (device.Kind, error) {
 // silently substituted defaults: a sweep with zero shots, a negative
 // worker pool, a disabled-by-typo stopping rule, or conflicting artifact
 // selectors.
-func validateFlags(shots, workers int, targRSE float64, maxErrs int, fig, arch, mode, basis, calibration string) error {
+func validateFlags(shots, workers int, targRSE float64, maxErrs int, fig, arch, mode, basis, calibration string, uf bool, streamW, streamC int) error {
 	switch {
 	case calibration != "" && arch == "":
 		return fmt.Errorf("-calibration requires -arch (the paper figures sweep uncalibrated chips)")
+	case (uf || streamW > 0) && arch == "":
+		return fmt.Errorf("-uf and -stream-window require -arch (the paper figures use the published decoding path)")
+	case streamW < 0:
+		return fmt.Errorf("-stream-window must be >= 1 to enable streaming (0 = whole-shot), got %d", streamW)
+	case streamW > 0 && (streamC < 1 || streamC > streamW):
+		return fmt.Errorf("-stream-commit must be in [1, -stream-window=%d], got %d", streamW, streamC)
 	case shots <= 0:
 		return fmt.Errorf("-shots must be positive, got %d", shots)
 	case workers < 0:

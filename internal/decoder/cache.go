@@ -52,6 +52,28 @@ func (c *synCache) size() int {
 	return len(c.m)
 }
 
+// Cache is a syndrome cache that several decoders can share through
+// Options.SharedCache — the ablation harness compiles fast-, slow- and
+// union-find-path decoders in one process, and sharing amortizes the
+// sparse-syndrome working set. Entries are namespaced by each decoder's
+// decode-path identity, so decoders that would answer the same syndrome
+// differently never observe each other's masks.
+type Cache struct {
+	c *synCache
+}
+
+// NewCache builds a shareable syndrome cache bounded to max entries (zero
+// selects the default size).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = defaultCacheSize
+	}
+	return &Cache{c: newSynCache(max)}
+}
+
+// Len reports the number of cached syndromes across all decode paths.
+func (c *Cache) Len() int { return c.c.size() }
+
 // appendSyndromeKey encodes a sorted defect set as fixed-width 4-byte
 // little-endian words: fixed width means distinct sets can never collide,
 // and the sorted order (ShotDetectors emits detectors in index order) makes

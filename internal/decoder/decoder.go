@@ -24,6 +24,7 @@ import (
 	"surfstitch/internal/dem"
 	"surfstitch/internal/frame"
 	"surfstitch/internal/matching"
+	"surfstitch/internal/uf"
 )
 
 // weightScale converts log-likelihood edge weights to the integer domain of
@@ -59,7 +60,15 @@ type Decoder struct {
 	rows []atomic.Pointer[pathRow]
 
 	// cache memoizes syndrome→observable-mask results (nil when disabled).
-	cache *synCache
+	// Keys carry pathID so decoders with different decode routes can share
+	// one cache without cross-contaminating each other's masks.
+	cache  *synCache
+	pathID byte
+
+	// ufg is the lazily compiled union-find decoding graph: a pure function
+	// of the immutable adjacency, CAS-published exactly like rows, so every
+	// caller observes the same instance.
+	ufg atomic.Pointer[uf.Graph]
 
 	// UndetectableObs is the bitmask of observables flipped by at least one
 	// mechanism that trips no detector: an irreducible logical error floor.
@@ -97,6 +106,20 @@ type Options struct {
 	// CacheSize bounds the syndrome cache in entries. Zero selects the
 	// default (65536); a negative value disables the cache.
 	CacheSize int
+
+	// UnionFind routes k>=3 defect sets through the almost-linear
+	// union-find decoder (internal/uf) instead of dense blossom matching.
+	// The k<=2 closed forms still apply. UF corrections are valid but only
+	// approximately minimum-weight; undecodable clusters (odd parity on a
+	// boundaryless component) escalate back to blossom. Ignored under
+	// ForceSlowPath.
+	UnionFind bool
+
+	// SharedCache, when non-nil, replaces the decoder's private syndrome
+	// cache with the given shared one (overriding CacheSize, and enabling
+	// caching even under ForceSlowPath). Safe to share between decoders
+	// with different options: cache keys include the decode-path identity.
+	SharedCache *Cache
 }
 
 // New compiles the detector error model into a decoder.
@@ -239,13 +262,28 @@ func NewWithOptions(model *dem.Model, opts Options) (*Decoder, error) {
 		d.adj[k.v] = append(d.adj[k.v], halfEdge{to: k.u, weight: w, obs: masks[k]})
 	}
 	d.opts = opts
+	// pathID tags cache keys with the decode route this decoder takes on a
+	// miss, so that decoders sharing a cache (ablation runs in one process)
+	// can never serve each other masks computed by a different algorithm.
+	switch {
+	case opts.ForceSlowPath:
+		d.pathID = 's'
+	case opts.UnionFind:
+		d.pathID = 'u'
+	default:
+		d.pathID = 'f'
+	}
 	d.rows = make([]atomic.Pointer[pathRow], n)
 	if opts.ForceSlowPath {
 		// The slow path keeps the eager O(n²) all-pairs compile.
 		for src := 0; src < n; src++ {
 			d.row(src)
 		}
-	} else if opts.CacheSize >= 0 {
+	}
+	switch {
+	case opts.SharedCache != nil:
+		d.cache = opts.SharedCache.c
+	case !opts.ForceSlowPath && opts.CacheSize >= 0:
 		size := opts.CacheSize
 		if size == 0 {
 			size = defaultCacheSize
@@ -404,6 +442,8 @@ const (
 	pathK1
 	pathK2
 	pathBlossom
+	pathUF
+	pathUFFallback // union-find escalated to blossom
 )
 
 // decode is the shared decode entry: cache lookup, then closed forms, then
@@ -415,12 +455,16 @@ func (d *Decoder) decode(defects []int, s *Scratch) (uint64, bool, decodePath, e
 	}
 	var key []byte
 	if d.cache != nil {
+		// The leading pathID byte namespaces the entry by decode route:
+		// decoders sharing one cache but disagreeing on k>=3 handling
+		// (fast/slow/union-find) must never read each other's masks.
 		if s != nil {
-			s.key = appendSyndromeKey(s.key[:0], defects)
+			s.key = append(s.key[:0], d.pathID)
+			s.key = appendSyndromeKey(s.key, defects)
 			key = s.key
 		} else {
 			var buf [64]byte
-			key = appendSyndromeKey(buf[:0], defects)
+			key = appendSyndromeKey(append(buf[:0], d.pathID), defects)
 		}
 		if obs, ok := d.cache.get(key); ok {
 			return obs, true, pathNone, nil
@@ -455,10 +499,71 @@ func (d *Decoder) decodeMiss(defects []int, s *Scratch) (uint64, decodePath, err
 			// boundary paths: fall through to the blossom so the choice —
 			// and thus the predicted mask — stays bit-identical to the
 			// slow path's tie-breaking.
+		default:
+			if d.opts.UnionFind {
+				if obs, ok := d.decodeUF(defects, s); ok {
+					return obs, pathUF, nil
+				}
+				// Escalation: the union-find decoder could not resolve the
+				// cluster (odd parity trapped on a boundaryless component,
+				// or an internal invariant tripped); the blossom handles it
+				// — or reports the canonical unmatchable error.
+				obs, err := d.decodeBlossom(defects, s)
+				return obs, pathUFFallback, err
+			}
 		}
 	}
 	obs, err := d.decodeBlossom(defects, s)
 	return obs, pathBlossom, err
+}
+
+// ufGraph returns the union-find decoding graph, compiling it on first use
+// from the same adjacency the matching paths use and publishing it through
+// an atomic pointer (same discipline as row: the graph is a pure function
+// of the immutable adjacency, so a CAS loser's result is identical).
+func (d *Decoder) ufGraph() (*uf.Graph, error) {
+	if g := d.ufg.Load(); g != nil {
+		return g, nil
+	}
+	var edges []uf.Edge
+	for u := range d.adj {
+		for _, e := range d.adj[u] {
+			if e.to > u { // adjacency stores both half-edges; take each once
+				edges = append(edges, uf.Edge{U: u, V: e.to, W: quantWeight(e.weight), Obs: e.obs})
+			}
+		}
+	}
+	g, err := uf.NewGraph(d.numDet+1, d.boundary, edges)
+	if err != nil {
+		return nil, fmt.Errorf("decoder: compiling union-find graph: %w", err)
+	}
+	if !d.ufg.CompareAndSwap(nil, g) {
+		return d.ufg.Load(), nil
+	}
+	return g, nil
+}
+
+// decodeUF attempts the union-find decode of a k>=3 defect set. ok=false
+// asks the caller to escalate to the blossom.
+func (d *Decoder) decodeUF(defects []int, s *Scratch) (uint64, bool) {
+	g, err := d.ufGraph()
+	if err != nil {
+		return 0, false
+	}
+	var us *uf.Scratch
+	if s != nil {
+		if s.ufs == nil {
+			s.ufs = g.NewScratch()
+		}
+		us = s.ufs
+	} else {
+		us = g.NewScratch()
+	}
+	obs, err := g.Decode(defects, us)
+	if err != nil {
+		return 0, false
+	}
+	return obs, true
 }
 
 // decodePair decodes a two-defect syndrome in closed form: the minimum of
@@ -569,6 +674,18 @@ type Stats struct {
 	FastK2  int
 	Blossom int
 
+	// UFShots counts cache misses the union-find decoder answered;
+	// UFFallbacks counts misses where union-find escalated to blossom
+	// (those shots are also counted in Blossom). Both zero unless
+	// Options.UnionFind is set. Same caveat as the other path counters.
+	UFShots     int
+	UFFallbacks int
+
+	// WindowCommits counts sliding-window commit steps performed by
+	// streaming decode (zero for whole-shot decoding). Deterministic: a
+	// pure function of the shot count and the window geometry.
+	WindowCommits int
+
 	// KHist is the syndrome-weight histogram: KHist[k] counts shots whose
 	// defect set had exactly k flipped detectors, with the last bucket
 	// absorbing k >= KHistBuckets-1. Deterministic (a pure function of the
@@ -595,6 +712,9 @@ func (s Stats) Merge(o Stats) Stats {
 		FastK1:        s.FastK1 + o.FastK1,
 		FastK2:        s.FastK2 + o.FastK2,
 		Blossom:       s.Blossom + o.Blossom,
+		UFShots:       s.UFShots + o.UFShots,
+		UFFallbacks:   s.UFFallbacks + o.UFFallbacks,
+		WindowCommits: s.WindowCommits + o.WindowCommits,
 	}
 	for i := range out.KHist {
 		out.KHist[i] = s.KHist[i] + o.KHist[i]
@@ -643,6 +763,11 @@ func (d *Decoder) DecodeRangeScratch(batch *frame.Batch, lo, hi int, s *Scratch)
 		case pathK2:
 			stats.FastK2++
 		case pathBlossom:
+			stats.Blossom++
+		case pathUF:
+			stats.UFShots++
+		case pathUFFallback:
+			stats.UFFallbacks++
 			stats.Blossom++
 		}
 		stats.Shots++

@@ -1,0 +1,9 @@
+//go:build race
+
+package decoder
+
+// raceEnabled reports that this test binary was built with -race; heavy
+// statistical gates shrink to their smoke shape under it (the race pass is
+// a concurrency gate, and 10x-slower instrumented blossom decoding would
+// blow the package past go test's timeout without adding race coverage).
+const raceEnabled = true

@@ -1,19 +1,24 @@
 package decoder
 
-import "surfstitch/internal/matching"
+import (
+	"surfstitch/internal/matching"
+	"surfstitch/internal/uf"
+)
 
 // Scratch is a per-goroutine arena for the decode hot loop: the defect
-// list, matching edge buffer, syndrome-cache key buffer and the blossom
-// matcher's internal state, all reused across shots so that steady-state
-// decoding does not allocate. DecodeRange creates one per call; callers
-// that decode many ranges (the Monte-Carlo chunk loop) should hold one per
-// worker and use DecodeRangeScratch. A Scratch must never be shared
-// between concurrent calls.
+// list, matching edge buffer, syndrome-cache key buffer, the blossom
+// matcher's internal state and (when union-find is enabled) the uf arena,
+// all reused across shots so that steady-state decoding does not allocate.
+// DecodeRange creates one per call; callers that decode many ranges (the
+// Monte-Carlo chunk loop) should hold one per worker and use
+// DecodeRangeScratch. A Scratch must never be shared between concurrent
+// calls.
 type Scratch struct {
 	defects []int
 	edges   []matching.Edge
 	key     []byte
 	match   matching.Scratch
+	ufs     *uf.Scratch // lazily sized to the uf graph on first k>=3 decode
 }
 
 // NewScratch returns a scratch arena pre-sized for the sparse syndromes

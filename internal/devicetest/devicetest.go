@@ -32,6 +32,13 @@ var sizes = map[int]map[device.Kind]wh{
 		device.KindHeavySquare:  {5, 4},
 		device.KindHeavyHexagon: {5, 4},
 	},
+	7: {
+		device.KindSquare:       {12, 6},
+		device.KindHexagon:      {9, 6},
+		device.KindOctagon:      {7, 7},
+		device.KindHeavySquare:  {7, 6},
+		device.KindHeavyHexagon: {7, 6},
+	},
 }
 
 // Sizes returns the recorded tiling dimensions for a distance-d synthesis on

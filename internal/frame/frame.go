@@ -43,6 +43,26 @@ func (b *Batch) AppendShotDetectors(dst []int, shot int) []int {
 	return appendPlaneBitsAt(dst, b.DetFlips, shot)
 }
 
+// AppendShotDetectorsRange appends the flipped detectors of one shot whose
+// indices fall in [lo, hi): the round-slicing variant for streaming decode,
+// where a memory experiment's detectors are contiguous per round. Returned
+// indices stay global (they are not rebased to lo).
+func (b *Batch) AppendShotDetectorsRange(dst []int, shot, lo, hi int) []int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(b.DetFlips) {
+		hi = len(b.DetFlips)
+	}
+	w, bit := shot/64, uint(shot%64)
+	for i := lo; i < hi; i++ {
+		if b.DetFlips[i][w]&(1<<bit) != 0 {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
 // ShotObservables returns the indices of flipped observables in one shot.
 func (b *Batch) ShotObservables(shot int) []int {
 	return appendPlaneBitsAt(nil, b.ObsFlips, shot)

@@ -37,17 +37,28 @@ import (
 	"surfstitch/internal/stats"
 )
 
+// NumAux is the number of auxiliary tally slots chunk functions may use.
+const NumAux = 4
+
 // Tally is a mergeable Monte-Carlo outcome count: shots run and logical
 // errors observed. Merging is associative and commutative, so per-chunk
-// tallies combine in any grouping.
+// tallies combine in any grouping. Aux carries caller-defined extra
+// counters (the threshold package uses slots for union-find shots,
+// fallbacks and window commits) that merge elementwise, giving callers
+// deterministic in-order totals without touching shared state per shot.
 type Tally struct {
 	Shots  int
 	Errors int
+	Aux    [NumAux]int64
 }
 
 // Merge returns the combined tally of t and o.
 func (t Tally) Merge(o Tally) Tally {
-	return Tally{Shots: t.Shots + o.Shots, Errors: t.Errors + o.Errors}
+	out := Tally{Shots: t.Shots + o.Shots, Errors: t.Errors + o.Errors}
+	for i := range out.Aux {
+		out.Aux[i] = t.Aux[i] + o.Aux[i]
+	}
+	return out
 }
 
 // Rate returns the observed error rate.

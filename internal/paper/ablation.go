@@ -11,6 +11,7 @@ import (
 	"surfstitch/internal/experiment"
 	"surfstitch/internal/frame"
 	"surfstitch/internal/noise"
+	"surfstitch/internal/stats"
 	"surfstitch/internal/synth"
 )
 
@@ -187,6 +188,69 @@ func AblationDecoderFastPath(cfg Config) (AblationResult, error) {
 	return res, nil
 }
 
+// AblationDecoderUnionFind measures the almost-linear union-find decoder
+// against the exact blossom on the k>=3 tail: distance-5 heavy-square
+// logical error rates at p=0.002. Unlike the fast-path ablation this is a
+// bounded-accuracy check, not an equality: union-find corrections are valid
+// but may exceed the minimum weight, so the two rates must agree within
+// their z=3 Wilson intervals rather than bit-for-bit.
+func AblationDecoderUnionFind(cfg Config) (AblationResult, error) {
+	cfg = cfg.withDefaults()
+	res := AblationResult{Name: "decoder union-find (k>=3)", Unit: "logical error rate @ p=0.002 (Wilson z=3)"}
+	_, layout, err := synth.FitDevice(device.KindHeavySquare, 5, synth.ModeDefault)
+	if err != nil {
+		return res, err
+	}
+	s, err := synth.SynthesizeOnLayout(layout, synth.Options{})
+	if err != nil {
+		return res, err
+	}
+	m, err := experiment.NewMemory(s, 15, experiment.Options{})
+	if err != nil {
+		return res, err
+	}
+	noisy, err := m.Noisy(noise.Model{GateError: 0.002, IdleError: noise.DefaultIdleError})
+	if err != nil {
+		return res, err
+	}
+	model, err := dem.FromCircuit(noisy)
+	if err != nil {
+		return res, err
+	}
+	var errCounts [2]int
+	var shots [2]int
+	for i, ufOn := range []bool{false, true} {
+		dec, err := decoder.NewWithOptions(model, decoder.Options{UnionFind: ufOn})
+		if err != nil {
+			return res, err
+		}
+		sampler, err := frame.NewSampler(noisy, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return res, err
+		}
+		st, err := dec.DecodeBatch(sampler.Sample(cfg.Shots))
+		if err != nil {
+			return res, err
+		}
+		errCounts[i], shots[i] = st.LogicalErrors, st.Shots
+		if i == 0 {
+			res.Baseline = st.LogicalErrorRate()
+		} else {
+			res.Ablated = st.LogicalErrorRate()
+			if st.UFShots == 0 {
+				return res, fmt.Errorf("paper: union-find ablation never engaged the union-find path (no k>=3 shots at %d shots)", st.Shots)
+			}
+		}
+	}
+	bLo, bHi := stats.WilsonInterval(errCounts[0], shots[0], 3)
+	uLo, uHi := stats.WilsonInterval(errCounts[1], shots[1], 3)
+	if bLo > uHi || uLo > bHi {
+		return res, fmt.Errorf("paper: union-find LER %.6g [%.6g,%.6g] outside the blossom's Wilson bound %.6g [%.6g,%.6g]",
+			res.Ablated, uLo, uHi, res.Baseline, bLo, bHi)
+	}
+	return res, nil
+}
+
 // logicalRateOf runs the standard memory pipeline for a synthesis.
 func logicalRateOf(s *synth.Synthesis, p float64, cfg Config) (float64, error) {
 	m, err := experiment.NewMemory(s, 3*s.Layout.Code.Distance(), experiment.Options{})
@@ -234,5 +298,9 @@ func Ablations(cfg Config) ([]AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []AblationResult{tree, hook, peel, fast}, nil
+	ufres, err := AblationDecoderUnionFind(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []AblationResult{tree, hook, peel, fast, ufres}, nil
 }

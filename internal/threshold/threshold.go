@@ -84,6 +84,16 @@ type Config struct {
 	// per-location strengths); nil applies the uniform Model exactly as
 	// before, keeping uncalibrated results bit-identical.
 	Noise noise.Builder
+	// Decoder passes options through to the decoder compile — the ablation
+	// hook for the union-find path (Decoder.UnionFind) and the cache and
+	// decomposition switches. The zero value reproduces decoder.New.
+	Decoder decoder.Options
+	// Stream, when non-nil, replaces whole-shot decoding with sliding-
+	// window streaming decode (the real-time ablation mode): each shot's
+	// syndrome is fed round by round through a decoder.Stream with this
+	// window geometry. Requires a provider built with ProviderWithRounds
+	// (the stream needs the detector→round map).
+	Stream *decoder.StreamConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +136,27 @@ func Provider(c *circuit.Circuit, idleQubits []int) CircuitProvider {
 	return memoryAdapter{c: c, idle: idleQubits}
 }
 
+// RoundProvider is the optional provider extension streaming decode needs:
+// the detector→round map of the experiment (experiment.Memory records it
+// as DetectorRound).
+type RoundProvider interface {
+	DetectorRounds() []int
+}
+
+// roundAdapter is memoryAdapter plus the detector round map.
+type roundAdapter struct {
+	memoryAdapter
+	rounds []int
+}
+
+func (r roundAdapter) DetectorRounds() []int { return r.rounds }
+
+// ProviderWithRounds wraps a circuit, its idle set and its detector→round
+// map — the provider form Config.Stream requires.
+func ProviderWithRounds(c *circuit.Circuit, idleQubits []int, detRound []int) CircuitProvider {
+	return roundAdapter{memoryAdapter: memoryAdapter{c: c, idle: idleQubits}, rounds: detRound}
+}
+
 // EstimatePoint measures the logical error rate at one physical error rate.
 func EstimatePoint(prov CircuitProvider, p float64, cfg Config) (Point, error) {
 	return EstimatePointContext(context.Background(), prov, p, cfg)
@@ -157,7 +188,7 @@ func EstimatePointContext(ctx context.Context, prov CircuitProvider, p float64, 
 	if err != nil {
 		return Point{}, fmt.Errorf("threshold: %w", err)
 	}
-	dec, err := decoder.New(dm)
+	dec, err := decoder.NewWithOptions(dm, cfg.Decoder)
 	if err != nil {
 		return Point{}, fmt.Errorf("threshold: %w", err)
 	}
@@ -187,34 +218,142 @@ func EstimatePointContext(ctx context.Context, prov CircuitProvider, p float64, 
 		mFastK1      = cfg.Registry.Counter("decoder_fast_k1_total")
 		mFastK2      = cfg.Registry.Counter("decoder_fast_k2_total")
 		mBlossom     = cfg.Registry.Counter("decoder_blossom_total")
+		mUF          = cfg.Registry.Counter("decoder_uf_total")
+		mUFFallback  = cfg.Registry.Counter("decoder_uf_fallback_total")
+		mCommits     = cfg.Registry.Counter("decoder_window_commits_total")
 		mKHist       = cfg.Registry.Histogram("decoder_syndrome_weight", obs.LinearBuckets(0, 1, decoder.KHistBuckets-1))
 	)
-	// Scratch arenas are pooled across chunks so each worker goroutine
-	// reuses its decode buffers (defect lists, matching edges, blossom
-	// state) for the whole point instead of reallocating per chunk.
-	scratch := sync.Pool{New: func() any { return dec.NewScratch() }}
-	res, err := mc.Run(ctx, mcCfg, func(_ int, rng *rand.Rand, shots int) (mc.Tally, error) {
-		s := scratch.Get().(*decoder.Scratch)
-		defer scratch.Put(s)
-		st, err := dec.DecodeRangeScratch(sampler.SampleChunk(rng, shots), 0, shots, s)
+	// promote pushes one chunk's decoder stats into the registry — the
+	// once-per-chunk boundary where plain per-worker ints become atomics —
+	// and folds the union-find/streaming counters into the tally's Aux
+	// slots for deterministic in-order totals.
+	promote := func(st decoder.Stats) mc.Tally {
 		if cfg.Registry != nil {
 			mCacheHits.Add(int64(st.CacheHits))
 			mCacheMisses.Add(int64(st.CacheMisses))
 			mFastK1.Add(int64(st.FastK1))
 			mFastK2.Add(int64(st.FastK2))
 			mBlossom.Add(int64(st.Blossom))
+			mUF.Add(int64(st.UFShots))
+			mUFFallback.Add(int64(st.UFFallbacks))
+			mCommits.Add(int64(st.WindowCommits))
 			for k, n := range st.KHist {
 				if n != 0 {
 					mKHist.ObserveN(float64(k), int64(n))
 				}
 			}
 		}
-		return mc.Tally{Shots: st.Shots, Errors: st.LogicalErrors}, err
-	})
+		return mc.Tally{
+			Shots:  st.Shots,
+			Errors: st.LogicalErrors,
+			Aux: [mc.NumAux]int64{
+				auxUFShots:       int64(st.UFShots),
+				auxUFFallbacks:   int64(st.UFFallbacks),
+				auxWindowCommits: int64(st.WindowCommits),
+			},
+		}
+	}
+	var res mc.Result
+	if cfg.Stream != nil {
+		span.SetAttr("stream_window", cfg.Stream.Window)
+		span.SetAttr("stream_commit", cfg.Stream.Commit)
+		res, err = runStreaming(ctx, prov, dec, sampler, mcCfg, *cfg.Stream, promote)
+	} else {
+		// Scratch arenas are pooled across chunks so each worker goroutine
+		// reuses its decode buffers (defect lists, matching edges, blossom
+		// state) for the whole point instead of reallocating per chunk.
+		scratch := sync.Pool{New: func() any { return dec.NewScratch() }}
+		res, err = mc.Run(ctx, mcCfg, func(_ int, rng *rand.Rand, shots int) (mc.Tally, error) {
+			s := scratch.Get().(*decoder.Scratch)
+			defer scratch.Put(s)
+			st, err := dec.DecodeRangeScratch(sampler.SampleChunk(rng, shots), 0, shots, s)
+			return promote(st), err
+		})
+	}
 	if err != nil {
 		return Point{}, fmt.Errorf("threshold: %w", err)
 	}
+	span.SetAttr("uf_shots", res.Aux[auxUFShots])
+	span.SetAttr("uf_fallbacks", res.Aux[auxUFFallbacks])
+	span.SetAttr("window_commits", res.Aux[auxWindowCommits])
 	return Point{P: p, Shots: res.Shots, Errors: res.Errors, Logical: res.Rate()}, nil
+}
+
+// Aux slot assignments for the decoder counters threaded through mc.Tally.
+const (
+	auxUFShots = iota
+	auxUFFallbacks
+	auxWindowCommits
+)
+
+// streamWorker is one goroutine's streaming-decode state, pooled across
+// chunks like the whole-shot scratch arenas.
+type streamWorker struct {
+	st  *decoder.Stream
+	buf []int
+}
+
+// runStreaming is the sliding-window counterpart of the whole-shot chunk
+// loop: each shot of a sampled chunk is replayed round by round through a
+// pooled decoder.Stream, and the stream's committed prediction is compared
+// against the shot's actual observable flips.
+func runStreaming(ctx context.Context, prov CircuitProvider, dec *decoder.Decoder, sampler *frame.ChunkedSampler, mcCfg mc.Config, scfg decoder.StreamConfig, promote func(decoder.Stats) mc.Tally) (mc.Result, error) {
+	rp, ok := prov.(RoundProvider)
+	if !ok {
+		return mc.Result{}, fmt.Errorf("streaming decode needs the detector round map; build the provider with ProviderWithRounds")
+	}
+	detRound := rp.DetectorRounds()
+	// Validate the geometry once up front so pool misuse below is the only
+	// way New can fail there.
+	if _, err := dec.NewStream(detRound, scfg); err != nil {
+		return mc.Result{}, err
+	}
+	streams := sync.Pool{New: func() any {
+		st, err := dec.NewStream(detRound, scfg)
+		if err != nil {
+			return (*streamWorker)(nil) // unreachable: geometry validated above
+		}
+		return &streamWorker{st: st, buf: make([]int, 0, 64)}
+	}}
+	return mc.Run(ctx, mcCfg, func(_ int, rng *rand.Rand, shots int) (mc.Tally, error) {
+		w := streams.Get().(*streamWorker)
+		if w == nil {
+			return mc.Tally{}, fmt.Errorf("stream construction failed for validated geometry")
+		}
+		defer streams.Put(w)
+		batch := sampler.SampleChunk(rng, shots)
+		var st decoder.Stats
+		rounds := w.st.NumRounds()
+		for shot := 0; shot < shots; shot++ {
+			w.st.Reset()
+			k := 0
+			for r := 0; r < rounds; r++ {
+				lo, hi := w.st.RoundRange(r)
+				w.buf = batch.AppendShotDetectorsRange(w.buf[:0], shot, lo, hi)
+				k += len(w.buf)
+				if err := w.st.PushRound(w.buf); err != nil {
+					return mc.Tally{}, err
+				}
+			}
+			pred, err := w.st.Finish()
+			if err != nil {
+				return mc.Tally{}, err
+			}
+			if k >= decoder.KHistBuckets {
+				k = decoder.KHistBuckets - 1
+			}
+			st.KHist[k]++
+			st.Shots++
+			if pred != batch.ObservableMask(shot) {
+				st.LogicalErrors++
+			}
+		}
+		ss := w.st.TakeStats()
+		st.UFShots = ss.UFShots
+		st.UFFallbacks = ss.UFFallbacks
+		st.WindowCommits = ss.WindowCommits
+		return promote(st), nil
+	})
 }
 
 // EstimateCurve sweeps the physical error rates and returns the curve.

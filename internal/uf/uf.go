@@ -1,0 +1,537 @@
+// Package uf implements an almost-linear union-find decoder
+// (Delfosse–Nickerson) over a weighted detector matching graph.
+//
+// Decoding proceeds in two phases. The growth phase starts one cluster per
+// defect and grows every odd cluster outward along its frontier edges in
+// event-driven increments (each step advances growth exactly far enough for
+// the nearest frontier edge to fill); clusters merge through fully-grown
+// edges with weighted union and path compression, and a cluster stops
+// growing once its defect parity is even or it has absorbed the boundary
+// node, which soaks up any parity. The peeling phase then walks the
+// spanning forest built from the union edges leaf-to-root, emitting exactly
+// the forest edges needed to cancel every defect; the correction is that
+// edge set and the predicted observable flip is the XOR of its masks.
+//
+// Unlike minimum-weight perfect matching, the result is approximate: the
+// correction is always valid (its graph boundary equals the defect set) and
+// its weight is bounded below by the MWPM weight, but near-degenerate
+// configurations may resolve to a homologically different — and
+// occasionally heavier — correction. On sparse syndromes whose clusters
+// grow in isolation the two decoders agree exactly. The payoff is running
+// time: growth and peeling are near-linear in the touched region, not cubic
+// in the defect count, and a Scratch arena makes the per-shot loop
+// allocation-free.
+package uf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrStuck reports that an odd cluster exhausted its connected component
+// without reaching the boundary: the defect set has odd parity on a
+// boundaryless component and no decoder can match it. Callers treat it as
+// the escalation signal (the decoder integration falls back to blossom,
+// which fails the same way but with the canonical error text).
+var ErrStuck = errors.New("uf: odd cluster exhausted its component without reaching the boundary")
+
+// Edge is one weighted edge of the matching graph. Either endpoint may be
+// the boundary node.
+type Edge struct {
+	U, V int    // endpoint node indices
+	W    int64  // non-negative integer weight (quantized log-likelihood)
+	Obs  uint64 // observable bitmask flipped by the underlying mechanism
+}
+
+// Graph is a compiled, immutable union-find decoding graph. One Graph
+// serves any number of concurrent decodes, each with its own Scratch.
+type Graph struct {
+	numNodes int
+	boundary int // boundary node index, or -1 when the graph has none
+	edges    []Edge
+
+	// CSR half-edge adjacency: node w's incident edges are
+	// adjEdge[adjStart[w]:adjStart[w+1]], in sorted (edge-index) order so
+	// that frontier insertion order — and thus merge order and the peeled
+	// correction — is deterministic.
+	adjStart []int32
+	adjEdge  []int32
+}
+
+// NewGraph compiles the edge list over numNodes nodes. boundary is the
+// index of the boundary node, or negative when the graph has no boundary
+// (every defect set must then have even parity per component).
+func NewGraph(numNodes, boundary int, edges []Edge) (*Graph, error) {
+	if numNodes <= 0 {
+		return nil, fmt.Errorf("uf: need at least one node, got %d", numNodes)
+	}
+	if boundary >= numNodes {
+		return nil, fmt.Errorf("uf: boundary node %d out of range (%d nodes)", boundary, numNodes)
+	}
+	if boundary < 0 {
+		boundary = -1
+	}
+	g := &Graph{
+		numNodes: numNodes,
+		boundary: boundary,
+		edges:    append([]Edge(nil), edges...),
+	}
+	deg := make([]int32, numNodes+1)
+	for i, e := range g.edges {
+		if e.U < 0 || e.U >= numNodes || e.V < 0 || e.V >= numNodes {
+			return nil, fmt.Errorf("uf: edge %d endpoints (%d,%d) out of range (%d nodes)", i, e.U, e.V, numNodes)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("uf: edge %d is a self-loop on node %d", i, e.U)
+		}
+		if e.W < 0 {
+			return nil, fmt.Errorf("uf: edge %d has negative weight %d", i, e.W)
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	g.adjStart = make([]int32, numNodes+1)
+	for w := 0; w < numNodes; w++ {
+		g.adjStart[w+1] = g.adjStart[w] + deg[w]
+	}
+	g.adjEdge = make([]int32, 2*len(g.edges))
+	fill := make([]int32, numNodes)
+	copy(fill, g.adjStart[:numNodes])
+	for i, e := range g.edges {
+		g.adjEdge[fill[e.U]] = int32(i)
+		fill[e.U]++
+		g.adjEdge[fill[e.V]] = int32(i)
+		fill[e.V]++
+	}
+	return g, nil
+}
+
+// NumNodes returns the node count (including the boundary node, if any).
+func (g *Graph) NumNodes() int { return g.numNodes }
+
+// Boundary returns the boundary node index, or -1 when the graph has none.
+func (g *Graph) Boundary() int { return g.boundary }
+
+// Edges returns the compiled edge table. Callers must treat it as
+// read-only; Correction indices point into it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Scratch holds every mutable buffer of a decode, sized once to the graph
+// so that steady-state decoding performs no allocations. Per-shot reset is
+// O(1) via epoch stamping: node and edge state is lazily re-initialized on
+// first touch each shot. A Scratch must not be shared between concurrent
+// decodes.
+type Scratch struct {
+	g *Graph
+
+	epoch  uint32
+	nodeEp []uint32 // validity stamp for per-node state
+	edgeEp []uint32 // validity stamp for per-edge state
+	iter   uint32
+	sideIt []uint32 // per-iteration stamp for the sides counter
+
+	// Per-node cluster state (valid when nodeEp matches).
+	parent []int32
+	csize  []int32
+	parity []uint8 // at roots: odd defect count mod 2
+	bnd    []bool  // at roots: cluster contains the boundary node
+	defect []bool
+
+	// Per-edge growth state (valid when edgeEp matches).
+	growth []int64
+	grown  []bool
+	cut    []bool  // peeling: edge consumed
+	sides  []int32 // growth clusters touching the edge this iteration
+
+	// Frontier entries: singly-linked lists per cluster root, concatenated
+	// O(1) on union via head/tail pointers. The entry pool is bounded by
+	// one entry per half-edge per shot.
+	fhead, ftail []int32 // per node, valid at roots
+	entEdge      []int32
+	entNext      []int32
+
+	clusters []int32 // every activation; scans filter to live roots
+	touched  []int32 // activated nodes, for post-peel validation
+	live     []int32 // deduplicated frontier edges of one growth iteration
+	mergeQ   []int32
+	forest   []int32 // union edges: a spanning forest of each cluster
+
+	// Peeling state. deg/padjHead are initialized at node activation, so
+	// they need no separate stamp.
+	deg      []int32
+	padjHead []int32
+	peEdge   []int32
+	peNext   []int32
+	peOther  []int32
+	leafQ    []int32
+
+	corr []int32 // correction edge indices of the last decode
+}
+
+// NewScratch allocates a decode arena for the graph.
+func (g *Graph) NewScratch() *Scratch {
+	n, m := g.numNodes, len(g.edges)
+	return &Scratch{
+		g:        g,
+		nodeEp:   make([]uint32, n),
+		edgeEp:   make([]uint32, m),
+		sideIt:   make([]uint32, m),
+		parent:   make([]int32, n),
+		csize:    make([]int32, n),
+		parity:   make([]uint8, n),
+		bnd:      make([]bool, n),
+		defect:   make([]bool, n),
+		growth:   make([]int64, m),
+		grown:    make([]bool, m),
+		cut:      make([]bool, m),
+		sides:    make([]int32, m),
+		fhead:    make([]int32, n),
+		ftail:    make([]int32, n),
+		entEdge:  make([]int32, 0, 2*m),
+		entNext:  make([]int32, 0, 2*m),
+		clusters: make([]int32, 0, n),
+		touched:  make([]int32, 0, n),
+		live:     make([]int32, 0, m),
+		mergeQ:   make([]int32, 0, m),
+		forest:   make([]int32, 0, n),
+		deg:      make([]int32, n),
+		padjHead: make([]int32, n),
+		peEdge:   make([]int32, 0, 2*n),
+		peNext:   make([]int32, 0, 2*n),
+		peOther:  make([]int32, 0, 2*n),
+		leafQ:    make([]int32, 0, n),
+		corr:     make([]int32, 0, n),
+	}
+}
+
+// Correction returns the edge indices (into Graph.Edges) of the last
+// decode's correction. The slice is owned by the Scratch and overwritten by
+// the next decode.
+func (s *Scratch) Correction() []int32 { return s.corr }
+
+// CorrectionWeight sums the weights of the last decode's correction edges.
+func (s *Scratch) CorrectionWeight() int64 {
+	var total int64
+	for _, e := range s.corr {
+		total += s.g.edges[e].W
+	}
+	return total
+}
+
+func (s *Scratch) reset() {
+	s.epoch++
+	if s.epoch == 0 {
+		// Epoch wrap: stale stamps from 2^32 shots ago would read as
+		// current. Clear everything once and restart at 1.
+		for i := range s.nodeEp {
+			s.nodeEp[i] = 0
+		}
+		for i := range s.edgeEp {
+			s.edgeEp[i] = 0
+			s.sideIt[i] = 0
+		}
+		s.iter = 0
+		s.epoch = 1
+	}
+	s.entEdge = s.entEdge[:0]
+	s.entNext = s.entNext[:0]
+	s.clusters = s.clusters[:0]
+	s.touched = s.touched[:0]
+	s.forest = s.forest[:0]
+	s.corr = s.corr[:0]
+}
+
+// activate initializes node w as a fresh singleton cluster this shot.
+func (s *Scratch) activate(w int32, isDefect bool) {
+	s.nodeEp[w] = s.epoch
+	s.parent[w] = w
+	s.csize[w] = 1
+	s.bnd[w] = int(w) == s.g.boundary
+	s.defect[w] = isDefect
+	if isDefect {
+		s.parity[w] = 1
+	} else {
+		s.parity[w] = 0
+	}
+	s.deg[w] = 0
+	s.padjHead[w] = -1
+	s.fhead[w] = -1
+	s.ftail[w] = -1
+	// The boundary's own edges never join a frontier: a cluster containing
+	// the boundary is neutral and never grows, so enumerating the (high
+	// degree) boundary adjacency would be pure waste.
+	if int(w) != s.g.boundary {
+		for h := s.g.adjStart[w]; h < s.g.adjStart[w+1]; h++ {
+			e := s.g.adjEdge[h]
+			s.initEdge(e)
+			idx := int32(len(s.entEdge))
+			s.entEdge = append(s.entEdge, e)
+			s.entNext = append(s.entNext, -1)
+			if s.ftail[w] >= 0 {
+				s.entNext[s.ftail[w]] = idx
+			} else {
+				s.fhead[w] = idx
+			}
+			s.ftail[w] = idx
+		}
+	}
+	s.clusters = append(s.clusters, w)
+	s.touched = append(s.touched, w)
+}
+
+func (s *Scratch) initEdge(e int32) {
+	if s.edgeEp[e] != s.epoch {
+		s.edgeEp[e] = s.epoch
+		s.growth[e] = 0
+		s.grown[e] = false
+		s.cut[e] = false
+	}
+}
+
+func (s *Scratch) active(w int32) bool { return s.nodeEp[w] == s.epoch }
+
+// find returns the cluster root of an active node, with path compression.
+func (s *Scratch) find(w int32) int32 {
+	root := w
+	for s.parent[root] != root {
+		root = s.parent[root]
+	}
+	for s.parent[w] != root {
+		w, s.parent[w] = s.parent[w], root
+	}
+	return root
+}
+
+// union merges the clusters of the grown edge e's endpoints, activating
+// inactive endpoints as they are reached. It reports whether a true union
+// happened (false for cycle edges, which stay grown but join no forest).
+func (s *Scratch) union(e int32) bool {
+	ed := &s.g.edges[e]
+	u, v := int32(ed.U), int32(ed.V)
+	if !s.active(u) {
+		s.activate(u, false)
+	}
+	if !s.active(v) {
+		s.activate(v, false)
+	}
+	ru, rv := s.find(u), s.find(v)
+	if ru == rv {
+		return false
+	}
+	big, small := ru, rv
+	if s.csize[big] < s.csize[small] {
+		big, small = small, big
+	}
+	s.parent[small] = big
+	s.csize[big] += s.csize[small]
+	s.parity[big] ^= s.parity[small]
+	s.bnd[big] = s.bnd[big] || s.bnd[small]
+	if s.fhead[small] >= 0 {
+		if s.ftail[big] >= 0 {
+			s.entNext[s.ftail[big]] = s.fhead[small]
+		} else {
+			s.fhead[big] = s.fhead[small]
+		}
+		s.ftail[big] = s.ftail[small]
+	}
+	s.forest = append(s.forest, e)
+	return true
+}
+
+// collectFrontier walks one growing cluster's frontier list, unlinking dead
+// entries (grown edges, cluster-internal edges) and registering live edges
+// into s.live with their growing-side multiplicity. It returns the number
+// of live entries remaining.
+func (s *Scratch) collectFrontier(root int32) int {
+	liveCount := 0
+	prev := int32(-1)
+	it := s.fhead[root]
+	for it >= 0 {
+		next := s.entNext[it]
+		e := s.entEdge[it]
+		dead := s.grown[e]
+		if !dead {
+			ed := &s.g.edges[e]
+			u, v := int32(ed.U), int32(ed.V)
+			if s.active(u) && s.active(v) && s.find(u) == s.find(v) {
+				dead = true
+			}
+		}
+		if dead {
+			if prev >= 0 {
+				s.entNext[prev] = next
+			} else {
+				s.fhead[root] = next
+			}
+			if next < 0 {
+				s.ftail[root] = prev
+			}
+		} else {
+			liveCount++
+			if s.sideIt[e] != s.iter {
+				s.sideIt[e] = s.iter
+				s.sides[e] = 1
+				s.live = append(s.live, e)
+			} else {
+				s.sides[e]++
+			}
+			prev = it
+		}
+		it = next
+	}
+	return liveCount
+}
+
+// Decode grows and peels one defect set, returning the predicted
+// observable flip mask. The defect list must contain distinct non-boundary
+// node indices. The correction edge set behind the mask is available from
+// s.Correction until the next decode.
+func (g *Graph) Decode(defects []int, s *Scratch) (uint64, error) {
+	if s.g != g {
+		return 0, fmt.Errorf("uf: scratch belongs to a different graph")
+	}
+	s.reset()
+	if len(defects) == 0 {
+		return 0, nil
+	}
+	for _, d := range defects {
+		if d < 0 || d >= g.numNodes {
+			return 0, fmt.Errorf("uf: defect node %d out of range (%d nodes)", d, g.numNodes)
+		}
+		if d == g.boundary {
+			return 0, fmt.Errorf("uf: defect on the boundary node %d", d)
+		}
+		if s.active(int32(d)) {
+			return 0, fmt.Errorf("uf: duplicate defect node %d", d)
+		}
+		s.activate(int32(d), true)
+	}
+
+	// Growth phase. Every iteration either fills at least one frontier
+	// edge (delta is the minimum remaining slack) or detects a stuck
+	// cluster, so the loop runs at most len(edges) iterations; the extra
+	// headroom in the cap guards against an invariant bug looping forever.
+	for guard := 0; ; guard++ {
+		if guard > len(g.edges)+len(defects)+2 {
+			return 0, fmt.Errorf("uf: growth failed to converge (internal invariant broken)")
+		}
+		s.iter++
+		if s.iter == 0 { // uint32 wrap: invalidate side stamps
+			for i := range s.sideIt {
+				s.sideIt[i] = 0
+			}
+			s.iter = 1
+		}
+		s.live = s.live[:0]
+		growing := false
+		for _, c := range s.clusters {
+			if s.parent[c] != c {
+				continue // absorbed into another cluster
+			}
+			if s.parity[c] == 0 || s.bnd[c] {
+				continue // neutral: even parity or boundary-absorbed
+			}
+			growing = true
+			if s.collectFrontier(c) == 0 {
+				// The whole component is inside the cluster and parity is
+				// still odd: no decoder can match this defect set.
+				return 0, ErrStuck
+			}
+		}
+		if !growing {
+			break
+		}
+		delta := int64(math.MaxInt64)
+		for _, e := range s.live {
+			slack := g.edges[e].W - s.growth[e]
+			if slack <= 0 {
+				delta = 0
+				break
+			}
+			d := (slack + int64(s.sides[e]) - 1) / int64(s.sides[e])
+			if d < delta {
+				delta = d
+			}
+		}
+		s.mergeQ = s.mergeQ[:0]
+		for _, e := range s.live {
+			s.growth[e] += delta * int64(s.sides[e])
+			if s.growth[e] >= g.edges[e].W && !s.grown[e] {
+				s.grown[e] = true
+				s.mergeQ = append(s.mergeQ, e)
+			}
+		}
+		for _, e := range s.mergeQ {
+			s.union(e)
+		}
+	}
+
+	return s.peel()
+}
+
+// peel consumes the union forest leaf-to-root, emitting the unique forest
+// edge subset whose boundary is the defect set. Parity drains onto the
+// boundary node, which is never peeled as a leaf.
+func (s *Scratch) peel() (uint64, error) {
+	g := s.g
+	s.peEdge = s.peEdge[:0]
+	s.peNext = s.peNext[:0]
+	s.peOther = s.peOther[:0]
+	s.leafQ = s.leafQ[:0]
+	pushAdj := func(w, e, other int32) {
+		idx := int32(len(s.peEdge))
+		s.peEdge = append(s.peEdge, e)
+		s.peOther = append(s.peOther, other)
+		s.peNext = append(s.peNext, s.padjHead[w])
+		s.padjHead[w] = idx
+	}
+	for _, e := range s.forest {
+		ed := &g.edges[e]
+		u, v := int32(ed.U), int32(ed.V)
+		s.deg[u]++
+		s.deg[v]++
+		pushAdj(u, e, v)
+		pushAdj(v, e, u)
+	}
+	for _, w := range s.touched {
+		if s.deg[w] == 1 && int(w) != g.boundary {
+			s.leafQ = append(s.leafQ, w)
+		}
+	}
+	var obs uint64
+	for qh := 0; qh < len(s.leafQ); qh++ {
+		v := s.leafQ[qh]
+		if s.deg[v] != 1 {
+			continue // became internal or fully peeled since enqueued
+		}
+		var e, other int32 = -1, -1
+		for it := s.padjHead[v]; it >= 0; it = s.peNext[it] {
+			if !s.cut[s.peEdge[it]] {
+				e, other = s.peEdge[it], s.peOther[it]
+				break
+			}
+		}
+		if e < 0 {
+			continue
+		}
+		s.cut[e] = true
+		s.deg[v]--
+		s.deg[other]--
+		if s.defect[v] {
+			s.defect[v] = false
+			s.defect[other] = !s.defect[other]
+			obs ^= g.edges[e].Obs
+			s.corr = append(s.corr, e)
+		}
+		if s.deg[other] == 1 && int(other) != g.boundary {
+			s.leafQ = append(s.leafQ, other)
+		}
+	}
+	for _, w := range s.touched {
+		if int(w) != g.boundary && s.defect[w] {
+			return 0, fmt.Errorf("uf: peeling left defect %d unresolved (internal invariant broken)", w)
+		}
+	}
+	return obs, nil
+}
