@@ -19,7 +19,7 @@ race:
 	$(GO) test -race ./...
 
 race-core:
-	$(GO) test -race ./internal/mc/... ./internal/threshold/... ./internal/decoder/... ./internal/uf/... ./internal/frame/... ./internal/server/... ./internal/obs/... ./internal/device/... ./internal/noise/...
+	$(GO) test -race ./internal/mc/... ./internal/threshold/... ./internal/decoder/... ./internal/uf/... ./internal/frame/... ./internal/server/... ./internal/obs/... ./internal/device/... ./internal/noise/... ./internal/surgery/...
 
 # surflint: the domain-aware analyzer suite (rngstream, errdrop, lockcopy,
 # loopcapture, paniccheck, ctxleak, atomicmix). Zero findings is the merge
@@ -57,7 +57,8 @@ bench:
 
 # Decoder comparisons on synthesized square-tiling memories at d=3/5/7:
 # fast path vs. slow path, union-find vs. blossom on a forced-k>=3
-# workload, and sliding-window streaming decode; writes ns/shot and
+# workload, union-find vs. blossom on a merged 2-patch lattice-surgery
+# graph at d=5, and sliding-window streaming decode; writes ns/shot and
 # allocs/shot for every row (plus cache hit rate for the cached paths)
 # to BENCH_decode.json.
 bench-json:

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -32,6 +33,7 @@ import (
 	"surfstitch/internal/frame"
 	"surfstitch/internal/noise"
 	"surfstitch/internal/obs"
+	"surfstitch/internal/surgery"
 	"surfstitch/internal/synth"
 )
 
@@ -67,6 +69,20 @@ type K3Comparison struct {
 	UFSpeedup float64 `json:"uf_speedup"` // blossom ns/shot over uf ns/shot
 }
 
+// MergedComparison pairs the union-find and blossom decoders on the merged
+// detector graph of a 2-patch lattice-surgery circuit — the multi-observable
+// workload the surgery layer serves — decoding the identical fixed-seed
+// shot stream.
+type MergedComparison struct {
+	Distance  int     `json:"distance"`
+	Patches   int     `json:"patches"`
+	Joint     string  `json:"joint"`
+	Shots     int     `json:"shots"`
+	UF        Run     `json:"uf"`
+	Blossom   Run     `json:"blossom"`
+	UFSpeedup float64 `json:"uf_speedup"` // blossom ns/shot over uf ns/shot
+}
+
 // StreamRun measures the sliding-window streaming decode (round-by-round
 // PushRound/Finish) over the standard-rate batch at one distance.
 type StreamRun struct {
@@ -82,13 +98,14 @@ type StreamRun struct {
 
 // Report is the BENCH_decode.json document.
 type Report struct {
-	SchemaVersion   int            `json:"schema_version"`
-	PhysicalError   float64        `json:"physical_error"`
-	K3PhysicalError float64        `json:"k3_physical_error"`
-	ShotsPerBatch   int            `json:"shots_per_batch"`
-	Comparisons     []Comparison   `json:"comparisons"`
-	K3Comparisons   []K3Comparison `json:"k3_comparisons"`
-	StreamRuns      []StreamRun    `json:"stream_runs"`
+	SchemaVersion   int                `json:"schema_version"`
+	PhysicalError   float64            `json:"physical_error"`
+	K3PhysicalError float64            `json:"k3_physical_error"`
+	ShotsPerBatch   int                `json:"shots_per_batch"`
+	Comparisons     []Comparison       `json:"comparisons"`
+	K3Comparisons   []K3Comparison     `json:"k3_comparisons"`
+	MergedRuns      []MergedComparison `json:"merged_comparisons"`
+	StreamRuns      []StreamRun        `json:"stream_runs"`
 }
 
 // buildBatch synthesizes a distance-d square-tiling surface code memory (d
@@ -120,6 +137,37 @@ func buildBatch(d int, p float64, shots int) (*dem.Model, []int, *frame.Batch, e
 		return nil, nil, nil, err
 	}
 	return model, mem.DetectorRound, s.Sample(shots), nil
+}
+
+// buildSurgeryBatch packs a 2-patch vertical ZZ merge at distance d on a
+// square tiling, assembles the combined merge→measure→split circuit, applies
+// uniform noise at rate p, and samples a fixed-seed shot batch from it.
+func buildSurgeryBatch(d int, p float64, shots int) (*dem.Model, *frame.Batch, error) {
+	spec := surgery.Spec{
+		Patches: []surgery.PatchSpec{{Name: "a", Distance: d}, {Name: "b", Row: 1, Distance: d}},
+		Ops:     []surgery.Op{{A: 0, B: 1, Joint: surgery.JointZZ}},
+	}
+	pl, err := surgery.Pack(context.Background(), device.Square(4*d, 5*d-1), spec, synth.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := surgery.NewExperiment(pl, surgery.Options{SkipVerify: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := e.Noisy(noise.Uniform(p))
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := dem.FromCircuit(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := frame.NewSampler(c, rand.New(rand.NewSource(int64(2000+d))))
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, s.Sample(shots), nil
 }
 
 // filterK3 repacks the shots whose syndromes carry at least minK defects
@@ -389,6 +437,36 @@ func main() {
 		fmt.Printf("%-6d %8d %7.1f %12.1f %14.1f %14.3f %16.3f %9.1fx\n",
 			d, k3.K3Shots, meanK, ufRun.NsPerShot, blossomRun.NsPerShot,
 			ufRun.AllocsPerShot, blossomRun.AllocsPerShot, k3.UFSpeedup)
+	}
+
+	fmt.Printf("\n%-8s %8s %12s %14s %10s\n",
+		"merged", "shots", "uf ns/shot", "blossom ns/sh", "uf speedup")
+	for _, d := range []int{5} {
+		model, batch, err := buildSurgeryBatch(d, *p, *shots)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdecode: merged d=%d: %v\n", d, err)
+			os.Exit(1)
+		}
+		ufRun, err := measureScratchPath(model, batch, d, "uf_merged", decoder.Options{UnionFind: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdecode: merged d=%d uf: %v\n", d, err)
+			os.Exit(1)
+		}
+		blossomRun, err := measureScratchPath(model, batch, d, "blossom_merged", decoder.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdecode: merged d=%d blossom: %v\n", d, err)
+			os.Exit(1)
+		}
+		mc := MergedComparison{
+			Distance: d, Patches: 2, Joint: "zz", Shots: batch.Shots,
+			UF: ufRun, Blossom: blossomRun,
+		}
+		if ufRun.NsPerShot > 0 {
+			mc.UFSpeedup = blossomRun.NsPerShot / ufRun.NsPerShot
+		}
+		report.MergedRuns = append(report.MergedRuns, mc)
+		fmt.Printf("d=%-6d %8d %12.1f %14.1f %9.1fx\n",
+			d, mc.Shots, ufRun.NsPerShot, blossomRun.NsPerShot, mc.UFSpeedup)
 	}
 
 	fmt.Printf("\n%-6s %6s %6s %12s %14s %14s\n",

@@ -34,6 +34,7 @@ import (
 	"surfstitch/internal/noise"
 	"surfstitch/internal/obs"
 	"surfstitch/internal/render"
+	"surfstitch/internal/surgery"
 	"surfstitch/internal/synth"
 	"surfstitch/internal/verify"
 )
@@ -50,6 +51,7 @@ type synthSettings struct {
 	NoRefine    bool   `json:"norefine,omitempty"`
 	Defects     string `json:"defects,omitempty"`
 	Calibration string `json:"calibration,omitempty"`
+	Layout      string `json:"layout,omitempty"`
 }
 
 func main() {
@@ -69,6 +71,7 @@ func main() {
 		doVerify = flag.Bool("verify", false, "run end-to-end verification (determinism, single-fault property, hook audit)")
 		circOut  = flag.String("circuit", "", "write the memory-experiment circuit (stim-flavoured text) to this file")
 		rounds   = flag.Int("rounds", 0, "error-detection rounds for -circuit (default 3*d)")
+		layoutIn = flag.String("layout", "", "synthesize a multi-patch lattice-surgery layout instead of one patch: inline JSON or @file with {\"patches\": [{\"name\", \"row\", \"col\", \"distance\"}], \"ops\": [{\"a\", \"b\", \"joint\": \"zz\"|\"xx\"}]}")
 		defects  = flag.String("defects", "", "impose device defects: a DefectSet JSON file, or <generator>:<density>[:<seed>] with generator random, clustered or edge (e.g. random:0.03)")
 		calArg   = flag.String("calibration", "", "attach a calibration snapshot: a Calibration JSON file, or <snapshot>[:<seed>] with snapshot good, median or bad (e.g. median:7); synthesis then minimizes the calibration-weighted expected error")
 
@@ -97,7 +100,7 @@ func main() {
 		manifest = obs.NewManifest("surfstitch", 0, synthSettings{
 			Arch: *arch, Preset: *preset, W: *w, H: *h, Distance: *d,
 			Mode: *mode, Fit: *fit, NoRefine: *noRef, Defects: *defects,
-			Calibration: *calArg,
+			Calibration: *calArg, Layout: *layoutIn,
 		})
 		defer func() {
 			if err := manifest.Seal(reg, *manifestOut, false); err != nil {
@@ -179,6 +182,10 @@ func main() {
 	}
 
 	opts := synth.Options{Mode: m, NoRefine: *noRef}
+	if *layoutIn != "" {
+		runLayout(ctx, dev, opts, *layoutIn, *asJSON, *doVerify, *circOut)
+		return
+	}
 	var s *synth.Synthesis
 	var err error
 	if degraded {
@@ -258,6 +265,166 @@ func main() {
 	fmt.Printf("qubit utilization: %d data (%.1f%%), %d bridge (%.1f%%), %d unused (%.1f%%) of %d\n",
 		u.DataQubits, u.DataPercent(), u.BridgeQubits, u.BridgePercent(),
 		u.UnusedQubits, u.UnusedPercent(), u.TotalQubits)
+}
+
+// layoutFile is the -layout JSON schema (inline or @file).
+type layoutFile struct {
+	Patches []struct {
+		Name     string `json:"name,omitempty"`
+		Row      int    `json:"row,omitempty"`
+		Col      int    `json:"col,omitempty"`
+		Distance int    `json:"distance"`
+	} `json:"patches"`
+	Ops []struct {
+		A     int    `json:"a"`
+		B     int    `json:"b"`
+		Joint string `json:"joint"`
+	} `json:"ops,omitempty"`
+	PreRounds   int `json:"pre_rounds,omitempty"`
+	MergeRounds int `json:"merge_rounds,omitempty"`
+	PostRounds  int `json:"post_rounds,omitempty"`
+}
+
+// loadLayout parses the -layout argument: inline JSON, or @path to a file.
+func loadLayout(arg string) (surgery.Spec, error) {
+	blob := []byte(arg)
+	if strings.HasPrefix(arg, "@") {
+		var err error
+		blob, err = os.ReadFile(arg[1:])
+		if err != nil {
+			return surgery.Spec{}, err
+		}
+	}
+	var lf layoutFile
+	dec := json.NewDecoder(strings.NewReader(string(blob)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&lf); err != nil {
+		return surgery.Spec{}, fmt.Errorf("parsing layout: %v", err)
+	}
+	var spec surgery.Spec
+	spec.PreRounds, spec.MergeRounds, spec.PostRounds = lf.PreRounds, lf.MergeRounds, lf.PostRounds
+	for _, p := range lf.Patches {
+		spec.Patches = append(spec.Patches, surgery.PatchSpec{
+			Name: p.Name, Row: p.Row, Col: p.Col, Distance: p.Distance,
+		})
+	}
+	for _, op := range lf.Ops {
+		var j surgery.Joint
+		switch op.Joint {
+		case "zz":
+			j = surgery.JointZZ
+		case "xx":
+			j = surgery.JointXX
+		default:
+			return surgery.Spec{}, fmt.Errorf("unknown joint %q (want zz or xx)", op.Joint)
+		}
+		spec.Ops = append(spec.Ops, surgery.Op{A: op.A, B: op.B, Joint: j})
+	}
+	return spec, nil
+}
+
+// layoutPatchReport is one row of the -json patches array.
+type layoutPatchReport struct {
+	Name              string             `json:"name"`
+	Row               int                `json:"row"`
+	Col               int                `json:"col"`
+	Distance          int                `json:"distance"`
+	CertifiedDistance int                `json:"certified_distance"`
+	Degradation       *synth.Degradation `json:"degradation,omitempty"`
+}
+
+// layoutReport is the -layout -json output schema.
+type layoutReport struct {
+	SchemaVersion int                 `json:"schema_version"`
+	Device        string              `json:"device"`
+	Patches       []layoutPatchReport `json:"patches"`
+	Ops           []string            `json:"ops,omitempty"`
+	PreRounds     int                 `json:"pre_rounds"`
+	MergeRounds   int                 `json:"merge_rounds"`
+	PostRounds    int                 `json:"post_rounds"`
+	Qubits        int                 `json:"qubits"`
+	Moments       int                 `json:"moments"`
+	Detectors     int                 `json:"detectors"`
+	Observables   int                 `json:"observables"`
+	JointObs      int                 `json:"joint_observables"`
+}
+
+// runLayout is the multi-patch path of the command: pack the layout,
+// assemble the combined lattice-surgery circuit, certify each patch, and
+// report (text or JSON).
+func runLayout(ctx context.Context, dev *device.Device, opts synth.Options, arg string, asJSON, doVerify bool, circOut string) {
+	spec, err := loadLayout(arg)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := surgery.Pack(ctx, dev, spec, opts)
+	if err != nil {
+		if errors.Is(err, synth.ErrBudgetExceeded) {
+			interrupted(err)
+		}
+		fatal(err)
+	}
+	e, err := surgery.NewExperiment(p, surgery.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	rep := layoutReport{
+		SchemaVersion: 1,
+		Device:        dev.Name(),
+		PreRounds:     p.Spec.PreRounds,
+		MergeRounds:   p.Spec.MergeRounds,
+		PostRounds:    p.Spec.PostRounds,
+		Qubits:        len(p.AllQubits()),
+		Moments:       len(e.Circuit.Moments),
+		Detectors:     len(e.Circuit.Detectors),
+		Observables:   len(e.Circuit.Observables),
+		JointObs:      e.NumJointObs(),
+	}
+	for pi, syn := range p.Patches {
+		cert, err := verify.CertifiedDistance(syn)
+		if err != nil {
+			fatal(err)
+		}
+		ps := p.Spec.Patches[pi]
+		rep.Patches = append(rep.Patches, layoutPatchReport{
+			Name: ps.Name, Row: ps.Row, Col: ps.Col, Distance: ps.Distance,
+			CertifiedDistance: cert, Degradation: syn.Degradation,
+		})
+	}
+	for _, op := range p.Spec.Ops {
+		rep.Ops = append(rep.Ops, fmt.Sprintf("%v(%s,%s)",
+			op.Joint, p.Spec.Patches[op.A].Name, p.Spec.Patches[op.B].Name))
+	}
+
+	if asJSON {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(blob))
+	} else {
+		fmt.Printf("layout: %d patches, %d surgery ops on %s\n", len(rep.Patches), len(rep.Ops), rep.Device)
+		for _, pr := range rep.Patches {
+			fmt.Printf("  patch %q at (%d,%d): distance %d, certified fault distance %d\n",
+				pr.Name, pr.Row, pr.Col, pr.Distance, pr.CertifiedDistance)
+		}
+		for _, op := range rep.Ops {
+			fmt.Printf("  op %s\n", op)
+		}
+		fmt.Printf("rounds: %d separate + %d merged + %d separate\n", rep.PreRounds, rep.MergeRounds, rep.PostRounds)
+		fmt.Printf("circuit: %d qubits, %d moments, %d detectors, %d observables (%d joint)\n",
+			rep.Qubits, rep.Moments, rep.Detectors, rep.Observables, rep.JointObs)
+	}
+	if doVerify {
+		fmt.Println()
+		fmt.Print(verify.Layout(p, verify.Options{}))
+	}
+	if circOut != "" {
+		if err := os.WriteFile(circOut, []byte(circuit.Format(e.Circuit)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", circOut)
+	}
 }
 
 // loadDefects parses the -defects argument: either a generator spec

@@ -169,7 +169,7 @@ func canonicalRun(cfg RunConfig, distance int) map[string]any {
 	if seed == 0 {
 		seed = 20220618 // threshold.Config.withDefaults
 	}
-	return map[string]any{
+	out := map[string]any{
 		"shots":      shots,
 		"rounds":     rounds,
 		"idle_error": idle,
@@ -179,4 +179,74 @@ func canonicalRun(cfg RunConfig, distance int) map[string]any {
 		"target_rse": cfg.TargetRSE,
 		"max_errors": cfg.MaxErrors,
 	}
+	// The decoder choice changes the numbers, so it separates cache entries —
+	// but the key appears only when set, keeping all blossom hashes frozen.
+	if cfg.UnionFind {
+		out["union_find"] = true
+	}
+	return out
+}
+
+// LayoutConfigHash is ConfigHash for multi-patch lattice-surgery requests:
+// the content-address covers the device, the normalized layout envelope
+// (patch grid cells and distances, surgery ops, three-phase round counts),
+// the synthesis options, the physical error rates, and the semantically
+// relevant RunConfig fields. Patch names are excluded (renaming a patch does
+// not change its physics), as are RunConfig.Rounds and Basis, which layouts
+// derive from the spec. The kind is namespaced under "surgery/" so layout
+// requests can never collide with single-patch ones.
+func LayoutConfigHash(kind string, dev *Device, layout LayoutSpec, opts Options, ps []float64, cfg RunConfig) (string, error) {
+	if kind == "" {
+		return "", fmt.Errorf("%w: empty hash kind", ErrInvalidConfig)
+	}
+	if dev == nil {
+		return "", fmt.Errorf("%w: nil device", ErrInvalidConfig)
+	}
+	norm, err := layout.Normalized()
+	if err != nil {
+		return "", err
+	}
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	for _, p := range ps {
+		if p <= 0 || p >= 1 {
+			return "", fmt.Errorf("%w: physical error rate %g outside (0, 1)", ErrInvalidConfig, p)
+		}
+	}
+	patches := make([][3]int, len(norm.Patches))
+	for i, pt := range norm.Patches {
+		patches[i] = [3]int{pt.Row, pt.Col, pt.Distance}
+	}
+	ops := make([][3]any, len(norm.Ops))
+	for i, op := range norm.Ops {
+		ops[i] = [3]any{op.A, op.B, op.Joint.String()}
+	}
+	run := canonicalRun(cfg, norm.Distance())
+	delete(run, "rounds") // the layout's round counts are authoritative
+	delete(run, "basis")  // per-patch bases follow the surgery ops
+	doc := map[string]any{
+		"kind":   "surgery/" + kind,
+		"device": canonicalDevice(dev),
+		"layout": map[string]any{
+			"patches": patches,
+			"ops":     ops,
+			"rounds":  [3]int{norm.PreRounds, norm.MergeRounds, norm.PostRounds},
+		},
+		"options": map[string]any{
+			"mode":            opts.Mode.String(),
+			"no_refine":       opts.NoRefine,
+			"star_only_trees": opts.StarOnlyTrees,
+			"co_optimize":     opts.CoOptimize,
+			"degrade":         opts.Degrade,
+		},
+		"ps":  append([]float64{}, ps...),
+		"run": run,
+	}
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		return "", fmt.Errorf("%w: canonicalizing request: %v", ErrInvalidConfig, err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
 }

@@ -53,12 +53,30 @@ func TestFacadeRejectsInvalidInputs(t *testing.T) {
 			_, err := Synthesize(ctx, dev, 9, Options{})
 			return err
 		}},
-		{"SynthesizeContext nil device", ErrInvalidConfig, func() error {
-			_, err := SynthesizeContext(ctx, nil, 3, Options{})
+		{"SynthesizeLayout nil device", ErrInvalidConfig, func() error {
+			_, err := SynthesizeLayout(ctx, nil, LayoutSpec{Patches: []PatchSpec{{Distance: 3}}}, Options{})
 			return err
 		}},
-		{"SynthesizeDegraded nil device", ErrInvalidConfig, func() error {
-			_, err := SynthesizeDegraded(ctx, nil, 3, Options{})
+		{"SynthesizeLayout empty layout", ErrBadLayout, func() error {
+			_, err := SynthesizeLayout(ctx, dev, LayoutSpec{}, Options{})
+			return err
+		}},
+		{"SynthesizeLayout non-adjacent op", ErrBadLayout, func() error {
+			_, err := SynthesizeLayout(ctx, dev, LayoutSpec{
+				Patches: []PatchSpec{{Distance: 3}, {Row: 2, Distance: 3}},
+				Ops:     []SurgeryOp{{A: 0, B: 1, Joint: JointZZ}},
+			}, Options{})
+			return err
+		}},
+		{"SynthesizeLayout multi-patch degrade", ErrBadLayout, func() error {
+			_, err := SynthesizeLayout(ctx, dev, LayoutSpec{
+				Patches: []PatchSpec{{Distance: 3}, {Row: 1, Distance: 3}},
+				Ops:     []SurgeryOp{{A: 0, B: 1, Joint: JointZZ}},
+			}, Options{Degrade: true})
+			return err
+		}},
+		{"EstimateLayoutErrorRate nil layout", ErrInvalidConfig, func() error {
+			_, err := EstimateLayoutErrorRate(ctx, nil, 0.001, RunConfig{})
 			return err
 		}},
 		{"GenerateDefects nil device", ErrInvalidConfig, func() error {
@@ -184,10 +202,16 @@ func TestFacadeRespectsCancelledContext(t *testing.T) {
 			t.Fatalf("err = %v, want ErrBudgetExceeded in chain", err)
 		}
 	})
-	t.Run("SynthesizeDegraded", func(t *testing.T) {
-		_, err := SynthesizeDegraded(ctx, dev, 3, Options{})
+	t.Run("SynthesizeLayout", func(t *testing.T) {
+		_, err := SynthesizeLayout(ctx, MustDevice(Square, 12, 15), LayoutSpec{
+			Patches: []PatchSpec{{Distance: 3}, {Row: 1, Distance: 3}},
+			Ops:     []SurgeryOp{{A: 0, B: 1, Joint: JointZZ}},
+		}, Options{})
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("err = %v, want context.Canceled in chain", err)
+		}
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("err = %v, want ErrBudgetExceeded in chain", err)
 		}
 	})
 	t.Run("EstimateLogicalErrorRate", func(t *testing.T) {
@@ -222,10 +246,10 @@ func TestVerifyNilSynthesis(t *testing.T) {
 	}
 }
 
-// TestOptionsDegradeMatchesDeprecatedForm pins that the canonical
-// Options.Degrade path and the deprecated SynthesizeDegraded wrapper are the
-// same computation.
-func TestOptionsDegradeMatchesDeprecatedForm(t *testing.T) {
+// TestOptionsDegrade pins the canonical degradation path: on a defective
+// device, Options.Degrade either succeeds (reporting any sacrifices in
+// Degradation) or fails with a typed error — never an untyped failure.
+func TestOptionsDegrade(t *testing.T) {
 	dev := MustDevice(Square, 4, 2)
 	ds, err := GenerateDefects(dev, "random", 0.04, 5)
 	if err != nil {
@@ -235,15 +259,16 @@ func TestOptionsDegradeMatchesDeprecatedForm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, errA := Synthesize(context.Background(), damaged, 3, Options{Degrade: true})
-	b, errB := SynthesizeDegraded(context.Background(), damaged, 3, Options{})
-	if (errA == nil) != (errB == nil) {
-		t.Fatalf("canonical err = %v, deprecated err = %v", errA, errB)
-	}
-	if errA == nil {
-		da, db := a.Degradation != nil, b.Degradation != nil
-		if da != db {
-			t.Fatalf("degradation mismatch: canonical %v, deprecated %v", da, db)
+	s, err := Synthesize(context.Background(), damaged, 3, Options{Degrade: true})
+	if err != nil {
+		for _, want := range []error{ErrNoPlacement, ErrDisconnected, ErrBudgetExceeded} {
+			if errors.Is(err, want) {
+				return
+			}
 		}
+		t.Fatalf("untyped degraded-synthesis error: %v", err)
+	}
+	if s == nil {
+		t.Fatal("nil synthesis without error")
 	}
 }

@@ -136,3 +136,32 @@ func FuzzChaos(f *testing.F) {
 		}
 	})
 }
+
+// TestSurgeryChaos sweeps seeded defect scenarios under a 2-patch ZZ layout
+// and asserts the multi-patch robustness contract: every scenario either
+// fails with a typed error or packs into a tableau-verified surgery circuit
+// — never a panic, never an untyped failure.
+func TestSurgeryChaos(t *testing.T) {
+	perTiling := 48
+	if testing.Short() {
+		perTiling = 16
+	}
+	kinds := []device.Kind{device.KindSquare, device.KindHeavySquare}
+	for ti, kind := range kinds {
+		ti, kind := ti, kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			tally, v := chaos.SurgerySweep(context.Background(), baseSeed, ti, kind, perTiling)
+			if v != nil {
+				t.Fatal(v)
+			}
+			if tally.OK+tally.Failed != perTiling {
+				t.Fatalf("tally %+v does not cover %d scenarios", tally, perTiling)
+			}
+			if tally.OK == 0 {
+				t.Errorf("no scenario packed cleanly — densities or tiling sizes are off: %+v", tally)
+			}
+			t.Logf("%d scenarios: %d packed and verified, %d typed failures", perTiling, tally.OK, tally.Failed)
+		})
+	}
+}

@@ -64,11 +64,14 @@ func (s Stabilizer) String() string {
 	return fmt.Sprintf("%v%v", s.Type, s.Data)
 }
 
-// Code is a distance-d rotated surface code over d^2 abstract data qubits.
-// Data qubit (r, c) has index r*d + c.
+// Code is a rotated surface code over a rows x cols array of abstract data
+// qubits. The square rows == cols == d case is the distance-d code of the
+// paper; rectangular codes model the merged patch of a lattice-surgery
+// operation (two d x d patches plus one seam line). Data qubit (r, c) has
+// index r*cols + c.
 type Code struct {
-	distance int
-	stabs    []Stabilizer
+	rows, cols int
+	stabs      []Stabilizer
 }
 
 // NewRotated constructs the distance-d rotated surface code. The distance
@@ -80,9 +83,22 @@ func NewRotated(d int) (*Code, error) {
 	if d < 3 || d%2 == 0 {
 		return nil, fmt.Errorf("code: distance must be odd and >= 3, got %d", d)
 	}
-	c := &Code{distance: d}
-	for r := 0; r <= d; r++ {
-		for cl := 0; cl <= d; cl++ {
+	return NewRotatedRect(d, d)
+}
+
+// NewRotatedRect constructs a rotated surface patch on a rows x cols data
+// lattice under the same checkerboard and boundary conventions as NewRotated:
+// X-type half-plaquettes on the top and bottom edges, Z-type on the left and
+// right, logical Z along the top row, logical X down the left column. Both
+// extents must be odd and at least 3 so the boundary types work out; the
+// fault distance of the patch is min(rows, cols).
+func NewRotatedRect(rows, cols int) (*Code, error) {
+	if rows < 3 || rows%2 == 0 || cols < 3 || cols%2 == 0 {
+		return nil, fmt.Errorf("code: lattice %dx%d extents must be odd and >= 3", rows, cols)
+	}
+	c := &Code{rows: rows, cols: cols}
+	for r := 0; r <= rows; r++ {
+		for cl := 0; cl <= cols; cl++ {
 			t := StabZ
 			if (r+cl)%2 == 1 {
 				t = StabX
@@ -91,7 +107,7 @@ func NewRotated(d int) (*Code, error) {
 			switch len(data) {
 			case 4: // bulk plaquette, always present
 			case 2: // boundary half-plaquette: keep X on top/bottom, Z on left/right
-				horizontal := r == 0 || r == d
+				horizontal := r == 0 || r == rows
 				if horizontal && t != StabX {
 					continue
 				}
@@ -124,7 +140,7 @@ func (c *Code) cornerData(r, cl int) []int {
 	for _, dr := range [2]int{-1, 0} {
 		for _, dc := range [2]int{-1, 0} {
 			rr, cc := r+dr, cl+dc
-			if rr >= 0 && rr < c.distance && cc >= 0 && cc < c.distance {
+			if rr >= 0 && rr < c.rows && cc >= 0 && cc < c.cols {
 				data = append(data, c.DataIndex(rr, cc))
 			}
 		}
@@ -132,17 +148,29 @@ func (c *Code) cornerData(r, cl int) []int {
 	return data
 }
 
-// Distance returns the code distance d.
-func (c *Code) Distance() int { return c.distance }
+// Distance returns the code distance: the lattice extent for square codes,
+// min(rows, cols) for rectangular merged patches.
+func (c *Code) Distance() int {
+	if c.rows < c.cols {
+		return c.rows
+	}
+	return c.cols
+}
 
-// NumData returns the number of data qubits, d^2.
-func (c *Code) NumData() int { return c.distance * c.distance }
+// Rows returns the number of data-lattice rows.
+func (c *Code) Rows() int { return c.rows }
+
+// Cols returns the number of data-lattice columns.
+func (c *Code) Cols() int { return c.cols }
+
+// NumData returns the number of data qubits, rows*cols.
+func (c *Code) NumData() int { return c.rows * c.cols }
 
 // DataIndex maps lattice position (r, cl) to the data qubit index.
-func (c *Code) DataIndex(r, cl int) int { return r*c.distance + cl }
+func (c *Code) DataIndex(r, cl int) int { return r*c.cols + cl }
 
 // DataPos inverts DataIndex.
-func (c *Code) DataPos(idx int) (r, cl int) { return idx / c.distance, idx % c.distance }
+func (c *Code) DataPos(idx int) (r, cl int) { return idx / c.cols, idx % c.cols }
 
 // Stabilizers returns all stabilizer generators in deterministic
 // (corner-scan) order. The returned slice is owned by the code.
@@ -161,8 +189,8 @@ func (c *Code) StabilizersOf(t StabType) []Stabilizer {
 
 // LogicalZ returns the logical Z operator: Z on the top row of data qubits.
 func (c *Code) LogicalZ() pauli.String {
-	qs := make([]int, c.distance)
-	for cl := 0; cl < c.distance; cl++ {
+	qs := make([]int, c.cols)
+	for cl := 0; cl < c.cols; cl++ {
 		qs[cl] = c.DataIndex(0, cl)
 	}
 	return pauli.ZOn(qs...)
@@ -170,8 +198,8 @@ func (c *Code) LogicalZ() pauli.String {
 
 // LogicalX returns the logical X operator: X down the left column.
 func (c *Code) LogicalX() pauli.String {
-	qs := make([]int, c.distance)
-	for r := 0; r < c.distance; r++ {
+	qs := make([]int, c.rows)
+	for r := 0; r < c.rows; r++ {
 		qs[r] = c.DataIndex(r, 0)
 	}
 	return pauli.XOn(qs...)
@@ -185,12 +213,12 @@ func (c *Code) LogicalX() pauli.String {
 //   - logical X and Z anticommute;
 //   - every data qubit is covered by at least one stabilizer of each type.
 func (c *Code) Validate() error {
-	d := c.distance
-	if len(c.stabs) != d*d-1 {
-		return fmt.Errorf("code: %d stabilizers, want %d", len(c.stabs), d*d-1)
+	want := c.rows*c.cols - 1
+	if len(c.stabs) != want {
+		return fmt.Errorf("code: %d stabilizers, want %d", len(c.stabs), want)
 	}
 	nx := len(c.StabilizersOf(StabX))
-	if nz := len(c.StabilizersOf(StabZ)); nx != nz {
+	if nz := len(c.StabilizersOf(StabZ)); c.rows == c.cols && nx != nz {
 		return fmt.Errorf("code: %d X vs %d Z stabilizers, want equal", nx, nz)
 	}
 	ps := make([]pauli.String, len(c.stabs))

@@ -24,6 +24,7 @@ const (
 	KindSynthesize = "synthesize"
 	KindEstimate   = "estimate"
 	KindCurve      = "curve"
+	KindSurgery    = "surgery"
 )
 
 // Request is the wire form of every job submission. Exactly one device
@@ -37,7 +38,12 @@ type Request struct {
 	Calibration *CalibrationSpec `json:"calibration,omitempty"`
 	Distance    int              `json:"distance"`
 	Options     OptionsSpec      `json:"options"`
-	// P is the physical error rate of an estimate job.
+	// Layout is the multi-patch payload of a surgery job; it replaces
+	// Distance, which surgery requests must leave zero (each patch carries
+	// its own distance).
+	Layout *LayoutSpecWire `json:"layout,omitempty"`
+	// P is the physical error rate of an estimate job, or the optional
+	// Monte-Carlo point of a surgery job.
 	P float64 `json:"p,omitempty"`
 	// Ps are the sweep points of a curve job.
 	Ps []float64 `json:"ps,omitempty"`
@@ -102,6 +108,62 @@ func (cs CalibrationSpec) build(dev *surfstitch.Device) (*surfstitch.Device, err
 	return dev.WithCalibration(cal)
 }
 
+// LayoutSpecWire mirrors surfstitch.LayoutSpec on the wire: patches on a
+// coarse grid, surgery ops between grid-adjacent patches, and the
+// three-phase round counts (zero defaults to the code distance).
+type LayoutSpecWire struct {
+	Patches     []PatchSpecWire `json:"patches"`
+	Ops         []SurgeryOpWire `json:"ops,omitempty"`
+	PreRounds   int             `json:"pre_rounds,omitempty"`
+	MergeRounds int             `json:"merge_rounds,omitempty"`
+	PostRounds  int             `json:"post_rounds,omitempty"`
+}
+
+// PatchSpecWire is one named patch at a grid cell.
+type PatchSpecWire struct {
+	Name     string `json:"name,omitempty"`
+	Row      int    `json:"row,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Distance int    `json:"distance"`
+}
+
+// SurgeryOpWire is one joint measurement: "zz" between vertical neighbors,
+// "xx" between horizontal neighbors.
+type SurgeryOpWire struct {
+	A     int    `json:"a"`
+	B     int    `json:"b"`
+	Joint string `json:"joint"`
+}
+
+// build resolves the wire layout into the facade spec. Structural
+// validation (adjacency, distances, rounds) happens inside the facade's
+// normalization, so this only translates field shapes.
+func (ls LayoutSpecWire) build() (surfstitch.LayoutSpec, error) {
+	spec := surfstitch.LayoutSpec{
+		PreRounds:   ls.PreRounds,
+		MergeRounds: ls.MergeRounds,
+		PostRounds:  ls.PostRounds,
+	}
+	for _, p := range ls.Patches {
+		spec.Patches = append(spec.Patches, surfstitch.PatchSpec{
+			Name: p.Name, Row: p.Row, Col: p.Col, Distance: p.Distance,
+		})
+	}
+	for _, op := range ls.Ops {
+		var j surfstitch.Joint
+		switch op.Joint {
+		case "zz":
+			j = surfstitch.JointZZ
+		case "xx":
+			j = surfstitch.JointXX
+		default:
+			return spec, fmt.Errorf("%w: unknown joint %q (want zz or xx)", surfstitch.ErrBadLayout, op.Joint)
+		}
+		spec.Ops = append(spec.Ops, surfstitch.SurgeryOp{A: op.A, B: op.B, Joint: j})
+	}
+	return spec, nil
+}
+
 // OptionsSpec mirrors surfstitch.Options on the wire.
 type OptionsSpec struct {
 	Mode          string `json:"mode,omitempty"` // "default" (zero) or "four"
@@ -123,6 +185,7 @@ type RunSpec struct {
 	Basis     string  `json:"basis,omitempty"` // "Z" (zero) or "X"
 	TargetRSE float64 `json:"target_rse,omitempty"`
 	MaxErrors int     `json:"max_errors,omitempty"`
+	UnionFind bool    `json:"union_find,omitempty"`
 }
 
 // compiled is a validated request resolved into engine inputs: the
@@ -134,7 +197,8 @@ type compiled struct {
 	dev     *surfstitch.Device
 	opts    surfstitch.Options
 	cfg     surfstitch.RunConfig
-	ps      []float64 // estimate: [P]; curve: Ps; synthesize: nil
+	layout  surfstitch.LayoutSpec // surgery only
+	ps      []float64             // estimate: [P]; curve: Ps; surgery: [P] or nil; synthesize: nil
 	timeout time.Duration
 	key     string
 }
@@ -171,7 +235,11 @@ func compile(kind string, req Request) (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	if req.Layout != nil && kind != KindSurgery {
+		return nil, fmt.Errorf("%w: %s takes no layout", surfstitch.ErrInvalidConfig, kind)
+	}
 	var ps []float64
+	var layout surfstitch.LayoutSpec
 	switch kind {
 	case KindSynthesize:
 		if req.P != 0 || len(req.Ps) != 0 {
@@ -200,20 +268,51 @@ func compile(kind string, req Request) (*compiled, error) {
 			seen[p] = true
 		}
 		ps = append([]float64{}, req.Ps...)
+	case KindSurgery:
+		if req.Layout == nil {
+			return nil, fmt.Errorf("%w: surgery needs a layout", surfstitch.ErrInvalidConfig)
+		}
+		if req.Distance != 0 {
+			return nil, fmt.Errorf("%w: surgery takes per-patch distances, not a top-level distance", surfstitch.ErrInvalidConfig)
+		}
+		if len(req.Ps) != 0 {
+			return nil, fmt.Errorf("%w: surgery takes an optional single p, not ps", surfstitch.ErrInvalidConfig)
+		}
+		if req.P != 0 {
+			if req.P < 0 || req.P >= 1 {
+				return nil, fmt.Errorf("%w: physical error rate %g outside (0, 1)", surfstitch.ErrInvalidConfig, req.P)
+			}
+			ps = []float64{req.P}
+		}
+		layout, err = req.Layout.build()
+		if err != nil {
+			return nil, err
+		}
+		// Normalization validates the layout eagerly so malformed specs fail
+		// at submission with a 400, not inside a queued job.
+		layout, err = layout.Normalized()
+		if err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("%w: unknown job kind %q", surfstitch.ErrInvalidConfig, kind)
 	}
 	if req.TimeoutSeconds < 0 {
 		return nil, fmt.Errorf("%w: timeout_seconds %g must not be negative", surfstitch.ErrInvalidConfig, req.TimeoutSeconds)
 	}
-	// ConfigHash re-validates distance, ps and cfg, so malformed requests
-	// cannot even be given a cache address.
-	key, err := surfstitch.ConfigHash(kind, dev, req.Distance, opts, ps, cfg)
+	// The content address re-validates distance, ps and cfg, so malformed
+	// requests cannot even be given a cache key.
+	var key string
+	if kind == KindSurgery {
+		key, err = surfstitch.LayoutConfigHash(kind, dev, layout, opts, ps, cfg)
+	} else {
+		key, err = surfstitch.ConfigHash(kind, dev, req.Distance, opts, ps, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &compiled{
-		kind: kind, req: req, dev: dev, opts: opts, cfg: cfg, ps: ps,
+		kind: kind, req: req, dev: dev, opts: opts, cfg: cfg, layout: layout, ps: ps,
 		timeout: time.Duration(req.TimeoutSeconds * float64(time.Second)),
 		key:     key,
 	}, nil
@@ -297,7 +396,7 @@ func (rs RunSpec) build() (surfstitch.RunConfig, error) {
 	cfg := surfstitch.RunConfig{
 		Shots: rs.Shots, Rounds: rs.Rounds, IdleError: rs.IdleError,
 		NoIdle: rs.NoIdle, Seed: rs.Seed, Basis: basis,
-		TargetRSE: rs.TargetRSE, MaxErrors: rs.MaxErrors,
+		TargetRSE: rs.TargetRSE, MaxErrors: rs.MaxErrors, UnionFind: rs.UnionFind,
 	}
 	if err := cfg.Validate(); err != nil {
 		return surfstitch.RunConfig{}, err
@@ -314,7 +413,7 @@ func statusFor(err error) int {
 	case err == nil:
 		return http.StatusOK
 	case errors.Is(err, surfstitch.ErrInvalidConfig), errors.Is(err, surfstitch.ErrBadDefect),
-		errors.Is(err, surfstitch.ErrBadCalibration):
+		errors.Is(err, surfstitch.ErrBadCalibration), errors.Is(err, surfstitch.ErrBadLayout):
 		return http.StatusBadRequest
 	case errors.Is(err, surfstitch.ErrNoPlacement), errors.Is(err, surfstitch.ErrDisconnected):
 		return http.StatusUnprocessableEntity
@@ -345,6 +444,8 @@ func errorKind(err error) string {
 		return "bad_defect"
 	case errors.Is(err, surfstitch.ErrBadCalibration):
 		return "bad_calibration"
+	case errors.Is(err, surfstitch.ErrBadLayout):
+		return "bad_layout"
 	case errors.Is(err, surfstitch.ErrNoPlacement):
 		return "no_placement"
 	case errors.Is(err, surfstitch.ErrDisconnected):

@@ -136,6 +136,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSubmit(KindSynthesize))
 	s.mux.HandleFunc("POST /v1/estimate", s.handleSubmit(KindEstimate))
 	s.mux.HandleFunc("POST /v1/curve", s.handleSubmit(KindCurve))
+	s.mux.HandleFunc("POST /v1/surgery", s.handleSubmit(KindSurgery))
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
@@ -459,6 +460,8 @@ func (s *Server) runJob(j *Job) {
 		err = s.runEstimate(ctx, j, c)
 	case KindCurve:
 		err = s.runCurve(ctx, j, c)
+	case KindSurgery:
+		err = s.runSurgery(ctx, j, c)
 	default:
 		err = fmt.Errorf("%w: unknown job kind %q", surfstitch.ErrInvalidConfig, c.kind)
 	}
@@ -518,6 +521,88 @@ func (s *Server) runSynthesize(ctx context.Context, j *Job, c *compiled) error {
 	s.reg.Gauge("distance_certified").Set(float64(cert))
 	s.reg.Counter("distance_certifications_total").Inc()
 	blob, err := json.Marshal(SynthesizeResult{SynthReport: syn.Report(), CertifiedDistance: cert})
+	if err != nil {
+		return err
+	}
+	j.setResult(blob, false)
+	s.cache.Put(c.key, blob)
+	return nil
+}
+
+// SurgeryPatchResult is the per-patch slice of a surgery job result.
+type SurgeryPatchResult struct {
+	Name     string `json:"name"`
+	Row      int    `json:"row"`
+	Col      int    `json:"col"`
+	Distance int    `json:"distance"`
+	// CertifiedDistance is the statically certified fault distance of the
+	// patch's own memory under its packed placement (worst basis).
+	CertifiedDistance int `json:"certified_distance"`
+}
+
+// SurgeryResult is the wire form of a completed surgery job: the packed
+// layout with per-patch certificates, the assembled circuit's shape, and —
+// when the request carried a p — a decoded Monte-Carlo point over the
+// merged detector graph.
+type SurgeryResult struct {
+	Patches []SurgeryPatchResult `json:"patches"`
+	Ops     []SurgeryOpWire      `json:"ops,omitempty"`
+	// PreRounds / MergeRounds / PostRounds are the normalized three-phase
+	// round counts the circuit realizes.
+	PreRounds   int `json:"pre_rounds"`
+	MergeRounds int `json:"merge_rounds"`
+	PostRounds  int `json:"post_rounds"`
+	// JointObservables counts the joint-parity observables (one per op),
+	// listed before the per-patch memory observables in the circuit.
+	JointObservables int         `json:"joint_observables"`
+	Observables      int         `json:"observables"`
+	Qubits           int         `json:"qubits"`
+	Point            *CurvePoint `json:"point,omitempty"`
+}
+
+func (s *Server) runSurgery(ctx context.Context, j *Job, c *compiled) error {
+	ls, err := surfstitch.SynthesizeLayout(ctx, c.dev, c.layout, c.opts)
+	if err != nil {
+		return err
+	}
+	spec := ls.Spec()
+	result := SurgeryResult{
+		PreRounds:        spec.PreRounds,
+		MergeRounds:      spec.MergeRounds,
+		PostRounds:       spec.PostRounds,
+		JointObservables: ls.Experiment.NumJointObs(),
+		Observables:      len(ls.Experiment.Circuit.Observables),
+		Qubits:           len(ls.Placement.AllQubits()),
+	}
+	for pi, syn := range ls.Patches() {
+		cert, err := surfstitch.CertifiedDistance(syn)
+		if err != nil {
+			return fmt.Errorf("patch %q distance certification: %w", spec.Patches[pi].Name, err)
+		}
+		s.reg.Counter("distance_certifications_total").Inc()
+		result.Patches = append(result.Patches, SurgeryPatchResult{
+			Name: spec.Patches[pi].Name, Row: spec.Patches[pi].Row, Col: spec.Patches[pi].Col,
+			Distance: spec.Patches[pi].Distance, CertifiedDistance: cert,
+		})
+	}
+	for _, op := range spec.Ops {
+		joint := "zz"
+		if op.Joint == surfstitch.JointXX {
+			joint = "xx"
+		}
+		result.Ops = append(result.Ops, SurgeryOpWire{A: op.A, B: op.B, Joint: joint})
+	}
+	if len(c.ps) == 1 {
+		res, err := surfstitch.EstimateLayoutErrorRate(ctx, ls, c.ps[0], s.runCfg(c))
+		if err != nil {
+			return err
+		}
+		result.Point = &CurvePoint{
+			P: res.PhysicalErrorRate, Logical: res.LogicalErrorRate,
+			Shots: res.Shots, Errors: res.Errors,
+		}
+	}
+	blob, err := json.Marshal(result)
 	if err != nil {
 		return err
 	}

@@ -425,15 +425,14 @@ func baseCandidates(dev *device.Device, anchor grid.Rect, u, v grid.Coord) []gri
 // tryLattice instantiates the affine data lattice and the syndrome
 // rectangles; it fails fast when any lattice point misses a qubit.
 func tryLattice(dev *device.Device, c *code.Code, mode Mode, base, u, v grid.Coord, bounds grid.Rect) (*Layout, bool) {
-	d := c.Distance()
 	layout := &Layout{
 		Dev: dev, Code: c, Mode: mode,
 		Base: base, U: u, V: v,
 		DataQubit: make([]int, c.NumData()),
 		IsData:    make([]bool, dev.Len()),
 	}
-	for r := 0; r < d; r++ {
-		for cl := 0; cl < d; cl++ {
+	for r := 0; r < c.Rows(); r++ {
+		for cl := 0; cl < c.Cols(); cl++ {
 			pos := layout.DataCoord(r, cl)
 			if !bounds.Contains(pos) {
 				return nil, false

@@ -1,0 +1,51 @@
+package synth
+
+import (
+	"surfstitch/internal/code"
+	"surfstitch/internal/device"
+	"surfstitch/internal/graph"
+	"surfstitch/internal/grid"
+)
+
+// This file exports the allocation-search primitives that the multi-patch
+// packer (internal/surgery) composes. The single-patch Allocate remains the
+// canonical entry point; surgery re-runs the same candidate ladder but must
+// accept a base only when *every* patch lattice and *every* merged seam
+// lattice instantiates under one shared affine basis, which is a joint
+// constraint Allocate cannot express.
+
+// LatticeCandidates enumerates the candidate (U, V) basis vector pairs the
+// allocation ladder tries, smallest cell first (see latticeCandidates).
+func LatticeCandidates(mode Mode, maxPeriod int) [][2]grid.Coord {
+	return latticeCandidates(mode, maxPeriod)
+}
+
+// BaseCandidates lists plausible device coordinates for abstract data qubit
+// (0, 0) near one anchor rectangle, in deterministic order.
+func BaseCandidates(dev *device.Device, anchor grid.Rect, u, v grid.Coord) []grid.Coord {
+	return baseCandidates(dev, anchor, u, v)
+}
+
+// MaxAnchorCandidates bounds how many bridge-rectangle anchors a placement
+// search may try: the canonical top-left anchor plus the degradation
+// ladder's retry budget.
+func MaxAnchorCandidates() int { return 1 + maxAnchorRetries }
+
+// InstantiateLattice attempts to realize code c on the device under the
+// affine embedding (base, u, v): data (r, cl) at base + cl*u + r*v. It
+// returns nil, false when any lattice point misses a device qubit.
+func InstantiateLattice(dev *device.Device, c *code.Code, mode Mode, base, u, v grid.Coord) (*Layout, bool) {
+	return tryLattice(dev, c, mode, base, u, v, dev.Bounds())
+}
+
+// VerticalXHookPairs counts bridge leaves of X-type trees whose coupled data
+// qubits share an abstract column — hook faults parallel to the logical X
+// operator, which halve the effective distance. Placement searches penalize
+// these heavily (the allocator weighs each pair at 500).
+func VerticalXHookPairs(layout *Layout, trees []*graph.Tree) int {
+	return verticalXHookPairs(layout, trees)
+}
+
+// HookPenaltyWeight is the score weight Allocate applies per vertical X hook
+// pair; exported so multi-patch packing scores stay commensurate.
+const HookPenaltyWeight = 500

@@ -89,6 +89,11 @@ type Report struct {
 	// MaxMisdecodeRatio is the single-fault misdecode ratio Pass tolerates,
 	// copied from Options (DefaultMaxMisdecodeRatio when zero there).
 	MaxMisdecodeRatio float64
+
+	// Patches holds the per-patch verification of a multi-patch layout
+	// (verify.Layout); nil for single-patch synthesis reports, so existing
+	// callers are unaffected.
+	Patches []PatchReport
 }
 
 // DefaultMaxMisdecodeRatio is the single-fault misdecode ratio Pass
@@ -108,6 +113,11 @@ func (r Report) Pass() bool {
 	distanceOK := r.ClaimedDistance == 0 || // stage did not run
 		r.CertifiedDistance == 0 || // no undetectable logical error at all
 		r.CertifiedDistance >= r.ClaimedDistance
+	for _, pr := range r.Patches {
+		if !pr.Pass() {
+			return false
+		}
+	}
 	return len(r.Structural) == 0 &&
 		len(r.Static) == 0 &&
 		r.Deterministic &&
@@ -156,6 +166,17 @@ func (r Report) String() string {
 		}
 		if r.DistanceHookMismatch != "" {
 			fmt.Fprintf(&b, "  hook/certificate mismatch: %s\n", r.DistanceHookMismatch)
+		}
+	}
+	for _, pr := range r.Patches {
+		status := "ok"
+		if !pr.Pass() {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  patch %q: certified distance %d (claimed %d) %s\n",
+			pr.Name, pr.CertifiedDistance, pr.ClaimedDistance, status)
+		for _, s := range pr.Structural {
+			fmt.Fprintf(&b, "    structural: %s\n", s)
 		}
 	}
 	return b.String()

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sort"
 
+	"surfstitch/internal/decoder"
 	"surfstitch/internal/device"
 	"surfstitch/internal/experiment"
 	"surfstitch/internal/grid"
@@ -207,23 +208,6 @@ func Synthesize(ctx context.Context, dev *Device, distance int, opts Options) (*
 	return synth.Synthesize(ctx, dev, distance, opts)
 }
 
-// SynthesizeContext is the old name of the canonical context-first
-// Synthesize.
-//
-// Deprecated: use Synthesize, which now takes the context directly.
-func SynthesizeContext(ctx context.Context, dev *Device, distance int, opts Options) (*Synthesis, error) {
-	return Synthesize(ctx, dev, distance, opts)
-}
-
-// SynthesizeDegraded is Synthesize with the graceful-degradation ladder
-// armed.
-//
-// Deprecated: use Synthesize with Options.Degrade set.
-func SynthesizeDegraded(ctx context.Context, dev *Device, distance int, opts Options) (*Synthesis, error) {
-	opts.Degrade = true
-	return Synthesize(ctx, dev, distance, opts)
-}
-
 // DefectSet describes hardware faults to impose on a device: dead qubits,
 // broken couplers, and per-element error-rate overrides.
 type DefectSet = device.DefectSet
@@ -320,17 +304,16 @@ type RunConfig struct {
 	// MaxErrors stops sampling early after this many logical errors (zero
 	// disables).
 	MaxErrors int
+	// UnionFind decodes with the almost-linear union-find decoder instead of
+	// blossom minimum-weight matching. Results stay deterministic for a fixed
+	// seed; accuracy trades slightly for speed on large graphs.
+	UnionFind bool
 	// Registry, when non-nil, receives live metrics from the run: the
 	// Monte-Carlo engine's shot counters and shots/sec gauge, the decoder's
 	// syndrome-weight histogram, decode-path and cache counters, and
 	// per-stage span timings.
 	Registry *Registry
 }
-
-// SimConfig is the old name of RunConfig.
-//
-// Deprecated: use RunConfig.
-type SimConfig = RunConfig
 
 // Validate reports the first out-of-domain field, wrapped in
 // ErrInvalidConfig; the zero value passes.
@@ -365,6 +348,7 @@ func (cfg RunConfig) thresholdConfig() threshold.Config {
 		Workers:   cfg.Workers,
 		TargetRSE: cfg.TargetRSE,
 		MaxErrors: cfg.MaxErrors,
+		Decoder:   decoder.Options{UnionFind: cfg.UnionFind},
 		Registry:  cfg.Registry,
 	}
 }
